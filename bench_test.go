@@ -1,0 +1,145 @@
+// Package-level benchmarks: one testing.B target per table and figure of
+// the paper's evaluation. Every measurement is taken in deterministic
+// virtual time on the simulated SHRIMP; the benchmark's own ns/op measures
+// only how fast the simulator runs. The numbers that reproduce the paper
+// are reported as custom metrics:
+//
+//	virt_us_per_op — virtual one-way latency (or roundtrip where noted)
+//	virt_MB_per_s  — virtual bandwidth
+//
+// Run: go test -bench=. -benchmem
+package main
+
+import (
+	"testing"
+
+	"shrimp/internal/bench"
+	"shrimp/internal/nx"
+	"shrimp/internal/socket"
+	"shrimp/internal/sunrpc"
+)
+
+// --- Section 3.4 / Figure 3: the raw VMMC layer ---
+
+func BenchmarkPeak(b *testing.B) {
+	var r bench.PeakResult
+	for i := 0; i < b.N; i++ {
+		r = bench.RunPeak()
+	}
+	b.ReportMetric(r.AUWordWTus, "AU_word_us")
+	b.ReportMetric(r.AUWordUncachedUS, "AU_word_uncached_us")
+	b.ReportMetric(r.DUWordUS, "DU_word_us")
+	b.ReportMetric(r.DU0copyMBs, "DU0copy_MB_per_s")
+}
+
+func BenchmarkFig3Latency(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		lat, _ = bench.VMMCPingPong(bench.AU1copy, 4, 8)
+	}
+	b.ReportMetric(lat, "virt_us_per_op")
+}
+
+func BenchmarkFig3Bandwidth(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		_, bw = bench.VMMCPingPong(bench.DU0copy, 10240, 8)
+	}
+	b.ReportMetric(bw, "virt_MB_per_s")
+}
+
+// --- Figure 4: NX message passing ---
+
+func BenchmarkFig4Latency(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		lat, _ = bench.NXPingPong(nx.ProtoAU2, 4, 8)
+	}
+	b.ReportMetric(lat, "virt_us_per_op")
+}
+
+func BenchmarkFig4Bandwidth(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		_, bw = bench.NXPingPong(nx.ProtoDU0, 10240, 8)
+	}
+	b.ReportMetric(bw, "virt_MB_per_s")
+}
+
+// --- Figure 5: VRPC ---
+
+func BenchmarkFig5NullRPC(b *testing.B) {
+	var rt float64
+	for i := 0; i < b.N; i++ {
+		rt, _ = bench.VRPCPingPong(sunrpc.ModeAU, 4, 8)
+	}
+	b.ReportMetric(rt, "virt_roundtrip_us")
+}
+
+func BenchmarkFig5Bandwidth(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		_, bw = bench.VRPCPingPong(sunrpc.ModeAU, 10240, 6)
+	}
+	b.ReportMetric(bw, "virt_MB_per_s")
+}
+
+// --- Figure 7: sockets ---
+
+func BenchmarkFig7Latency(b *testing.B) {
+	var lat float64
+	for i := 0; i < b.N; i++ {
+		lat, _ = bench.SocketPingPong(socket.ModeAU2, 4, 8)
+	}
+	b.ReportMetric(lat, "virt_us_per_op")
+}
+
+func BenchmarkFig7Bandwidth(b *testing.B) {
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		_, bw = bench.SocketPingPong(socket.ModeDU1, 10240, 6)
+	}
+	b.ReportMetric(bw, "virt_MB_per_s")
+}
+
+// --- Section 4.3: ttcp ---
+
+func BenchmarkTTCP(b *testing.B) {
+	var r bench.TTCPResult
+	for i := 0; i < b.N; i++ {
+		r = bench.RunTTCP()
+	}
+	b.ReportMetric(r.TTCP7K, "ttcp_7K_MB_per_s")
+	b.ReportMetric(r.Micro7K, "micro_7K_MB_per_s")
+	b.ReportMetric(r.TTCP70, "ttcp_70B_MB_per_s")
+}
+
+// --- Figure 8: compatible vs non-compatible RPC ---
+
+func BenchmarkFig8SRPCNull(b *testing.B) {
+	var rt float64
+	for i := 0; i < b.N; i++ {
+		rt = bench.SRPCNull(0, 10)
+	}
+	b.ReportMetric(rt, "virt_roundtrip_us")
+}
+
+func BenchmarkFig8SRPCNull1000(b *testing.B) {
+	var rt float64
+	for i := 0; i < b.N; i++ {
+		rt = bench.SRPCNull(1000, 8)
+	}
+	b.ReportMetric(rt, "virt_roundtrip_us")
+}
+
+// --- Section 4.2: conventional-network baseline ---
+
+func BenchmarkRPCBaseline(b *testing.B) {
+	var r bench.RPCBaseline
+	for i := 0; i < b.N; i++ {
+		r = bench.RunRPCBaseline()
+	}
+	b.ReportMetric(r.SBLNullUS, "sbl_null_us")
+	b.ReportMetric(r.EtherNullUS, "ether_null_us")
+	b.ReportMetric(r.Speedup, "speedup_x")
+}

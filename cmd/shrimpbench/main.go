@@ -1,0 +1,131 @@
+// Command shrimpbench regenerates every table and figure in the paper's
+// evaluation (Sections 3.4–5) on the simulated SHRIMP multicomputer:
+//
+//	fig3    — raw VMMC latency/bandwidth (4 transfer strategies)
+//	fig4    — NX message passing (5 protocol variants + adaptive default)
+//	fig5    — SunRPC-compatible VRPC (DU-1copy, AU-1copy)
+//	fig7    — stream sockets (AU-2copy, DU-1copy, DU-2copy)
+//	fig8    — compatible vs non-compatible RPC (INOUT argument sweep)
+//	peak    — the Section 3.4 headline numbers
+//	ttcp    — the Section 4.3 ttcp results
+//	rpcbase — VRPC vs the conventional-network (Ethernet) SunRPC baseline
+//	ablate  — ablations of the Section 6 design decisions (combining,
+//	          polling vs notifications, software multicast, 16-node scaling)
+//
+// Usage:
+//
+//	shrimpbench [-fig all|fig3|fig4|fig5|fig7|fig8|peak|ttcp|rpcbase]
+//	            [-iters N] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"shrimp/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which experiment to run")
+	iters := flag.Int("iters", 8, "ping-pong iterations per point")
+	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	flag.Parse()
+
+	run := func(name string) bool { return *fig == "all" || *fig == name }
+	var figures []*bench.Figure
+
+	if run("peak") {
+		r := bench.RunPeak()
+		fmt.Println("PEAK — Section 3.4 headline numbers")
+		fmt.Printf("  %-44s %8s %10s\n", "metric", "paper", "measured")
+		fmt.Printf("  %-44s %8s %9.2fus\n", "AU one-word latency (write-through)", "4.75us", r.AUWordWTus)
+		fmt.Printf("  %-44s %8s %9.2fus\n", "AU one-word latency (uncached)", "3.70us", r.AUWordUncachedUS)
+		fmt.Printf("  %-44s %8s %9.2fus\n", "DU one-word latency", "7.60us", r.DUWordUS)
+		fmt.Printf("  %-44s %8s %6.1fMB/s\n", "DU-0copy bandwidth at 10KB", "~23MB/s", r.DU0copyMBs)
+		fmt.Printf("  %-44s %8s %6.1fMB/s\n", "AU-1copy bandwidth at 10KB", "<DU", r.AU1copyMBs)
+		fmt.Println()
+	}
+	if run("fig3") {
+		figures = append(figures, bench.Fig3(*iters))
+	}
+	if run("fig4") {
+		figures = append(figures, bench.Fig4(*iters))
+	}
+	if run("fig5") {
+		figures = append(figures, bench.Fig5(*iters))
+	}
+	if run("fig7") {
+		figures = append(figures, bench.Fig7(*iters))
+	}
+	if run("fig8") {
+		figures = append(figures, bench.Fig8(*iters))
+	}
+
+	for _, f := range figures {
+		if f.ID == "fig8" {
+			// Figure 8 is a single latency plot over its own sweep.
+			fmt.Print(f.LatencyTable(1 << 20))
+		} else {
+			fmt.Print(f.LatencyTable(64))
+			fmt.Println()
+			fmt.Print(f.BandwidthTable(64))
+		}
+		fmt.Println()
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*csvDir, f.ID+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n\n", path)
+		}
+	}
+
+	if run("ttcp") {
+		r := bench.RunTTCP()
+		fmt.Println("TTCP — Section 4.3")
+		fmt.Printf("  %-40s %8s %9.2f MB/s\n", "ttcp, 7 Kbyte messages", "8.6", r.TTCP7K)
+		fmt.Printf("  %-40s %8s %9.2f MB/s\n", "one-way microbenchmark, 7 Kbyte", "9.8", r.Micro7K)
+		fmt.Printf("  %-40s %8s %9.2f MB/s\n", "ttcp, 70 byte messages", "1.3", r.TTCP70)
+		fmt.Printf("  %-40s %8s %9.2f MB/s\n", "(Ethernet peak, for reference)", "1.25", r.EthernetPeak)
+		fmt.Println()
+	}
+	if run("rpcbase") {
+		r := bench.RunRPCBaseline()
+		fmt.Println("RPCBASE — null RPC: VMMC stream vs conventional network")
+		fmt.Printf("  %-40s %9.1f us\n", "VRPC over SBL (AU-1copy)", r.SBLNullUS)
+		fmt.Printf("  %-40s %9.1f us\n", "SunRPC over 10Mb/s Ethernet", r.EtherNullUS)
+		fmt.Printf("  %-40s %9.1fx\n", "speedup", r.Speedup)
+		fmt.Println()
+	}
+	if run("ablate") {
+		fmt.Println("ABLATE — design-decision ablations (paper Section 6)")
+		for _, row := range bench.RunAblations() {
+			note := ""
+			if row.Note != "" {
+				note = "  (" + row.Note + ")"
+			}
+			fmt.Printf("  %-44s %9.2f %s%s\n", row.Name, row.Value, row.Unit, note)
+		}
+		fmt.Println()
+	}
+
+	if !anyRan(*fig) {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; want one of all,fig3,fig4,fig5,fig7,fig8,peak,ttcp,rpcbase,ablate\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func anyRan(fig string) bool {
+	switch fig {
+	case "all", "fig3", "fig4", "fig5", "fig7", "fig8", "peak", "ttcp", "rpcbase", "ablate":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,61 @@
+// Command ttcp is a port of the ttcp network benchmark (originally from the
+// Army Ballistics Research Lab; the paper uses version 1.12) running over
+// the simulated SHRIMP socket library. It boots a 4-node SHRIMP, runs the
+// classic one-way transmit/receive pair, and reports bandwidth like the
+// original tool. Both endpoints live in one simulation, so a single
+// invocation plays both the -t and -r roles.
+//
+// Usage:
+//
+//	ttcp [-l buflen] [-n numbufs] [-m AU-2copy|DU-1copy|DU-2copy] [-raw]
+//
+// -raw disables the ttcp application-overhead model and reports the pure
+// library streaming rate (the paper's "our own microbenchmark").
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"shrimp/internal/bench"
+	"shrimp/internal/socket"
+)
+
+func main() {
+	buflen := flag.Int("l", 7168, "length of buffers written/read")
+	numbufs := flag.Int("n", 64, "number of buffers to send")
+	modeStr := flag.String("m", "DU-1copy", "socket protocol variant")
+	raw := flag.Bool("raw", false, "library microbenchmark (no ttcp app overhead)")
+	flag.Parse()
+
+	var mode socket.Mode
+	switch *modeStr {
+	case "AU-2copy":
+		mode = socket.ModeAU2
+	case "DU-1copy":
+		mode = socket.ModeDU1
+	case "DU-2copy":
+		mode = socket.ModeDU2
+	default:
+		fmt.Fprintf(os.Stderr, "ttcp: unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+
+	perWrite, perByte := bench.TTCPPerWrite, time.Duration(bench.TTCPPerByte)
+	label := "ttcp"
+	if *raw {
+		perWrite, perByte = 0, 0
+		label = "microbenchmark"
+	}
+
+	total := *buflen * *numbufs
+	mbps := bench.SocketStream(mode, *buflen, *numbufs, perWrite, perByte)
+	secs := float64(total) / (mbps * 1e6)
+
+	fmt.Printf("ttcp-t: buflen=%d, nbuf=%d, port=5001 (%s, SHRIMP sockets)\n", *buflen, *numbufs, mode)
+	fmt.Printf("ttcp-t: %d bytes in %.3f real seconds = %.2f MB/sec (%s)\n",
+		total, secs, mbps, label)
+	fmt.Printf("ttcp-r: %d bytes received OK\n", total)
+}

@@ -1,0 +1,117 @@
+// filexfer: bulk data transfer over the SHRIMP stream-sockets library — an
+// ftp-like exchange. The client uploads a "file" in a simple length-prefixed
+// protocol over the byte stream, the server checksums it and sends the
+// digest back, and both ends report throughput. Runs each of the paper's
+// three socket protocol variants back to back.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/socket"
+	"shrimp/internal/vmmc"
+)
+
+const fileSize = 256 << 10 // 256 KB
+
+// fnv1a is the checksum both ends compute.
+func fnv1a(b []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func main() {
+	for _, mode := range []socket.Mode{socket.ModeAU2, socket.ModeDU1, socket.ModeDU2} {
+		runOnce(mode)
+	}
+}
+
+func runOnce(mode socket.Mode) {
+	c := cluster.Default()
+	port := 2121
+
+	// File contents, shared by both sides for verification.
+	file := make([]byte, fileSize)
+	rand.New(rand.NewSource(42)).Read(file)
+	wantSum := fnv1a(file)
+
+	c.Spawn(1, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, c.Node(1).Daemon)
+		lib := socket.New(ep, c.Ether, 1, mode)
+		conn, err := lib.Listen(port).Accept()
+		if err != nil {
+			panic(err)
+		}
+		// Read the 8-byte length header, then the body.
+		hdr := p.Alloc(8, 4)
+		if _, err := conn.RecvAll(hdr, 8); err != nil {
+			panic(err)
+		}
+		size := int(binary.LittleEndian.Uint64(p.Peek(hdr, 8)))
+		body := p.Alloc(size, 4)
+		if n, err := conn.RecvAll(body, size); err != nil || n != size {
+			panic(fmt.Sprintf("short read: %d %v", n, err))
+		}
+		// Checksum and reply with the digest.
+		sum := fnv1a(p.ReadBytes(body, size))
+		reply := p.Alloc(8, 4)
+		var rb [8]byte
+		binary.LittleEndian.PutUint64(rb[:], sum)
+		p.Poke(reply, rb[:])
+		if _, err := conn.Send(reply, 8); err != nil {
+			panic(err)
+		}
+		conn.Close()
+	})
+
+	c.Spawn(0, "client", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, c.Node(0).Daemon)
+		lib := socket.New(ep, c.Ether, 0, mode)
+		conn, err := lib.Connect(1, port)
+		if err != nil {
+			panic(err)
+		}
+		// Stage the file in simulated memory.
+		buf := p.Alloc(fileSize+8, hw.WordSize)
+		var hdr [8]byte
+		binary.LittleEndian.PutUint64(hdr[:], uint64(fileSize))
+		p.Poke(buf, hdr[:])
+		p.Poke(buf+8, file)
+
+		t0 := p.P.Now()
+		sent := 0
+		for sent < fileSize+8 {
+			n, err := conn.Send(buf+kernel.VA(sent), fileSize+8-sent)
+			if err != nil {
+				panic(err)
+			}
+			sent += n
+		}
+		// Wait for the digest.
+		dig := p.Alloc(8, 4)
+		if _, err := conn.RecvAll(dig, 8); err != nil {
+			panic(err)
+		}
+		elapsed := p.P.Now().Sub(t0)
+		got := binary.LittleEndian.Uint64(p.Peek(dig, 8))
+		status := "OK"
+		if got != wantSum {
+			status = "CHECKSUM MISMATCH"
+		}
+		mbps := float64(fileSize) / elapsed.Seconds() / 1e6
+		fmt.Printf("%-8s %3d KB uploaded in %8v  (%5.1f MB/s)  digest %s\n",
+			conn.Mode(), fileSize>>10, elapsed, mbps, status)
+		conn.Close()
+	})
+
+	c.Run()
+}

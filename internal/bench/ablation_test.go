@@ -1,0 +1,59 @@
+package bench
+
+import "testing"
+
+func TestCombiningAblation(t *testing.T) {
+	rows := CombiningAblation(256)
+	on, off := rows[0], rows[1]
+	// Combining must reduce both packet count and (via fewer per-packet
+	// incoming-DMA setups) latency.
+	if on.Value >= off.Value {
+		t.Errorf("combining on (%.2fus) should beat off (%.2fus)", on.Value, off.Value)
+	}
+	t.Logf("%s: %.2f%s (%s) | %s: %.2f%s (%s)",
+		on.Name, on.Value, on.Unit, on.Note, off.Name, off.Value, off.Unit, off.Note)
+}
+
+func TestPollVsNotifyAblation(t *testing.T) {
+	rows := PollVsNotifyAblation()
+	poll, ntfy, fast := rows[0], rows[1], rows[2]
+	// The paper implements notifications with signals and says they are
+	// expensive; polling must win by a wide margin.
+	if ntfy.Value < 5*poll.Value {
+		t.Errorf("notification (%.1fus) should be >5x polling (%.1fus)", ntfy.Value, poll.Value)
+	}
+	// The planned active-message-style path must land near polling,
+	// far below signals ("performance much better than signals").
+	if fast.Value > ntfy.Value/4 {
+		t.Errorf("fast notification (%.1fus) should be far below signals (%.1fus)", fast.Value, ntfy.Value)
+	}
+	if fast.Value > 3*poll.Value {
+		t.Errorf("fast notification (%.1fus) should be within ~3x of polling (%.1fus)", fast.Value, poll.Value)
+	}
+	t.Logf("poll %.2fus, signal %.2fus, fast %.2fus", poll.Value, ntfy.Value, fast.Value)
+}
+
+func TestMulticastAblation(t *testing.T) {
+	rows := MulticastAblation(1024)
+	naive, tree := rows[0], rows[1]
+	if tree.Value >= naive.Value {
+		t.Errorf("binomial tree (%.1fus) should beat sequential (%.1fus)", tree.Value, naive.Value)
+	}
+	t.Logf("sequential %.1fus vs tree %.1fus", naive.Value, tree.Value)
+}
+
+func TestCollectiveScaling(t *testing.T) {
+	rows := CollectiveScalingAblation()
+	s4, s16 := rows[0].Value, rows[1].Value
+	// Recursive doubling: 16 nodes is 4 rounds vs 2, on longer mesh
+	// routes — it must cost more, but much less than the 16x a
+	// sequential barrier would (log scaling in rounds).
+	if s16 <= s4 {
+		t.Errorf("gsync on 16 nodes (%.1fus) should cost more than on 4 (%.1fus)", s16, s4)
+	}
+	if s16 > 8*s4 {
+		t.Errorf("gsync scaling worse than log-depth allows: %.1f vs %.1f", s16, s4)
+	}
+	t.Logf("gsync 4n=%.1fus 16n=%.1fus; gdsum 4n=%.1fus 16n=%.1fus",
+		rows[0].Value, rows[1].Value, rows[2].Value, rows[3].Value)
+}

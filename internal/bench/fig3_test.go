@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig3Shape verifies the qualitative structure of Figure 3: who wins
+// where, and by roughly what factor — the reproduction criterion.
+func TestFig3Shape(t *testing.T) {
+	f := Fig3(6)
+
+	au1 := f.Get(AU1copy)
+	au2 := f.Get(AU2copy)
+	du0 := f.Get(DU0copy)
+	du1 := f.Get(DU1copy)
+
+	// 1. One-word latencies match the paper's headline numbers.
+	p, _ := au1.At(4)
+	if p.LatencyUS < 4.4 || p.LatencyUS > 5.1 {
+		t.Errorf("AU 1-word latency %.2f us, paper 4.75", p.LatencyUS)
+	}
+	p, _ = du0.At(4)
+	if p.LatencyUS < 7.2 || p.LatencyUS > 8.0 {
+		t.Errorf("DU 1-word latency %.2f us, paper 7.6", p.LatencyUS)
+	}
+
+	// 2. For small messages AU beats DU (lower start-up cost).
+	for _, size := range LatencySizes {
+		a, _ := au1.At(size)
+		d, _ := du0.At(size)
+		if a.LatencyUS >= d.LatencyUS {
+			t.Errorf("size %d: AU-1copy (%.2f) should beat DU-0copy (%.2f)", size, a.LatencyUS, d.LatencyUS)
+		}
+	}
+
+	// 3. For large messages DU-0copy has the highest bandwidth, near
+	// 23 MB/s; AU-1copy is slightly below (limited by the copy).
+	d0, _ := du0.At(10240)
+	a1, _ := au1.At(10240)
+	if d0.MBPerSec < 20 || d0.MBPerSec > 23.5 {
+		t.Errorf("DU-0copy peak %.1f MB/s, paper ~23", d0.MBPerSec)
+	}
+	if a1.MBPerSec >= d0.MBPerSec {
+		t.Errorf("AU-1copy (%.1f) should trail DU-0copy (%.1f) at 10KB", a1.MBPerSec, d0.MBPerSec)
+	}
+	if a1.MBPerSec < 0.75*d0.MBPerSec {
+		t.Errorf("AU-1copy (%.1f) should be only slightly below DU-0copy (%.1f)", a1.MBPerSec, d0.MBPerSec)
+	}
+
+	// 4. The 2-copy/1-copy variants pay for their extra copy: roughly
+	// half the bandwidth of their 1-copy/0-copy counterparts at 10KB.
+	a2, _ := au2.At(10240)
+	d1, _ := du1.At(10240)
+	if !(a2.MBPerSec < a1.MBPerSec && d1.MBPerSec < d0.MBPerSec) {
+		t.Errorf("extra copies should cost bandwidth: AU %.1f->%.1f DU %.1f->%.1f",
+			a1.MBPerSec, a2.MBPerSec, d0.MBPerSec, d1.MBPerSec)
+	}
+	if ratio := d1.MBPerSec / d0.MBPerSec; ratio < 0.40 || ratio > 0.65 {
+		t.Errorf("DU-1copy/DU-0copy ratio %.2f, want ~0.5 (serialized copy)", ratio)
+	}
+
+	// 5. Bandwidth grows monotonically with size for every strategy
+	// (amortizing fixed costs).
+	for _, s := range f.Serie {
+		prev := 0.0
+		for _, pt := range s.Points {
+			if pt.MBPerSec+0.01 < prev {
+				t.Errorf("%s: bandwidth not monotone at %dB (%.2f after %.2f)", s.Label, pt.Size, pt.MBPerSec, prev)
+			}
+			prev = pt.MBPerSec
+		}
+	}
+}
+
+func TestPeakNumbers(t *testing.T) {
+	r := RunPeak()
+	if r.AUWordWTus < 4.4 || r.AUWordWTus > 5.1 {
+		t.Errorf("AU word (WT) %.2f us, paper 4.75", r.AUWordWTus)
+	}
+	if r.AUWordUncachedUS < 3.4 || r.AUWordUncachedUS > 4.0 {
+		t.Errorf("AU word (uncached) %.2f us, paper 3.7", r.AUWordUncachedUS)
+	}
+	if r.DUWordUS < 7.2 || r.DUWordUS > 8.0 {
+		t.Errorf("DU word %.2f us, paper 7.6", r.DUWordUS)
+	}
+	if r.DU0copyMBs < 20 || r.DU0copyMBs > 23.5 {
+		t.Errorf("DU-0copy bandwidth %.1f MB/s, paper ~23", r.DU0copyMBs)
+	}
+	t.Logf("peak: AU %.2fus (WT) / %.2fus (uncached), DU %.2fus, DU-0copy %.1f MB/s, AU-1copy %.1f MB/s",
+		r.AUWordWTus, r.AUWordUncachedUS, r.DUWordUS, r.DU0copyMBs, r.AU1copyMBs)
+}
+
+func TestFigureFormatting(t *testing.T) {
+	f := &Figure{ID: "figX", Title: "test", Serie: []Series{
+		{Label: "a", Points: []Point{{Size: 4, LatencyUS: 1.5, MBPerSec: 2.5}, {Size: 8, LatencyUS: 2, MBPerSec: 4}}},
+		{Label: "b", Points: []Point{{Size: 4, LatencyUS: 3, MBPerSec: 1}}},
+	}}
+	lt := f.LatencyTable(8)
+	if !strings.Contains(lt, "1.50") || !strings.Contains(lt, "FIGX") {
+		t.Errorf("latency table malformed:\n%s", lt)
+	}
+	bt := f.BandwidthTable(4)
+	if !strings.Contains(bt, "2.50") {
+		t.Errorf("bandwidth table malformed:\n%s", bt)
+	}
+	// Missing points render as dashes.
+	if !strings.Contains(lt, "-") {
+		t.Errorf("missing point should render as dash:\n%s", lt)
+	}
+	csv := f.CSV()
+	if !strings.Contains(csv, "figX,a,4,1.500,2.500") {
+		t.Errorf("csv malformed:\n%s", csv)
+	}
+}

@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"testing"
+
+	"shrimp/internal/nx"
+)
+
+// TestFig4Shape verifies the qualitative structure of Figure 4 against the
+// paper's claims.
+func TestFig4Shape(t *testing.T) {
+	lat := func(p nx.Proto, size int) float64 {
+		l, _ := NXPingPong(p, size, 6)
+		return l
+	}
+	bw := func(p nx.Proto, size int) float64 {
+		_, b := NXPingPong(p, size, 6)
+		return b
+	}
+
+	// 1. "For small messages with automatic update, we incur a latency
+	// cost of just over 6us above the hardware limit" (hw = 4.75us).
+	au2 := lat(nx.ProtoAU2, 4)
+	if delta := au2 - 4.75; delta < 4.0 || delta > 7.5 {
+		t.Errorf("AU small-message delta over hardware = %.2f us, paper ~6", delta)
+	}
+
+	// 2. The copy-vs-extra-send tradeoff (paper's Figure 4 left graph):
+	// at tiny sizes the 2-copy single-update protocol beats the 1-copy
+	// two-update protocol; as size grows the copy cost overtakes the
+	// extra send and the order flips.
+	if d2, d1 := lat(nx.ProtoDU2, 4), lat(nx.ProtoDU1, 4); d2 >= d1 {
+		t.Errorf("at 4B DU-2copy (%.2f) should beat DU-1copy (%.2f): copy cheaper than extra send", d2, d1)
+	}
+	if b1, b2 := bw(nx.ProtoDU1, 2048), bw(nx.ProtoDU2, 2048); b1 <= b2 {
+		t.Errorf("at 2KB DU-1copy (%.2f MB/s) should beat DU-2copy (%.2f): copy cost dominates", b1, b2)
+	}
+
+	// 3. "For large messages, performance asymptotically approaches the
+	// raw hardware limit": zero-copy NX at 10KB within 85% of raw
+	// DU-0copy; AU-1copy within 85% of raw AU.
+	_, rawDU := VMMCPingPong(DU0copy, 10240, 6)
+	_, rawAU := VMMCPingPong(AU1copy, 10240, 6)
+	nxDU := bw(nx.ProtoDU0, 10240)
+	nxAU := bw(nx.ProtoAU1, 10240)
+	if nxDU < 0.85*rawDU {
+		t.Errorf("NX DU-0copy at 10KB = %.1f MB/s, want >= 85%% of raw %.1f", nxDU, rawDU)
+	}
+	if nxAU < 0.85*rawAU {
+		t.Errorf("NX AU-1copy at 10KB = %.1f MB/s, want >= 85%% of raw %.1f", nxAU, rawAU)
+	}
+
+	// 4. Zero-copy beats the one-copy protocols at 10KB; the one-copy
+	// buffered protocols beat the two-copy one.
+	oneCopyBuf := bw(nx.ProtoDU1, 10240)
+	twoCopyBuf := bw(nx.ProtoDU2, 10240)
+	if !(nxDU > oneCopyBuf && oneCopyBuf > twoCopyBuf) {
+		t.Errorf("10KB bandwidth order wrong: DU0=%.1f DU1=%.1f DU2=%.1f", nxDU, oneCopyBuf, twoCopyBuf)
+	}
+
+	// 5. The scout round trip makes zero-copy protocols a poor choice for
+	// tiny messages — the reason the adaptive protocol exists.
+	if z, s := lat(nx.ProtoDU0, 4), lat(nx.ProtoAU2, 4); z < s+5 {
+		t.Errorf("zero-copy at 4B (%.2f) should cost well above one-copy (%.2f)", z, s)
+	}
+
+	// 6. The default protocol tracks the best variant on both ends (the
+	// protocol-switch "bump" sits between them).
+	defSmall := lat(nx.ProtoDefault, 4)
+	defLarge := bw(nx.ProtoDefault, 10240)
+	if defSmall > au2+0.5 {
+		t.Errorf("default small latency %.2f should match AU-2copy %.2f", defSmall, au2)
+	}
+	if defLarge < 0.95*nxDU {
+		t.Errorf("default large bandwidth %.1f should match DU-0copy %.1f", defLarge, nxDU)
+	}
+	t.Logf("fig4: AU2 lat4=%.2fus (hw+%.2f), NX-DU0 10KB=%.1f MB/s (raw %.1f), NX-AU1=%.1f (raw %.1f)",
+		au2, au2-4.75, nxDU, rawDU, nxAU, rawAU)
+}

@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"testing"
+
+	"shrimp/internal/sunrpc"
+)
+
+func TestFig5Shape(t *testing.T) {
+	// 1. Null-ish RPC (4-byte arg/result) roundtrip ~29us.
+	rtAU, _ := VRPCPingPong(sunrpc.ModeAU, 4, 10)
+	if rtAU < 26 || rtAU > 34 {
+		t.Errorf("VRPC 4B roundtrip %.1f us, paper ~29", rtAU)
+	}
+
+	// 2. AU beats DU for small arguments (lower start-up), as in raw
+	// VMMC; both converge for large.
+	rtDU, _ := VRPCPingPong(sunrpc.ModeDU, 4, 10)
+	if rtAU >= rtDU {
+		t.Errorf("AU 4B roundtrip (%.1f) should beat DU (%.1f)", rtAU, rtDU)
+	}
+
+	// 3. Bandwidth at 10KB approaches the one-copy hardware range (each
+	// byte is marshaled once and decoded once per direction).
+	_, bwAU := VRPCPingPong(sunrpc.ModeAU, 10240, 6)
+	_, bwDU := VRPCPingPong(sunrpc.ModeDU, 10240, 6)
+	if bwAU < 7 || bwAU > 13 {
+		t.Errorf("VRPC AU bandwidth at 10KB = %.1f MB/s, want one-copy range ~8-12", bwAU)
+	}
+	if bwDU < 7 || bwDU > 13 {
+		t.Errorf("VRPC DU bandwidth at 10KB = %.1f MB/s, want one-copy range ~8-12", bwDU)
+	}
+
+	// 4. Latency grows monotonically with size.
+	prev := 0.0
+	for _, size := range []int{4, 64, 1024, 4096, 10240} {
+		rt, _ := VRPCPingPong(sunrpc.ModeAU, size, 4)
+		if rt+0.1 < prev {
+			t.Errorf("latency not monotone at %dB: %.1f after %.1f", size, rt, prev)
+		}
+		prev = rt
+	}
+	t.Logf("fig5: AU null rt=%.1fus DU=%.1fus; 10KB bw AU=%.1f DU=%.1f MB/s", rtAU, rtDU, bwAU, bwDU)
+}
+
+func TestRPCBaselineSpeedup(t *testing.T) {
+	r := RunRPCBaseline()
+	// "RPC can be made several times faster than it is on conventional
+	// networks": require at least 5x on the null call.
+	if r.Speedup < 5 {
+		t.Fatalf("SBL null %.1fus vs ether %.1fus: speedup %.1fx, want >= 5x",
+			r.SBLNullUS, r.EtherNullUS, r.Speedup)
+	}
+	t.Logf("null RPC: SBL %.1fus, conventional network %.1fus (%.0fx)", r.SBLNullUS, r.EtherNullUS, r.Speedup)
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"shrimp/internal/sunrpc"
+)
+
+func TestFig8Shape(t *testing.T) {
+	// Small arguments: "the difference in round-trip time is more than a
+	// factor of three": 9.5us vs 29us.
+	nc := SRPCNull(0, 10)
+	compat, _ := VRPCPingPong(sunrpc.ModeAU, 4, 10)
+	if nc < 8.5 || nc > 11 {
+		t.Errorf("non-compatible null = %.2f us, paper 9.5", nc)
+	}
+	if compat < 26 || compat > 34 {
+		t.Errorf("compatible null = %.2f us, paper 29", compat)
+	}
+	if ratio := compat / nc; ratio < 2.7 {
+		t.Errorf("small-call ratio %.2fx, paper >3x", ratio)
+	}
+
+	// Large arguments: "the difference is roughly a factor of two",
+	// because OUT arguments return implicitly via automatic update.
+	nc1000 := SRPCNull(1000, 8)
+	compat1000, _ := VRPCPingPong(sunrpc.ModeAU, 1000, 8)
+	ratio := compat1000 / nc1000
+	if ratio < 1.5 || ratio > 3.0 {
+		t.Errorf("1000B ratio %.2fx (compat %.1f vs %.1f), paper ~2x", ratio, compat1000, nc1000)
+	}
+
+	// Both grow with size; the non-compatible system stays below the
+	// compatible one everywhere.
+	prev := 0.0
+	for _, size := range []int{0, 256, 512, 1000} {
+		v := SRPCNull(size, 6)
+		if v+0.2 < prev {
+			t.Errorf("non-compatible latency not monotone at %d", size)
+		}
+		prev = v
+		c, _ := VRPCPingPong(sunrpc.ModeAU, max(size, 4), 6)
+		if v >= c {
+			t.Errorf("size %d: non-compatible (%.1f) should beat compatible (%.1f)", size, v, c)
+		}
+	}
+	t.Logf("fig8: null %.2f vs %.2f us (%.1fx); 1000B %.1f vs %.1f us (%.1fx)",
+		nc, compat, compat/nc, nc1000, compat1000, ratio)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

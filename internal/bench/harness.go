@@ -1,0 +1,149 @@
+// Package bench is the measurement harness that regenerates every table and
+// figure in the paper's evaluation: ping-pong and one-way streaming drivers,
+// series collection, and table/CSV formatting. All measurements are in
+// virtual time, so results are exact and deterministic.
+//
+// Methodology follows the paper (Section 4, "Experiments"): a large number
+// of round-trip ping-pong communications between two processes; message
+// latency is half the round-trip time; bandwidth is total user bytes sent
+// divided by total running time.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Point is one measurement at a message size.
+type Point struct {
+	Size      int     // user message bytes
+	LatencyUS float64 // one-way latency, microseconds
+	MBPerSec  float64 // user bandwidth
+}
+
+// Series is one protocol variant's curve.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// At returns the point at exactly size, if present.
+func (s *Series) At(size int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.Size == size {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Figure is a reproduced figure: several series over a size sweep.
+type Figure struct {
+	ID    string // e.g. "fig3"
+	Title string
+	Note  string
+	Serie []Series
+}
+
+// Get returns the series with the given label.
+func (f *Figure) Get(label string) *Series {
+	for i := range f.Serie {
+		if f.Serie[i].Label == label {
+			return &f.Serie[i]
+		}
+	}
+	return nil
+}
+
+// LatencyTable renders the small-message latency view (left graph of the
+// paper's figures).
+func (f *Figure) LatencyTable(maxSize int) string {
+	return f.table(maxSize, func(p Point) float64 { return p.LatencyUS }, "one-way latency (us)")
+}
+
+// BandwidthTable renders the bandwidth view (right graph).
+func (f *Figure) BandwidthTable(minSize int) string {
+	return f.tableMin(minSize, func(p Point) float64 { return p.MBPerSec }, "bandwidth (MB/s)")
+}
+
+func (f *Figure) table(maxSize int, val func(Point) float64, what string) string {
+	return f.render(func(s int) bool { return s <= maxSize }, val, what)
+}
+
+func (f *Figure) tableMin(minSize int, val func(Point) float64, what string) string {
+	return f.render(func(s int) bool { return s >= minSize }, val, what)
+}
+
+func (f *Figure) render(keep func(int) bool, val func(Point) float64, what string) string {
+	sizes := map[int]bool{}
+	for _, s := range f.Serie {
+		for _, p := range s.Points {
+			if keep(p.Size) {
+				sizes[p.Size] = true
+			}
+		}
+	}
+	var order []int
+	for s := range sizes {
+		order = append(order, s)
+	}
+	sort.Ints(order)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s — %s\n", strings.ToUpper(f.ID), f.Title, what)
+	fmt.Fprintf(&b, "%10s", "size(B)")
+	for _, s := range f.Serie {
+		fmt.Fprintf(&b, " %12s", s.Label)
+	}
+	b.WriteByte('\n')
+	for _, size := range order {
+		fmt.Fprintf(&b, "%10d", size)
+		for _, s := range f.Serie {
+			if p, ok := s.At(size); ok {
+				fmt.Fprintf(&b, " %12.2f", val(p))
+			} else {
+				fmt.Fprintf(&b, " %12s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if f.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", f.Note)
+	}
+	return b.String()
+}
+
+// CSV renders the whole figure as size,label,latency_us,mb_per_sec rows.
+func (f *Figure) CSV() string {
+	var b strings.Builder
+	b.WriteString("figure,series,size_bytes,latency_us,mb_per_sec\n")
+	for _, s := range f.Serie {
+		for _, p := range s.Points {
+			fmt.Fprintf(&b, "%s,%s,%d,%.3f,%.3f\n", f.ID, s.Label, p.Size, p.LatencyUS, p.MBPerSec)
+		}
+	}
+	return b.String()
+}
+
+// LatencySizes is the small-message sweep used by the papers' left-hand
+// graphs (4..64 bytes).
+var LatencySizes = []int{4, 8, 16, 24, 32, 40, 48, 56, 64}
+
+// BandwidthSizes is the large-message sweep of the right-hand graphs
+// (up to 10 Kbytes).
+var BandwidthSizes = []int{64, 256, 512, 1024, 2048, 3072, 4096, 5120, 6144, 7168, 8192, 9216, 10240}
+
+// AllSizes merges both sweeps.
+func AllSizes() []int {
+	m := map[int]bool{}
+	var out []int
+	for _, s := range append(append([]int{}, LatencySizes...), BandwidthSizes...) {
+		if !m[s] {
+			m[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

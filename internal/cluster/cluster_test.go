@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/vmmc"
+)
+
+func TestDefaultGeometry(t *testing.T) {
+	c := Default()
+	if len(c.Nodes) != 4 {
+		t.Fatalf("prototype is 4 nodes, got %d", len(c.Nodes))
+	}
+	if c.Mesh.Nodes() != 4 {
+		t.Fatalf("mesh size %d", c.Mesh.Nodes())
+	}
+	for i, n := range c.Nodes {
+		if n.ID != i || n.M == nil || n.NIC == nil || n.Daemon == nil {
+			t.Fatalf("node %d incomplete: %+v", i, n)
+		}
+		// 40 MB per node, as on the DEC 560ST.
+		if n.M.Mem.Size() != 40<<20 {
+			t.Fatalf("node %d memory %d", i, n.M.Mem.Size())
+		}
+	}
+}
+
+func TestNodeBoundsPanic(t *testing.T) {
+	c := Default()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Node(4)
+}
+
+func TestRunFor(t *testing.T) {
+	c := Default()
+	ticks := 0
+	c.Spawn(0, "ticker", func(p *kernel.Process) {
+		for i := 0; i < 100; i++ {
+			p.P.Sleep(time.Millisecond)
+			ticks++
+		}
+	})
+	c.RunFor(10500 * time.Microsecond)
+	if ticks != 10 {
+		t.Fatalf("ticks after 10.5ms = %d", ticks)
+	}
+}
+
+// TestSixteenNodes boots the expansion the paper planned ("we also plan to
+// expand the system to 16 nodes") and runs an all-pairs VMMC exchange.
+func TestSixteenNodes(t *testing.T) {
+	c := New(Config{MeshX: 4, MeshY: 4, MemBytes: 8 << 20})
+	if len(c.Nodes) != 16 {
+		t.Fatalf("nodes = %d", len(c.Nodes))
+	}
+	const peers = 16
+	finished := 0
+	for node := 0; node < peers; node++ {
+		node := node
+		c.Spawn(node, "all2all", func(p *kernel.Process) {
+			ep := vmmc.Attach(p, c.Node(node).Daemon)
+			// Export one page per peer (they write their node id + a
+			// flag into their slot).
+			recv := p.MapPages(1, 0)
+			if _, err := ep.Export(recv, 1, vmmc.ExportOpts{Name: fmt.Sprintf("slot%d", node)}); err != nil {
+				t.Error(err)
+				return
+			}
+			// Import every peer's slot, retrying until exported.
+			imps := make([]*vmmc.Import, peers)
+			for peer := 0; peer < peers; peer++ {
+				if peer == node {
+					continue
+				}
+				for {
+					imp, err := ep.Import(peer, fmt.Sprintf("slot%d", peer))
+					if err == nil {
+						imps[peer] = imp
+						break
+					}
+					p.P.Sleep(300 * time.Microsecond)
+				}
+			}
+			// Write our id into offset node*8 of every peer's page.
+			src := p.Alloc(8, hw.WordSize)
+			p.WriteWord(src, uint32(node+1))
+			p.WriteWord(src+4, 0xbeef)
+			for peer := 0; peer < peers; peer++ {
+				if peer == node {
+					continue
+				}
+				if err := ep.Send(imps[peer], node*8, src, 8); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			// Wait for all 15 peers' stamps.
+			for peer := 0; peer < peers; peer++ {
+				if peer == node {
+					continue
+				}
+				p.WaitWord(recv+kernel.VA(peer*8), func(v uint32) bool { return v == uint32(peer+1) })
+			}
+			finished++
+		})
+	}
+	c.Run()
+	if finished != peers {
+		t.Fatalf("only %d/%d nodes completed the all-to-all", finished, peers)
+	}
+	// Dimension-order routes on a 4x4 mesh run up to 6 hops; traffic must
+	// actually have crossed the mesh.
+	if c.Mesh.PacketsDelivered < int64(peers*(peers-1)) {
+		t.Fatalf("suspiciously few packets: %d", c.Mesh.PacketsDelivered)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	// Two identical cluster workloads must end at the identical virtual
+	// time — the engine is a pure function of its inputs.
+	run := func() int64 {
+		c := Default()
+		for node := 0; node < 4; node++ {
+			node := node
+			c.Spawn(node, "w", func(p *kernel.Process) {
+				ep := vmmc.Attach(p, c.Node(node).Daemon)
+				buf := p.MapPages(1, 0)
+				if _, err := ep.Export(buf, 1, vmmc.ExportOpts{Name: "b"}); err != nil {
+					t.Error(err)
+				}
+				peer := (node + 1) % 4
+				var imp *vmmc.Import
+				for {
+					var err error
+					imp, err = ep.Import(peer, "b")
+					if err == nil {
+						break
+					}
+					p.P.Sleep(100 * time.Microsecond)
+				}
+				src := p.Alloc(128, 4)
+				for i := 0; i < 10; i++ {
+					if err := ep.Send(imp, 0, src, 128); err != nil {
+						t.Error(err)
+					}
+				}
+			})
+		}
+		return int64(c.Run())
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("nondeterministic: %d vs %d", a, b)
+	}
+}

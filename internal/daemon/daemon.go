@@ -1,0 +1,413 @@
+// Package daemon implements the SHRIMP daemons: trusted servers, one per
+// node, that cooperate to establish and destroy import-export mappings
+// between user processes (paper Section 3.3). The daemons are the "trusted
+// third party" of the VMMC protection model: only they program the network
+// interface's outgoing and incoming page tables, and they do so over the
+// commodity Ethernet control network, keeping the kernel and the daemons off
+// the data path entirely.
+//
+// Local operations (export, and the local half of import/unimport/unexport)
+// execute in the calling process's context as a privileged library, charged
+// a fixed local-IPC cost; daemon-to-daemon traffic crosses the Ethernet.
+package daemon
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/ether"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/mem"
+	"shrimp/internal/mesh"
+	"shrimp/internal/nic"
+)
+
+// Port is the well-known Ethernet port the daemon listens on.
+const Port = 1
+
+// LocalIPCCost approximates one request/response exchange with the local
+// daemon over a Unix-domain socket (export/import bookkeeping is off the
+// communication fast path, so precision is unimportant).
+const LocalIPCCost = 25 * time.Microsecond
+
+// Notifiable is implemented by the VMMC layer's export object; the daemon's
+// notification interrupt handler calls it when the NIC raises VecNotify for
+// a page tagged with it.
+type Notifiable interface {
+	NotifyArrival(srcNode int)
+}
+
+// FastNotifiable is additionally implemented by exports that opted into the
+// active-message-style notification path: the record is posted to the
+// user-level queue directly, with no interrupt.
+type FastNotifiable interface {
+	FastArrival(srcNode int)
+}
+
+// ExportRec is the daemon's record of one exported receive buffer.
+type ExportRec struct {
+	ID     uint32
+	Name   string
+	Owner  *kernel.Process
+	Base   kernel.VA
+	Frames []mem.PFN
+	// Allowed lists importer nodes permitted by the export's permissions;
+	// nil means any node.
+	Allowed []int
+
+	importers map[int]int // node -> import count
+	revoked   bool
+}
+
+// ImportRec is the daemon's record of one imported remote buffer.
+type ImportRec struct {
+	Exporter int
+	ExportID uint32
+	Name     string
+	OPTBase  int
+	Pages    int
+	released bool
+}
+
+// Daemon is one node's SHRIMP daemon.
+type Daemon struct {
+	NodeID int
+	M      *kernel.Machine
+	NIC    *nic.NIC
+	Mesh   *mesh.Network
+	Ether  *ether.Network
+
+	port      *ether.Port
+	proc      *kernel.Process
+	exports   map[uint32]*ExportRec
+	byName    map[string]*ExportRec
+	imports   map[*ImportRec]bool
+	nextID    uint32
+	nextEphem int
+
+	// FaultHook, if set, observes receive-path protection faults instead
+	// of the default panic (tests use this; a healthy system never
+	// faults).
+	FaultHook func(f nic.ProtectionFault)
+}
+
+// --- Ethernet message types ---
+
+type importReq struct {
+	Name string
+	From int
+}
+
+type importResp struct {
+	Err      string
+	ExportID uint32
+	Frames   []mem.PFN
+}
+
+type releaseReq struct {
+	ExportID uint32
+	From     int
+}
+
+type releaseResp struct{}
+
+type revokeReq struct {
+	Exporter int
+	ExportID uint32
+}
+
+type revokeResp struct{}
+
+// New creates the daemon for a node and starts its service process.
+func New(nodeID int, m *kernel.Machine, n *nic.NIC, msh *mesh.Network, eth *ether.Network) *Daemon {
+	d := &Daemon{
+		NodeID:    nodeID,
+		M:         m,
+		NIC:       n,
+		Mesh:      msh,
+		Ether:     eth,
+		exports:   make(map[uint32]*ExportRec),
+		byName:    make(map[string]*ExportRec),
+		imports:   make(map[*ImportRec]bool),
+		nextEphem: 1000,
+	}
+	d.port = eth.Bind(ether.Addr{Node: nodeID, Port: Port})
+	d.proc = m.Spawn("shrimpd", d.serve)
+	m.RegisterIRQ(nic.VecProtection, d.onFault)
+	m.RegisterIRQ(nic.VecNotify, d.onNotify)
+	n.FastNotifyHook = func(tag any, src mesh.NodeID) {
+		if t, ok := tag.(FastNotifiable); ok && t != nil {
+			t.FastArrival(int(src))
+		}
+	}
+	return d
+}
+
+func (d *Daemon) onFault(data any) {
+	f := data.(nic.ProtectionFault)
+	if d.FaultHook != nil {
+		d.FaultHook(f)
+		return
+	}
+	panic(fmt.Sprintf("shrimpd%d: receive-path protection fault: frame %d from node %d",
+		d.NodeID, f.Frame, f.Src))
+}
+
+func (d *Daemon) onNotify(data any) {
+	n := data.(nic.Notify)
+	if t, ok := n.Tag.(Notifiable); ok && t != nil {
+		t.NotifyArrival(int(n.Src))
+	}
+}
+
+// serve is the daemon's Ethernet service loop, handling requests from peer
+// daemons.
+func (d *Daemon) serve(p *kernel.Process) {
+	for {
+		m := d.port.Recv(p.P)
+		if m == nil {
+			return
+		}
+		switch req := m.Payload.(type) {
+		case importReq:
+			resp := d.handleImport(p, req)
+			d.port.Send(p.P, m.From, 64+4*len(resp.Frames), resp)
+		case releaseReq:
+			d.handleRelease(req)
+			d.port.Send(p.P, m.From, 16, releaseResp{})
+		case revokeReq:
+			d.handleRevoke(p, req)
+			d.port.Send(p.P, m.From, 16, revokeResp{})
+		default:
+			panic(fmt.Sprintf("shrimpd%d: unknown request %T", d.NodeID, m.Payload))
+		}
+	}
+}
+
+func (d *Daemon) handleImport(p *kernel.Process, req importReq) importResp {
+	rec, ok := d.byName[req.Name]
+	if !ok || rec.revoked {
+		return importResp{Err: fmt.Sprintf("no export %q on node %d", req.Name, d.NodeID)}
+	}
+	if !rec.permits(req.From) {
+		return importResp{Err: fmt.Sprintf("export %q denies node %d", req.Name, req.From)}
+	}
+	rec.importers[req.From]++
+	return importResp{ExportID: rec.ID, Frames: rec.Frames}
+}
+
+func (rec *ExportRec) permits(node int) bool {
+	if rec.Allowed == nil {
+		return true
+	}
+	for _, n := range rec.Allowed {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *Daemon) handleRelease(req releaseReq) {
+	if rec, ok := d.exports[req.ExportID]; ok {
+		if rec.importers[req.From] > 0 {
+			rec.importers[req.From]--
+			if rec.importers[req.From] == 0 {
+				delete(rec.importers, req.From)
+			}
+		}
+	}
+}
+
+// handleRevoke invalidates every local import of the given remote export:
+// quiesce the outgoing path so pending sends drain, then free the OPT
+// entries.
+func (d *Daemon) handleRevoke(p *kernel.Process, req revokeReq) {
+	for rec := range d.imports {
+		if rec.Exporter == req.Exporter && rec.ExportID == req.ExportID && !rec.released {
+			d.NIC.Quiesce(p.P)
+			d.Mesh.WaitDrained(p.P, mesh.NodeID(d.NodeID), mesh.NodeID(req.Exporter))
+			d.NIC.FreeOPT(rec.OPTBase, rec.Pages)
+			rec.released = true
+			delete(d.imports, rec)
+		}
+	}
+}
+
+// --- Local (same-node) operations, called from user process context ---
+
+// Export registers a page-aligned region of proc's address space as a
+// receive buffer: pages are pinned, IPT entries enabled, and the name
+// published for importers. interrupt enables the receiver-side notification
+// flag; fast selects the active-message-style delivery path; tag is handed
+// back on notifications.
+func (d *Daemon) Export(proc *kernel.Process, name string, va kernel.VA, pages int, interrupt, fast bool, tag Notifiable, allowed []int) (*ExportRec, error) {
+	proc.Compute(LocalIPCCost)
+	if va%hw.Page != 0 {
+		return nil, fmt.Errorf("export: buffer %#x not page-aligned", va)
+	}
+	if _, dup := d.byName[name]; dup && name != "" {
+		return nil, fmt.Errorf("export: name %q already exported on node %d", name, d.NodeID)
+	}
+	frames := make([]mem.PFN, pages)
+	for i := 0; i < pages; i++ {
+		pte, ok := proc.PTEOf(va + kernel.VA(i*hw.Page))
+		if !ok {
+			return nil, fmt.Errorf("export: page %#x not mapped", va+kernel.VA(i*hw.Page))
+		}
+		frames[i] = pte.Frame
+	}
+	d.nextID++
+	rec := &ExportRec{
+		ID: d.nextID, Name: name, Owner: proc, Base: va, Frames: frames,
+		Allowed: allowed, importers: make(map[int]int),
+	}
+	for i, f := range frames {
+		proc.SetFlags(kernel.PageOf(va)+kernel.VPN(i), kernel.FlagPinned)
+		d.NIC.SetIPT(f, nic.IPTEntry{Enable: true, Interrupt: interrupt, FastNotify: fast, Tag: tag})
+	}
+	d.exports[rec.ID] = rec
+	if name != "" {
+		d.byName[name] = rec
+	}
+	return rec, nil
+}
+
+// Import obtains a mapping to a named export on a (possibly remote) node.
+// It allocates one OPT entry per exported page on the local NIC. The OPT
+// entries are created with combining disabled; BindAU reconfigures them.
+func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec, error) {
+	proc.Compute(LocalIPCCost)
+	port := d.ephemeralPort()
+	defer port.Close()
+	reply := port.Call(proc.P, ether.Addr{Node: node, Port: Port}, 64, importReq{Name: name, From: d.NodeID})
+	if reply == nil {
+		return nil, fmt.Errorf("import: daemon on node %d unreachable", node)
+	}
+	resp := reply.Payload.(importResp)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("import: %s", resp.Err)
+	}
+	base, err := d.NIC.AllocOPT(len(resp.Frames))
+	if err != nil {
+		// Give the reference back.
+		port2 := d.ephemeralPort()
+		port2.Call(proc.P, ether.Addr{Node: node, Port: Port}, 16, releaseReq{ExportID: resp.ExportID, From: d.NodeID})
+		port2.Close()
+		return nil, err
+	}
+	for i, f := range resp.Frames {
+		d.NIC.SetOPT(base+i, nic.OPTEntry{Valid: true, DstNode: mesh.NodeID(node), DstPFN: f})
+	}
+	rec := &ImportRec{Exporter: node, ExportID: resp.ExportID, Name: name, OPTBase: base, Pages: len(resp.Frames)}
+	d.imports[rec] = true
+	return rec, nil
+}
+
+// Unimport destroys an import mapping after waiting for all pending
+// messages using it to be delivered (paper Section 2.1).
+func (d *Daemon) Unimport(proc *kernel.Process, rec *ImportRec) error {
+	proc.Compute(LocalIPCCost)
+	if rec.released {
+		return fmt.Errorf("unimport: mapping already released")
+	}
+	d.NIC.Quiesce(proc.P)
+	d.Mesh.WaitDrained(proc.P, mesh.NodeID(d.NodeID), mesh.NodeID(rec.Exporter))
+	d.NIC.FreeOPT(rec.OPTBase, rec.Pages)
+	rec.released = true
+	delete(d.imports, rec)
+	port := d.ephemeralPort()
+	defer port.Close()
+	port.Call(proc.P, ether.Addr{Node: rec.Exporter, Port: Port}, 16, releaseReq{ExportID: rec.ExportID, From: d.NodeID})
+	return nil
+}
+
+// Unexport revokes an export: every importing node's daemon is asked to
+// drain and drop its mappings, then the local receive path quiesces and the
+// IPT entries are disabled.
+func (d *Daemon) Unexport(proc *kernel.Process, rec *ExportRec) error {
+	proc.Compute(LocalIPCCost)
+	if rec.revoked {
+		return fmt.Errorf("unexport: already revoked")
+	}
+	rec.revoked = true
+	for node := range rec.importers {
+		if node == d.NodeID {
+			d.handleRevoke(proc, revokeReq{Exporter: d.NodeID, ExportID: rec.ID})
+			continue
+		}
+		port := d.ephemeralPort()
+		port.Call(proc.P, ether.Addr{Node: node, Port: Port}, 16, revokeReq{Exporter: d.NodeID, ExportID: rec.ID})
+		port.Close()
+	}
+	d.NIC.QuiesceIncoming(proc.P)
+	for i, f := range rec.Frames {
+		d.NIC.SetIPT(f, nic.IPTEntry{})
+		rec.Owner.SetFlags(kernel.PageOf(rec.Base)+kernel.VPN(i), 0)
+	}
+	delete(d.exports, rec.ID)
+	if rec.Name != "" {
+		delete(d.byName, rec.Name)
+	}
+	return nil
+}
+
+// BindAU configures the OPT entries backing an import for automatic update
+// from localVA: each local frame is bound to the corresponding destination
+// page, combining configured as requested, and the local pages are marked
+// write-through (or uncached) so stores reach the bus.
+func (d *Daemon) BindAU(proc *kernel.Process, rec *ImportRec, localVA kernel.VA, pages int, dstPage int, combine, timer, notify, uncached bool) error {
+	proc.Compute(LocalIPCCost)
+	if localVA%hw.Page != 0 {
+		return fmt.Errorf("bindau: local buffer %#x not page-aligned", localVA)
+	}
+	if dstPage+pages > rec.Pages {
+		return fmt.Errorf("bindau: binding exceeds import (%d+%d > %d pages)", dstPage, pages, rec.Pages)
+	}
+	for i := 0; i < pages; i++ {
+		vpn := kernel.PageOf(localVA) + kernel.VPN(i)
+		pte, ok := proc.PTEOf(localVA + kernel.VA(i*hw.Page))
+		if !ok {
+			return fmt.Errorf("bindau: page %#x not mapped", localVA+kernel.VA(i*hw.Page))
+		}
+		idx := rec.OPTBase + dstPage + i
+		e := d.NIC.GetOPT(idx)
+		e.Combine = combine
+		e.CombineTimer = timer
+		e.NotifyOnArrival = notify
+		d.NIC.SetOPT(idx, e)
+		d.NIC.BindAU(pte.Frame, idx)
+		flags := kernel.FlagWriteThrough
+		if uncached {
+			flags = kernel.FlagUncached
+		}
+		proc.SetFlags(vpn, flags)
+		proc.SetAUPage(vpn, true)
+	}
+	return nil
+}
+
+// UnbindAU removes automatic-update bindings created by BindAU.
+func (d *Daemon) UnbindAU(proc *kernel.Process, rec *ImportRec, localVA kernel.VA, pages int) {
+	proc.Compute(LocalIPCCost)
+	for i := 0; i < pages; i++ {
+		vpn := kernel.PageOf(localVA) + kernel.VPN(i)
+		if pte, ok := proc.PTEOf(localVA + kernel.VA(i*hw.Page)); ok {
+			d.NIC.UnbindAU(pte.Frame)
+		}
+		proc.SetAUPage(vpn, false)
+		proc.SetFlags(vpn, 0)
+	}
+}
+
+func (d *Daemon) ephemeralPort() *ether.Port {
+	d.nextEphem++
+	return d.Ether.Bind(ether.Addr{Node: d.NodeID, Port: d.nextEphem})
+}
+
+// Exports returns the count of live exports (for tests).
+func (d *Daemon) Exports() int { return len(d.exports) }
+
+// Imports returns the count of live imports (for tests).
+func (d *Daemon) Imports() int { return len(d.imports) }

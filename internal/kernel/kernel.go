@@ -1,0 +1,612 @@
+// Package kernel models the per-node operating system of the SHRIMP
+// prototype: a Linux-like kernel on each Pentium node providing processes,
+// virtual address spaces with per-page attributes (the paper relies on
+// per-virtual-page write-through/uncached control and on page pinning for
+// receive buffers), interrupt dispatch, and UNIX-style signals (the paper's
+// notification mechanism is implemented on signals).
+//
+// The kernel is deliberately thin: SHRIMP's whole point is that the OS is
+// *not* on the communication fast path. It appears here for process setup,
+// import/export mapping management (via the daemon), and the interrupt path.
+package kernel
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/mem"
+	"shrimp/internal/sim"
+)
+
+// VA is a virtual byte address in some process's address space.
+type VA uint64
+
+// VPN is a virtual page number.
+type VPN uint32
+
+// PageOf returns the virtual page containing va.
+func PageOf(va VA) VPN { return VPN(va / hw.Page) }
+
+// PTE flags.
+type PTEFlags uint8
+
+const (
+	// FlagWriteThrough marks the page cached write-through — required for
+	// automatic-update bound pages so stores appear on the bus.
+	FlagWriteThrough PTEFlags = 1 << iota
+	// FlagUncached disables caching entirely (paper Section 3.4 measures
+	// AU latency both ways).
+	FlagUncached
+	// FlagPinned prevents the frame from being reclaimed; set on exported
+	// receive buffers by the SHRIMP daemon.
+	FlagPinned
+)
+
+// PTE maps a virtual page to a physical frame.
+type PTE struct {
+	Frame mem.PFN
+	Flags PTEFlags
+}
+
+// Machine is one node's kernel state: CPU, memory, interrupt vectors.
+type Machine struct {
+	ID  int
+	Eng *sim.Engine
+	Mem *mem.Memory
+
+	// CPU serializes compute between processes on the node (one Pentium
+	// per node). Blocking waits do not hold the CPU.
+	CPU *sim.Server
+
+	// MemBus models the Xpress memory bus: bulk CPU copies and the NIC's
+	// DMA engines all reserve it, so they serialize — the behaviour that
+	// caps the 2-copy protocols in the paper's Figure 3.
+	MemBus *sim.Server
+
+	freeFrames []mem.PFN
+	nextPID    int
+	irq        map[int]func(data any)
+
+	// IRQRaised counts interrupts delivered to this node's CPU — the
+	// libraries' interrupt-avoidance claims are tested against it.
+	IRQRaised int64
+}
+
+// NewMachine creates a node kernel over memBytes of DRAM. The first few
+// frames are reserved (frame 0 stays unmapped to catch null transfers).
+func NewMachine(id int, eng *sim.Engine, memBytes int) *Machine {
+	m := &Machine{
+		ID:     id,
+		Eng:    eng,
+		Mem:    mem.New(eng, memBytes),
+		CPU:    sim.NewServer(eng),
+		MemBus: sim.NewServer(eng),
+		irq:    make(map[int]func(any)),
+	}
+	for f := m.Mem.Pages() - 1; f >= 1; f-- {
+		m.freeFrames = append(m.freeFrames, mem.PFN(f))
+	}
+	return m
+}
+
+// AllocFrame takes a free physical frame.
+func (m *Machine) AllocFrame() mem.PFN {
+	if len(m.freeFrames) == 0 {
+		panic(fmt.Sprintf("kernel: node %d out of physical memory", m.ID))
+	}
+	f := m.freeFrames[len(m.freeFrames)-1]
+	m.freeFrames = m.freeFrames[:len(m.freeFrames)-1]
+	return f
+}
+
+// FreeFrame returns a frame to the allocator.
+func (m *Machine) FreeFrame(f mem.PFN) { m.freeFrames = append(m.freeFrames, f) }
+
+// RegisterIRQ installs a handler for an interrupt vector (the NIC raises
+// these). The handler runs in event context after InterruptCost.
+func (m *Machine) RegisterIRQ(vector int, fn func(data any)) { m.irq[vector] = fn }
+
+// RaiseIRQ dispatches an interrupt to the node CPU.
+func (m *Machine) RaiseIRQ(vector int, data any) {
+	fn, ok := m.irq[vector]
+	if !ok {
+		panic(fmt.Sprintf("kernel: node %d spurious interrupt %d", m.ID, vector))
+	}
+	m.IRQRaised++
+	m.Eng.Schedule(hw.InterruptCost, func() { fn(data) })
+}
+
+// Process is a user process on a node.
+type Process struct {
+	PID  int
+	Name string
+	M    *Machine
+	P    *sim.Proc
+
+	pt     map[VPN]PTE
+	nextVA VA // bump allocator for mappings
+
+	heapVA   VA // current heap fill pointer
+	heapEnd  VA
+	heapWT   bool // heap pages write-through?
+	sigQueue []Signal
+	sigCond  *sim.Cond
+	handlers map[int]func(*Process, Signal)
+	blocked  bool // signals blocked (queued, not delivered)
+
+	// auHook, when set, observes CPU stores this process makes to
+	// AU-bound pages *before* page-table translation cost is charged.
+	// Installed by the VMMC layer. (The hardware's snoop is on the
+	// physical bus; the hook lives here so cost accounting can pick the
+	// right store rate per page.)
+	auPages map[VPN]bool
+
+	exited bool
+}
+
+// Signal is a queued software signal (the substrate for VMMC notifications).
+type Signal struct {
+	Num  int
+	Data any
+}
+
+// Spawn starts a process on the machine. body runs in a fresh proc context.
+func (m *Machine) Spawn(name string, body func(p *Process)) *Process {
+	m.nextPID++
+	pr := &Process{
+		PID:      m.nextPID,
+		Name:     name,
+		M:        m,
+		pt:       make(map[VPN]PTE),
+		nextVA:   0x10000,
+		handlers: make(map[int]func(*Process, Signal)),
+		auPages:  make(map[VPN]bool),
+		sigCond:  sim.NewCond(m.Eng),
+	}
+	pr.P = m.Eng.Spawn(fmt.Sprintf("n%d/%s", m.ID, name), func(sp *sim.Proc) {
+		body(pr)
+		pr.exited = true
+	})
+	return pr
+}
+
+// --- Address space management ---
+
+// MapPages allocates n fresh frames and maps them contiguously, returning
+// the base VA (page-aligned).
+func (p *Process) MapPages(n int, flags PTEFlags) VA {
+	base := p.nextVA
+	if off := base % hw.Page; off != 0 {
+		base += VA(hw.Page - off)
+	}
+	for i := 0; i < n; i++ {
+		f := p.M.AllocFrame()
+		p.pt[PageOf(base)+VPN(i)] = PTE{Frame: f, Flags: flags}
+	}
+	p.nextVA = base + VA(n*hw.Page)
+	return base
+}
+
+// UnmapPages removes n pages at base and frees their frames.
+func (p *Process) UnmapPages(base VA, n int) {
+	if base%hw.Page != 0 {
+		panic("kernel: unmap of unaligned base")
+	}
+	for i := 0; i < n; i++ {
+		vpn := PageOf(base) + VPN(i)
+		pte, ok := p.pt[vpn]
+		if !ok {
+			panic(fmt.Sprintf("kernel: unmap of unmapped page %#x", base))
+		}
+		p.M.FreeFrame(pte.Frame)
+		delete(p.pt, vpn)
+	}
+}
+
+// Alloc returns a VA for n bytes with the given alignment (1 = byte).
+// Backing pages are ordinary cached pages, mapped on demand. This is the
+// process "heap" used for user buffers.
+func (p *Process) Alloc(n, align int) VA {
+	if align <= 0 {
+		align = 1
+	}
+	if p.heapVA == 0 {
+		p.heapVA = p.MapPages(1, 0)
+		p.heapEnd = p.heapVA + hw.Page
+	}
+	va := p.heapVA
+	if off := int(va) % align; off != 0 {
+		va += VA(align - off)
+	}
+	for va+VA(n) > p.heapEnd {
+		// Extend the heap; MapPages is contiguous because nextVA only
+		// moves here during heap growth... unless another mapping
+		// intervened, in which case start a fresh run.
+		next := p.MapPages(1, 0)
+		if next != p.heapEnd {
+			va = next
+			if off := int(va) % align; off != 0 {
+				va += VA(align - off)
+			}
+			p.heapEnd = next + hw.Page
+			for va+VA(n) > p.heapEnd {
+				ext := p.MapPages(1, 0)
+				if ext != p.heapEnd {
+					panic("kernel: heap extension not contiguous")
+				}
+				p.heapEnd += hw.Page
+			}
+			break
+		}
+		p.heapEnd += hw.Page
+	}
+	p.heapVA = va + VA(n)
+	return va
+}
+
+// Translate resolves a VA to a physical address.
+func (p *Process) Translate(va VA) (mem.PA, error) {
+	pte, ok := p.pt[PageOf(va)]
+	if !ok {
+		return 0, fmt.Errorf("page fault: %s va %#x unmapped", p.Name, va)
+	}
+	return pte.Frame.Base() + mem.PA(va%hw.Page), nil
+}
+
+// PTEOf returns the page-table entry for va's page.
+func (p *Process) PTEOf(va VA) (PTE, bool) {
+	pte, ok := p.pt[PageOf(va)]
+	return pte, ok
+}
+
+// SetFlags updates the flags on a mapped page (e.g. the daemon marking a
+// page write-through before creating an AU binding).
+func (p *Process) SetFlags(vpn VPN, flags PTEFlags) {
+	pte, ok := p.pt[vpn]
+	if !ok {
+		panic("kernel: SetFlags on unmapped page")
+	}
+	pte.Flags = flags
+	p.pt[vpn] = pte
+}
+
+func (p *Process) mustPA(va VA) mem.PA {
+	pa, err := p.Translate(va)
+	if err != nil {
+		panic(err)
+	}
+	return pa
+}
+
+// --- Data access with cost accounting ---
+//
+// Bulk operations reserve the node memory bus so CPU copies and NIC DMA
+// serialize against each other; small word touches are treated as cache
+// traffic and charged flat CPU costs.
+
+// Compute charges d of pure CPU time (no bus traffic).
+func (p *Process) Compute(d time.Duration) {
+	_, end := p.M.CPU.Reserve(d)
+	p.P.Sleep(end.Sub(p.P.Now()))
+}
+
+// busyUntil reserves the memory bus for dur and sleeps the proc to the end
+// of the reservation.
+func (p *Process) busyUntil(dur time.Duration) {
+	_, end := p.M.MemBus.Reserve(dur)
+	p.P.Sleep(end.Sub(p.P.Now()))
+}
+
+// SetAUPage is used by the VMMC layer to tell the kernel cost model that
+// stores to this page stream to the bus at the (slower) snooped rate.
+func (p *Process) SetAUPage(vpn VPN, on bool) {
+	if on {
+		p.auPages[vpn] = true
+	} else {
+		delete(p.auPages, vpn)
+	}
+}
+
+// IsAUPage reports whether the page has an automatic-update binding.
+func (p *Process) IsAUPage(vpn VPN) bool { return p.auPages[vpn] }
+
+// WriteBytes stores b at va through the CPU path, charging store costs
+// page-fragment by page-fragment.
+//
+// Stores to AU-bound pages stream at the (slower, snooped) write-through
+// rate in packet-sized segments; the written values become visible to the
+// snoop logic one AUSnoopDelay later (the store traverses the cache
+// hierarchy before appearing on the bus — a pipeline latency, not
+// occupancy), so the NIC's outgoing path overlaps a long copy. Other stores
+// pay the plain copy rate, or a flat cost for word-sized touches.
+func (p *Process) WriteBytes(va VA, b []byte) {
+	off := 0
+	for off < len(b) {
+		frag := len(b) - off
+		room := hw.Page - int((va+VA(off))%hw.Page)
+		if frag > room {
+			frag = room
+		}
+		vpn := PageOf(va + VA(off))
+		pte, ok := p.pt[vpn]
+		if !ok {
+			panic(fmt.Errorf("page fault: %s store va %#x", p.Name, va+VA(off)))
+		}
+		pa := pte.Frame.Base() + mem.PA(int(va+VA(off))%hw.Page)
+		if p.auPages[vpn] {
+			delay := hw.AUSnoopDelay
+			if pte.Flags&FlagUncached != 0 {
+				delay = hw.AUUncachedSnoopDelay
+			}
+			p.writeAUFragment(pa, b[off:off+frag], delay)
+		} else {
+			var cost time.Duration
+			if frag <= 2*hw.WordSize {
+				cost = hw.WordTouchCost
+			} else {
+				cost = time.Duration(frag) * hw.MemCopyPerByte
+			}
+			p.busyUntil(cost)
+			p.M.Mem.WriteCPU(pa, b[off:off+frag])
+		}
+		off += frag
+	}
+}
+
+// writeAUFragment streams one page-local store burst to an AU-bound page in
+// AUSegment pieces: content lands (and watchers fire) when the CPU retires
+// each segment; the snoop logic sees a captured copy of the values one delay
+// later.
+func (p *Process) writeAUFragment(pa mem.PA, b []byte, delay time.Duration) {
+	for len(b) > 0 {
+		seg := len(b)
+		if seg > hw.AUSegment {
+			seg = hw.AUSegment
+		}
+		p.busyUntil(time.Duration(seg) * hw.AUStorePerByte)
+		captured := append([]byte(nil), b[:seg]...)
+		segPA := pa
+		p.M.Mem.WriteNoSnoop(segPA, captured)
+		p.M.Eng.Schedule(delay, func() { p.M.Mem.PresentToSnoop(segPA, captured) })
+		pa += mem.PA(seg)
+		b = b[seg:]
+	}
+}
+
+// ReadBytes loads n bytes at va, charging the copy rate for bulk reads and
+// a flat cost for word-sized touches.
+func (p *Process) ReadBytes(va VA, n int) []byte {
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		frag := n - off
+		room := hw.Page - int((va+VA(off))%hw.Page)
+		if frag > room {
+			frag = room
+		}
+		pa := p.mustPA(va + VA(off))
+		var cost time.Duration
+		if frag <= 2*hw.WordSize {
+			cost = hw.WordTouchCost
+		} else {
+			cost = time.Duration(frag) * hw.MemCopyPerByte
+		}
+		p.busyUntil(cost)
+		p.M.Mem.ReadInto(pa, out[off:off+frag])
+		off += frag
+	}
+	return out
+}
+
+// CopyVA copies n bytes from srcVA to dstVA within the process, as a user
+// memcpy: one pass charged at the copy rate (AU destinations at the AU
+// store rate), moving real bytes.
+func (p *Process) CopyVA(dstVA, srcVA VA, n int) {
+	const chunk = 8 * 1024
+	for n > 0 {
+		c := n
+		if c > chunk {
+			c = chunk
+		}
+		b := p.peek(srcVA, c)
+		p.WriteBytes(dstVA, b)
+		srcVA += VA(c)
+		dstVA += VA(c)
+		n -= c
+	}
+}
+
+// peek reads bytes with no time charge (used when the cost is charged on
+// the write side of a copy, so the pass is costed once, like a real
+// memcpy).
+func (p *Process) peek(va VA, n int) []byte {
+	out := make([]byte, n)
+	off := 0
+	for off < n {
+		frag := n - off
+		room := hw.Page - int((va+VA(off))%hw.Page)
+		if frag > room {
+			frag = room
+		}
+		pa := p.mustPA(va + VA(off))
+		p.M.Mem.ReadInto(pa, out[off:off+frag])
+		off += frag
+	}
+	return out
+}
+
+// Peek exposes zero-cost reads for assertions in tests and for the
+// simulation's own bookkeeping. Library protocol code must use ReadBytes.
+func (p *Process) Peek(va VA, n int) []byte { return p.peek(va, n) }
+
+// Poke writes bytes with no time charge, for test setup only.
+func (p *Process) Poke(va VA, b []byte) {
+	off := 0
+	for off < len(b) {
+		frag := len(b) - off
+		room := hw.Page - int((va+VA(off))%hw.Page)
+		if frag > room {
+			frag = room
+		}
+		pa := p.mustPA(va + VA(off))
+		p.M.Mem.WriteDMA(pa, b[off:off+frag])
+		off += frag
+	}
+}
+
+// WriteWord stores a 32-bit word (flag/descriptor update) with CPU-path
+// semantics: snooped if the page is AU-bound.
+func (p *Process) WriteWord(va VA, v uint32) {
+	var b [4]byte
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	p.WriteBytes(va, b[:])
+}
+
+// ReadWord loads a 32-bit word, charging one poll-check cost.
+func (p *Process) ReadWord(va VA) uint32 {
+	p.P.Sleep(hw.PollCheckCost)
+	return p.M.Mem.U32(p.mustPA(va))
+}
+
+// PeekWord loads a 32-bit word with no time charge.
+func (p *Process) PeekWord(va VA) uint32 { return p.M.Mem.U32(p.mustPA(va)) }
+
+// WaitWord blocks until pred holds on the word at va, polling via memory
+// watchers (no time quantization; one poll-check is charged per wakeup).
+func (p *Process) WaitWord(va VA, pred func(uint32) bool) uint32 {
+	pa := p.mustPA(va)
+	for {
+		p.P.Sleep(hw.PollCheckCost)
+		v := p.M.Mem.U32(pa)
+		if pred(v) {
+			return v
+		}
+		p.M.Mem.WaitChange(p.P, pa)
+	}
+}
+
+// WaitAnyChange blocks until pred holds, re-checking whenever a write lands
+// in a page containing any of the given addresses. pred is charged one
+// poll-check per evaluation. This is the multi-connection poll loop the
+// message-passing libraries use (scan all senders, sleep until something
+// changes).
+func (p *Process) WaitAnyChange(vas []VA, pred func() bool) {
+	pas := make([]mem.PA, len(vas))
+	for i, va := range vas {
+		pas[i] = p.mustPA(va)
+	}
+	for {
+		p.P.Sleep(hw.PollCheckCost)
+		if pred() {
+			return
+		}
+		p.M.Mem.WaitChangeAny(p.P, pas)
+	}
+}
+
+// WaitPred blocks until pred holds, re-checking when a write lands in a
+// page containing one of vas or when any of the extra conds is signaled.
+// Used by servers multiplexing memory-mapped streams with control-network
+// ports.
+func (p *Process) WaitPred(vas []VA, extra []*sim.Cond, pred func() bool) {
+	conds := make([]*sim.Cond, 0, len(vas)+len(extra))
+	seen := make(map[mem.PFN]bool)
+	for _, va := range vas {
+		pa := p.mustPA(va)
+		f := mem.PageOf(pa)
+		if !seen[f] {
+			seen[f] = true
+			conds = append(conds, p.M.Mem.PageCond(f))
+		}
+	}
+	conds = append(conds, extra...)
+	for {
+		p.P.Sleep(hw.PollCheckCost)
+		if pred() {
+			return
+		}
+		sim.WaitAny(p.P, conds...)
+	}
+}
+
+// WaitWordTimeout is WaitWord with a deadline; ok=false on timeout.
+func (p *Process) WaitWordTimeout(va VA, pred func(uint32) bool, d time.Duration) (uint32, bool) {
+	pa := p.mustPA(va)
+	deadline := p.P.Now().Add(d)
+	for {
+		p.P.Sleep(hw.PollCheckCost)
+		v := p.M.Mem.U32(pa)
+		if pred(v) {
+			return v, true
+		}
+		remain := deadline.Sub(p.P.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if p.M.Mem.WaitChangeTimeout(p.P, pa, remain) {
+			return p.M.Mem.U32(pa), false
+		}
+	}
+}
+
+// --- Signals (substrate for VMMC notifications) ---
+
+// OnSignal installs a handler for signal num. Handlers run in the process
+// context after kernel delivery cost.
+func (p *Process) OnSignal(num int, fn func(*Process, Signal)) { p.handlers[num] = fn }
+
+// BlockSignals queues future signals instead of delivering them.
+func (p *Process) BlockSignals() { p.blocked = true }
+
+// UnblockSignals delivers anything queued and resumes immediate delivery.
+func (p *Process) UnblockSignals() {
+	p.blocked = false
+	p.drainSignals()
+}
+
+// SignalsBlocked reports the blocking state.
+func (p *Process) SignalsBlocked() bool { return p.blocked }
+
+// Deliver queues a signal to the process. Delivery interrupts blocking
+// waits; if the process has blocked signals, the signal stays queued (the
+// paper: "unlike signals, however, notifications are queued when blocked").
+func (p *Process) Deliver(s Signal) {
+	p.sigQueue = append(p.sigQueue, s)
+	p.sigCond.Broadcast()
+	if p.blocked || p.exited {
+		return
+	}
+	p.P.Interrupt(func(sp *sim.Proc) {
+		sp.Sleep(hw.SignalDeliveryCost)
+		p.drainSignals()
+	})
+}
+
+func (p *Process) drainSignals() {
+	for !p.blocked && len(p.sigQueue) > 0 {
+		s := p.sigQueue[0]
+		p.sigQueue = p.sigQueue[1:]
+		if fn, ok := p.handlers[s.Num]; ok {
+			fn(p, s)
+		}
+	}
+}
+
+// PendingSignals returns the number of queued, undelivered signals.
+func (p *Process) PendingSignals() int { return len(p.sigQueue) }
+
+// WaitSignal suspends the process until a signal with the given number is
+// queued, then removes and returns it. This is the "process can be
+// suspended until a particular notification arrives" facility.
+func (p *Process) WaitSignal(num int) Signal {
+	for {
+		for i, s := range p.sigQueue {
+			if s.Num == num {
+				p.sigQueue = append(p.sigQueue[:i], p.sigQueue[i+1:]...)
+				return s
+			}
+		}
+		p.sigCond.Wait(p.P)
+	}
+}

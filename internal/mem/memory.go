@@ -1,0 +1,232 @@
+// Package mem models a node's physical main memory: a flat, byte-addressed
+// array divided into pages, with two hooks the rest of the simulation needs:
+//
+//   - write watchers, per page, so simulated processes can "poll" a flag
+//     word without time-quantized spinning — the memory wakes them exactly
+//     when the watched page changes (the NIC's incoming DMA or a local
+//     store); and
+//   - a snoop hook, so the SHRIMP network interface can observe CPU stores
+//     on the memory bus (the automatic-update mechanism).
+//
+// Timing is charged by the callers (CPU model, DMA engines); this package
+// only moves bytes and fires hooks.
+package mem
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/sim"
+)
+
+// PA is a physical byte address.
+type PA uint64
+
+// PFN is a physical page frame number.
+type PFN uint32
+
+// PageOf returns the frame containing pa.
+func PageOf(pa PA) PFN { return PFN(pa / hw.Page) }
+
+// Base returns the first address of frame f.
+func (f PFN) Base() PA { return PA(f) * hw.Page }
+
+// SnoopFunc observes a store of data at pa as it appears on the memory bus.
+type SnoopFunc func(pa PA, data []byte)
+
+// Memory is one node's DRAM.
+type Memory struct {
+	eng   *sim.Engine
+	data  []byte
+	conds map[PFN]*sim.Cond // page write watchers
+
+	// Snoop, when set, sees every CPU store (not DMA writes — the real
+	// snoop logic sits on the Xpress bus and watches processor writes;
+	// incoming EISA DMA does not re-enter the outgoing path).
+	snoop SnoopFunc
+
+	// snoopPages marks frames whose stores are interesting to the snoop
+	// (OPT-bound pages); stores elsewhere skip the hook for speed.
+	snoopPages map[PFN]bool
+}
+
+// New returns a memory of size bytes (rounded up to a whole page).
+func New(eng *sim.Engine, size int) *Memory {
+	pages := (size + hw.Page - 1) / hw.Page
+	return &Memory{
+		eng:        eng,
+		data:       make([]byte, pages*hw.Page),
+		conds:      make(map[PFN]*sim.Cond),
+		snoopPages: make(map[PFN]bool),
+	}
+}
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() int { return len(m.data) }
+
+// Pages returns the number of page frames.
+func (m *Memory) Pages() int { return len(m.data) / hw.Page }
+
+func (m *Memory) check(pa PA, n int) {
+	if int(pa)+n > len(m.data) || n < 0 {
+		panic(fmt.Sprintf("mem: access [%#x,+%d) outside %d-byte memory", pa, n, len(m.data)))
+	}
+}
+
+// Read copies n bytes at pa into a fresh slice.
+func (m *Memory) Read(pa PA, n int) []byte {
+	m.check(pa, n)
+	out := make([]byte, n)
+	copy(out, m.data[pa:])
+	return out
+}
+
+// ReadInto copies len(b) bytes at pa into b.
+func (m *Memory) ReadInto(pa PA, b []byte) {
+	m.check(pa, len(b))
+	copy(b, m.data[pa:])
+}
+
+// WriteDMA stores b at pa as a DMA master would: watchers fire, but the
+// CPU-store snoop hook does not (DMA writes are not snooped back into the
+// outgoing path; the caches only invalidate).
+func (m *Memory) WriteDMA(pa PA, b []byte) {
+	m.check(pa, len(b))
+	copy(m.data[pa:], b)
+	m.wake(pa, len(b))
+}
+
+// WriteNoSnoop stores b at pa with watcher wakeups but without presenting
+// the store to the snoop hook. The kernel's AU store path uses it together
+// with a delayed PresentToSnoop to model the cache-to-bus visibility delay.
+func (m *Memory) WriteNoSnoop(pa PA, b []byte) {
+	m.check(pa, len(b))
+	copy(m.data[pa:], b)
+	m.wake(pa, len(b))
+}
+
+// PresentToSnoop offers previously-captured store values to the snoop hook
+// without touching memory contents (they were already written). Fragments
+// are presented page-locally, as the bus would.
+func (m *Memory) PresentToSnoop(pa PA, b []byte) {
+	if m.snoop == nil {
+		return
+	}
+	off := 0
+	for off < len(b) {
+		a := pa + PA(off)
+		room := hw.Page - int(a%hw.Page)
+		frag := len(b) - off
+		if frag > room {
+			frag = room
+		}
+		if m.snoopPages[PageOf(a)] {
+			m.snoop(a, b[off:off+frag])
+		}
+		off += frag
+	}
+}
+
+// WriteCPU stores b at pa as the processor would: watchers fire and, if the
+// page is snooped, the store is presented to the snoop logic.
+func (m *Memory) WriteCPU(pa PA, b []byte) {
+	m.check(pa, len(b))
+	copy(m.data[pa:], b)
+	if m.snoop != nil {
+		// A store burst may cross a page boundary; present per-page
+		// fragments so the snoop sees page-local addresses.
+		off := 0
+		for off < len(b) {
+			a := pa + PA(off)
+			room := hw.Page - int(a%hw.Page)
+			frag := len(b) - off
+			if frag > room {
+				frag = room
+			}
+			if m.snoopPages[PageOf(a)] {
+				m.snoop(a, m.data[a:int(a)+frag])
+			}
+			off += frag
+		}
+	}
+	m.wake(pa, len(b))
+}
+
+func (m *Memory) wake(pa PA, n int) {
+	first, last := PageOf(pa), PageOf(pa+PA(n-1))
+	for f := first; f <= last; f++ {
+		if c, ok := m.conds[f]; ok {
+			c.Broadcast()
+		}
+	}
+}
+
+// SetSnoop installs the bus snoop hook (the SHRIMP NIC's snoop logic).
+func (m *Memory) SetSnoop(fn SnoopFunc) { m.snoop = fn }
+
+// SetSnooped marks or unmarks a frame as interesting to the snoop logic.
+func (m *Memory) SetSnooped(f PFN, on bool) {
+	if on {
+		m.snoopPages[f] = true
+	} else {
+		delete(m.snoopPages, f)
+	}
+}
+
+// WaitChange blocks p until any write lands in the page containing pa.
+// Callers re-check their predicate after waking, as with any condition
+// variable.
+func (m *Memory) WaitChange(p *sim.Proc, pa PA) {
+	m.cond(PageOf(pa)).Wait(p)
+}
+
+// WaitChangeTimeout is WaitChange with a deadline; reports true on timeout.
+func (m *Memory) WaitChangeTimeout(p *sim.Proc, pa PA, d time.Duration) bool {
+	return m.cond(PageOf(pa)).WaitTimeout(p, d)
+}
+
+// WaitChangeAny blocks p until a write lands in any of the pages containing
+// the given addresses.
+func (m *Memory) WaitChangeAny(p *sim.Proc, pas []PA) {
+	seen := make(map[PFN]bool, len(pas))
+	conds := make([]*sim.Cond, 0, len(pas))
+	for _, pa := range pas {
+		f := PageOf(pa)
+		if !seen[f] {
+			seen[f] = true
+			conds = append(conds, m.cond(f))
+		}
+	}
+	sim.WaitAny(p, conds...)
+}
+
+// PageCond returns the watcher condition variable for frame f, for callers
+// composing multi-source waits.
+func (m *Memory) PageCond(f PFN) *sim.Cond { return m.cond(f) }
+
+func (m *Memory) cond(f PFN) *sim.Cond {
+	c, ok := m.conds[f]
+	if !ok {
+		c = sim.NewCond(m.eng)
+		m.conds[f] = c
+	}
+	return c
+}
+
+// U32 reads a little-endian 32-bit word at pa.
+func (m *Memory) U32(pa PA) uint32 {
+	m.check(pa, 4)
+	b := m.data[pa:]
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// PutU32DMA stores a little-endian 32-bit word at pa via the DMA path.
+func (m *Memory) PutU32DMA(pa PA, v uint32) {
+	m.WriteDMA(pa, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}
+
+// PutU32CPU stores a little-endian 32-bit word at pa via the CPU path.
+func (m *Memory) PutU32CPU(pa PA, v uint32) {
+	m.WriteCPU(pa, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+}

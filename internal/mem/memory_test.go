@@ -1,0 +1,168 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/sim"
+)
+
+func TestReadWriteRoundtrip(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, 64*1024)
+	want := []byte("the quick brown fox")
+	m.WriteCPU(1000, want)
+	if got := m.Read(1000, len(want)); !bytes.Equal(got, want) {
+		t.Fatalf("got %q want %q", got, want)
+	}
+	m.WriteDMA(5000, want)
+	if got := m.Read(5000, len(want)); !bytes.Equal(got, want) {
+		t.Fatalf("DMA: got %q want %q", got, want)
+	}
+}
+
+func TestSizeRoundsToPage(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, hw.Page+1)
+	if m.Size() != 2*hw.Page || m.Pages() != 2 {
+		t.Fatalf("size=%d pages=%d", m.Size(), m.Pages())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, hw.Page)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Read(PA(hw.Page-2), 4)
+}
+
+func TestWordAccess(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, hw.Page)
+	m.PutU32CPU(16, 0xdeadbeef)
+	if got := m.U32(16); got != 0xdeadbeef {
+		t.Fatalf("U32 = %#x", got)
+	}
+	// Little-endian layout.
+	if b := m.Read(16, 4); !bytes.Equal(b, []byte{0xef, 0xbe, 0xad, 0xde}) {
+		t.Fatalf("layout = %x", b)
+	}
+	m.PutU32DMA(20, 7)
+	if got := m.U32(20); got != 7 {
+		t.Fatalf("DMA word = %d", got)
+	}
+}
+
+func TestSnoopSeesOnlyMarkedPages(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, 4*hw.Page)
+	var seen []PA
+	m.SetSnoop(func(pa PA, data []byte) { seen = append(seen, pa) })
+	m.SetSnooped(1, true)
+
+	m.WriteCPU(PA(0*hw.Page+8), []byte{1})  // unmarked page: no snoop
+	m.WriteCPU(PA(1*hw.Page+8), []byte{2})  // marked page: snooped
+	m.WriteDMA(PA(1*hw.Page+16), []byte{3}) // DMA: never snooped
+	if len(seen) != 1 || seen[0] != PA(hw.Page+8) {
+		t.Fatalf("seen = %v", seen)
+	}
+
+	m.SetSnooped(1, false)
+	m.WriteCPU(PA(1*hw.Page+8), []byte{4})
+	if len(seen) != 1 {
+		t.Fatal("snoop fired after unmark")
+	}
+}
+
+func TestSnoopSplitsAtPageBoundary(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, 4*hw.Page)
+	type ev struct {
+		pa PA
+		n  int
+	}
+	var seen []ev
+	m.SetSnoop(func(pa PA, data []byte) { seen = append(seen, ev{pa, len(data)}) })
+	m.SetSnooped(1, true)
+	m.SetSnooped(2, true)
+
+	start := PA(2*hw.Page - 10)
+	m.WriteCPU(start, make([]byte, 30))
+	if len(seen) != 2 {
+		t.Fatalf("want 2 fragments, got %v", seen)
+	}
+	if seen[0] != (ev{start, 10}) || seen[1] != (ev{PA(2 * hw.Page), 20}) {
+		t.Fatalf("fragments = %v", seen)
+	}
+}
+
+func TestWaitChangeWakesOnWrite(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, 4*hw.Page)
+	var sawAt sim.Time
+	e.Spawn("waiter", func(p *sim.Proc) {
+		for m.U32(100) == 0 {
+			m.WaitChange(p, 100)
+		}
+		sawAt = p.Now()
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		p.Sleep(50 * time.Microsecond)
+		m.PutU32DMA(100, 1)
+	})
+	e.RunAll()
+	if sawAt != sim.Time(50*1000) {
+		t.Fatalf("waiter woke at %v, want 50us", sawAt)
+	}
+}
+
+func TestWaitChangeIgnoresOtherPages(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, 4*hw.Page)
+	wakes := 0
+	e.Spawn("waiter", func(p *sim.Proc) {
+		for m.U32(0) == 0 {
+			m.WaitChange(p, 0)
+			wakes++
+		}
+	})
+	e.Spawn("writer", func(p *sim.Proc) {
+		p.Sleep(time.Microsecond)
+		m.PutU32DMA(PA(hw.Page), 9) // different page: no wake
+		p.Sleep(time.Microsecond)
+		m.PutU32DMA(0, 1)
+	})
+	e.RunAll()
+	if wakes != 1 {
+		t.Fatalf("waiter woke %d times, want 1", wakes)
+	}
+}
+
+// Property: CPU and DMA writes at arbitrary offsets/lengths are faithfully
+// readable back.
+func TestWriteReadProperty(t *testing.T) {
+	e := sim.NewEngine()
+	m := New(e, 16*hw.Page)
+	f := func(off uint16, data []byte, viaDMA bool) bool {
+		pa := PA(off)
+		if int(pa)+len(data) > m.Size() {
+			return true // skip out-of-range
+		}
+		if viaDMA {
+			m.WriteDMA(pa, data)
+		} else {
+			m.WriteCPU(pa, data)
+		}
+		return bytes.Equal(m.Read(pa, len(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

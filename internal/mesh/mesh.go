@@ -1,0 +1,219 @@
+// Package mesh models the SHRIMP routing backplane: a two-dimensional mesh
+// of Intel Mesh Routing Chips (iMRCs), the same network used in the Paragon
+// multicomputer (paper Section 3.1). It implements:
+//
+//   - deadlock-free, oblivious dimension-order (X-then-Y) wormhole routing;
+//   - per-link bandwidth with FIFO occupancy, so contention between flows
+//     sharing a link is visible; and
+//   - the property VMMC depends on: the backplane "preserves the order of
+//     messages from each sender to each receiver".
+//
+// Wormhole timing is approximated: a packet's delivery time is the time its
+// last link becomes available, plus per-hop routing latency for the header
+// and one serialization of the packet over the link rate (the body pipelines
+// behind the header, so the size cost is paid once, not per hop). Per-pair
+// ordering is additionally enforced exactly, independent of the timing
+// model.
+package mesh
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/sim"
+)
+
+// NodeID identifies an attached node (the linear index into the mesh).
+type NodeID int
+
+// Packet is one backplane packet. Payload is the raw data; the header fields
+// mirror what the SHRIMP NIC's packetizer produces.
+type Packet struct {
+	Src, Dst NodeID
+	// DstPFN and DstOff locate the destination in the receiver's physical
+	// memory (the packet header carries a destination base address).
+	DstPFN uint32
+	DstOff uint32
+	// Notify is the sender-specified interrupt flag in the packet header.
+	Notify bool
+	// Payload is the packet body. The slice is owned by the packet.
+	Payload []byte
+}
+
+// Size returns the number of bytes the packet occupies on a link.
+func (p *Packet) Size() int { return hw.PacketHeaderBytes + len(p.Payload) }
+
+// Handler consumes packets that arrive at a node's network interface.
+type Handler func(pkt *Packet)
+
+// Network is an X×Y mesh with one attachment point per router.
+type Network struct {
+	eng  *sim.Engine
+	X, Y int
+
+	// links[from][to] for adjacent routers; each is a Server whose
+	// occupancy models the link's wormhole channel.
+	links map[[2]int]*sim.Server
+
+	// inject and eject model the NIC-to-router channels.
+	inject, eject []*sim.Server
+
+	handlers []Handler
+
+	// lastArrival enforces exact per-(src,dst) FIFO delivery on top of
+	// the timing approximation.
+	lastArrival map[[2]NodeID]sim.Time
+
+	// inFlight counts packets injected but not yet handed to the
+	// destination handler, per (src,dst); drained is broadcast on every
+	// delivery. Mapping teardown uses these to wait out the pipe.
+	inFlight map[[2]NodeID]int
+	drained  *sim.Cond
+
+	// PacketsDelivered counts total deliveries, for tests and stats.
+	PacketsDelivered int64
+	// BytesDelivered counts total payload bytes delivered.
+	BytesDelivered int64
+}
+
+// New builds an x-by-y mesh backplane.
+func New(eng *sim.Engine, x, y int) *Network {
+	if x <= 0 || y <= 0 {
+		panic("mesh: dimensions must be positive")
+	}
+	n := &Network{
+		eng:         eng,
+		X:           x,
+		Y:           y,
+		links:       make(map[[2]int]*sim.Server),
+		inject:      make([]*sim.Server, x*y),
+		eject:       make([]*sim.Server, x*y),
+		handlers:    make([]Handler, x*y),
+		lastArrival: make(map[[2]NodeID]sim.Time),
+		inFlight:    make(map[[2]NodeID]int),
+		drained:     sim.NewCond(eng),
+	}
+	for i := range n.inject {
+		n.inject[i] = sim.NewServer(eng)
+		n.eject[i] = sim.NewServer(eng)
+	}
+	return n
+}
+
+// Nodes returns the number of attachment points.
+func (n *Network) Nodes() int { return n.X * n.Y }
+
+// Attach registers the packet handler for node id (its NIC's incoming path).
+func (n *Network) Attach(id NodeID, h Handler) {
+	if int(id) < 0 || int(id) >= n.Nodes() {
+		panic(fmt.Sprintf("mesh: attach to invalid node %d", id))
+	}
+	if n.handlers[id] != nil {
+		panic(fmt.Sprintf("mesh: node %d attached twice", id))
+	}
+	n.handlers[id] = h
+}
+
+func (n *Network) coord(id NodeID) (x, y int) { return int(id) % n.X, int(id) / n.X }
+
+// Route returns the sequence of router indices a packet visits from src to
+// dst under dimension-order (X then Y) routing, inclusive of both endpoints.
+func (n *Network) Route(src, dst NodeID) []int {
+	sx, sy := n.coord(src)
+	dx, dy := n.coord(dst)
+	path := []int{sy*n.X + sx}
+	x, y := sx, sy
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, y*n.X+x)
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, y*n.X+x)
+	}
+	return path
+}
+
+func (n *Network) link(from, to int) *sim.Server {
+	key := [2]int{from, to}
+	s, ok := n.links[key]
+	if !ok {
+		s = sim.NewServer(n.eng)
+		n.links[key] = s
+	}
+	return s
+}
+
+// Send injects pkt into the backplane at the current time. Delivery is
+// scheduled per the wormhole model; the handler at pkt.Dst runs when the
+// tail flit is ejected. Send never blocks the caller (the NIC's outgoing
+// FIFO provides the backpressure in the layer above).
+func (n *Network) Send(pkt *Packet) {
+	if n.handlers[pkt.Dst] == nil {
+		panic(fmt.Sprintf("mesh: send to unattached node %d", pkt.Dst))
+	}
+	now := n.eng.Now()
+	serialize := time.Duration(pkt.Size()) * hw.MeshLinkPerByte
+
+	// The header visits each channel in path order. On channel i the
+	// packet holds the channel for one serialization time starting when
+	// the header reaches it and the channel is free (start_i); the header
+	// moves to the next channel after the router's hop latency. The tail
+	// is ejected at the destination at end_last. Under no contention this
+	// yields the classic wormhole latency: hops·hopLatency + one
+	// serialization; under contention, queueing shows up per channel.
+	headerAt := now
+	var tailDone sim.Time
+
+	reserve := func(s *sim.Server) {
+		start, end := s.ReserveAt(headerAt, serialize)
+		headerAt = start.Add(hw.MeshHopLatency)
+		tailDone = end
+	}
+
+	reserve(n.inject[pkt.Src])
+	path := n.Route(pkt.Src, pkt.Dst)
+	for i := 0; i+1 < len(path); i++ {
+		reserve(n.link(path[i], path[i+1]))
+	}
+	reserve(n.eject[pkt.Dst])
+	arrival := tailDone
+
+	// Enforce exact per-pair FIFO: never deliver earlier than a
+	// previously-sent packet on the same (src,dst) pair.
+	key := [2]NodeID{pkt.Src, pkt.Dst}
+	if last := n.lastArrival[key]; arrival < last {
+		arrival = last
+	}
+	n.lastArrival[key] = arrival
+
+	n.inFlight[key]++
+	n.eng.At(arrival, func() {
+		n.PacketsDelivered++
+		n.BytesDelivered += int64(len(pkt.Payload))
+		n.inFlight[key]--
+		n.handlers[pkt.Dst](pkt)
+		n.drained.Broadcast()
+	})
+}
+
+// InFlight reports the number of packets injected from src toward dst that
+// have not yet been delivered.
+func (n *Network) InFlight(src, dst NodeID) int { return n.inFlight[[2]NodeID{src, dst}] }
+
+// WaitDrained blocks p until no packets from src to dst remain in the
+// backplane.
+func (n *Network) WaitDrained(p *sim.Proc, src, dst NodeID) {
+	for n.InFlight(src, dst) > 0 {
+		n.drained.Wait(p)
+	}
+}

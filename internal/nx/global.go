@@ -1,0 +1,134 @@
+package nx
+
+import (
+	"encoding/binary"
+	"math"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+)
+
+// NX global operations (gsync, gisum, gdsum): dimension-order recursive
+// doubling over the point-to-point layer, using reserved message types well
+// above the user range (NX/2 reserves types >= 1<<30 for system use). The
+// type encodes the operation, a per-process collective sequence number, and
+// the round within the exchange, so back-to-back collectives and
+// fast-vs-slow nodes can never consume each other's messages.
+const (
+	typGSync = iota
+	typGISum
+	typGDSum
+	collBase = 1 << 30
+)
+
+// collType builds the wire type for a collective message.
+func collType(op int, seq uint32, round int) int {
+	return collBase + op<<16 + int(seq%64)<<8 + round
+}
+
+// Gsync blocks until every process has entered the barrier.
+func (nx *NX) Gsync() {
+	nx.reduce(typGSync, nil, nil)
+}
+
+// Gisum returns the sum of val across all processes.
+func (nx *NX) Gisum(val int64) int64 {
+	acc := val
+	nx.reduce(typGISum, func(b []byte) {
+		acc += int64(binary.LittleEndian.Uint64(b))
+	}, func() []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(acc))
+		return b[:]
+	})
+	return acc
+}
+
+// Gdsum returns the float64 sum of val across all processes.
+func (nx *NX) Gdsum(val float64) float64 {
+	acc := val
+	nx.reduce(typGDSum, func(b []byte) {
+		acc += math.Float64frombits(binary.LittleEndian.Uint64(b))
+	}, func() []byte {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(acc))
+		return b[:]
+	})
+	return acc
+}
+
+// reduce runs recursive doubling: at round k, partner = node XOR 2^k. For
+// non-power-of-two machine sizes the ragged nodes fold into the main block
+// first. absorb merges a partner's contribution; emit renders the current
+// accumulator (both nil for a pure barrier).
+func (nx *NX) reduce(op int, absorb func([]byte), emit func() []byte) {
+	p := nx.proc()
+	p.Compute(hw.CallCost)
+	nx.collSeq++
+	seq := nx.collSeq
+	buf := p.Alloc(16, hw.WordSize)
+
+	send := func(to, round int) {
+		payload := []byte{0}
+		if emit != nil {
+			payload = emit()
+		}
+		p.WriteBytes(buf, payload)
+		nx.Csend(collType(op, seq, round), buf, len(payload), to, 0)
+	}
+	recv := func(round int) {
+		n := nx.Crecv(collType(op, seq, round), buf, 16)
+		if absorb != nil {
+			absorb(p.ReadBytes(buf, n))
+		}
+	}
+
+	// Fold ragged tail into the power-of-two block.
+	block := 1
+	for block*2 <= nx.n {
+		block *= 2
+	}
+	if nx.node >= block {
+		send(nx.node-block, 62)
+		recv(63) // final result comes back
+		return
+	}
+	if nx.node+block < nx.n {
+		recv(62)
+	}
+
+	// Recursive doubling within the block: after each round both
+	// partners hold the merged value, so this is simultaneously the
+	// reduce and the broadcast.
+	round := 0
+	for k := 1; k < block; k *= 2 {
+		partner := nx.node ^ k
+		send(partner, round)
+		recv(round)
+		round++
+	}
+
+	if nx.node+block < nx.n {
+		send(nx.node+block, 63)
+	}
+}
+
+// Gather collects count bytes from buf on every node into root's dst
+// (root's own contribution first, then nodes in increasing order). A
+// convenience built on the point-to-point layer, used by the examples.
+func (nx *NX) Gather(root int, buf kernel.VA, count int, dst kernel.VA) {
+	const typGather = 3 << 28 // distinct from user types and collType space
+	if nx.node == root {
+		nx.proc().CopyVA(dst, buf, count)
+		off := count
+		for peer := 0; peer < nx.n; peer++ {
+			if peer == root {
+				continue
+			}
+			nx.Crecv(typGather+peer, dst+kernel.VA(off), count)
+			off += count
+		}
+	} else {
+		nx.Csend(typGather+nx.node, buf, count, root, 0)
+	}
+}

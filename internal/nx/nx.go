@@ -1,0 +1,392 @@
+// Package nx is a user-level compatibility library for the Intel NX/2
+// multicomputer message-passing interface, built on SHRIMP virtual
+// memory-mapped communication (paper Section 4.1).
+//
+// Protocols, following the paper:
+//
+//   - Small messages use a one-copy protocol through fixed-size packet
+//     buffers with sender-managed credits: the sender writes payload and
+//     then a descriptor into a packet buffer on the receiver; the receiver
+//     polls descriptor size words, consumes messages (possibly out of order
+//     by type), and returns per-buffer credits.
+//   - Large messages use a zero-copy protocol: the sender sends a "scout"
+//     descriptor and immediately begins copying the data into a local
+//     backup buffer; the receive call, upon finding the scout, replies with
+//     the buffer ID of the user's receive region; the sender then transfers
+//     the data directly into the receiver's user memory and sets a flag.
+//     The backup copy is off the critical path: it only exists so the
+//     sending program can be resumed early.
+//   - Control information (credits, replies, done flags, doorbells) always
+//     travels by automatic update; message data travels by automatic or
+//     deliberate update depending on the protocol variant.
+//
+// The Proto* constants force a specific variant for benchmarking (the five
+// curves of Figure 4); ProtoDefault picks the paper's adaptive protocol.
+package nx
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/vmmc"
+)
+
+// Proto selects a protocol variant (Figure 4's curves).
+type Proto int
+
+const (
+	// ProtoDefault uses the adaptive protocol: one-copy (AU) for small
+	// messages, zero-copy (DU) for large ones.
+	ProtoDefault Proto = iota
+	// ProtoAU1 forces the large-message protocol with the final transfer
+	// performed by an automatic-update binding to the receiver's user
+	// buffer: one copy (the sender's AU store stream), none on the
+	// receiver.
+	ProtoAU1
+	// ProtoAU2 forces the one-copy-per-side path: sender marshals data
+	// into its AU-bound shadow of the packet buffer (that copy is the
+	// send); receiver copies out.
+	ProtoAU2
+	// ProtoDU0 forces the zero-copy scout protocol with deliberate
+	// update for all sizes.
+	ProtoDU0
+	// ProtoDU1 forces packet-buffer delivery with the payload sent by
+	// deliberate update directly from user memory (no sender copy; the
+	// descriptor goes separately): receiver copies out.
+	ProtoDU1
+	// ProtoDU2 forces packet-buffer delivery with the sender copying
+	// header and payload into a staging area and sending both with a
+	// single deliberate update; receiver copies out.
+	ProtoDU2
+)
+
+func (p Proto) String() string {
+	switch p {
+	case ProtoAU1:
+		return "AU-1copy"
+	case ProtoAU2:
+		return "AU-2copy"
+	case ProtoDU0:
+		return "DU-0copy"
+	case ProtoDU1:
+		return "DU-1copy"
+	case ProtoDU2:
+		return "DU-2copy"
+	default:
+		return "default"
+	}
+}
+
+// TypeAny is the receive type selector matching any message type.
+const TypeAny = -1
+
+// ID is an asynchronous operation handle (isend/irecv).
+type ID int
+
+// Config tunes an NX instance.
+type Config struct {
+	// Force pins every send to one protocol variant; ProtoDefault
+	// selects adaptively by size.
+	Force Proto
+	// SmallMax overrides the small/large protocol threshold (bytes).
+	SmallMax int
+}
+
+// NX is one process's attachment to the NX library.
+type NX struct {
+	ep   *vmmc.Endpoint
+	node int
+	n    int
+	cfg  Config
+
+	conns map[int]*conn
+
+	// Last-received message info (infocount and friends).
+	lastCount, lastType, lastNode, lastPid int
+
+	// Zero-copy sends whose data transfer is still pending (the user
+	// call returned after the backup copy completed).
+	pendingZC []*zcSend
+
+	// Receiver-side export cache for user buffers handed to the
+	// zero-copy protocol, keyed by page range.
+	zcExports    map[[2]kernel.VA]*zcExport
+	nextExportID uint32
+
+	// Sender-side import (and AU shadow) cache for peers' user-buffer
+	// exports.
+	zcImports map[zcImportKey]*zcImport
+
+	// Posted asynchronous receives.
+	recvs   map[ID]*postedRecv
+	sends   map[ID]*zcSend
+	nextID  ID
+	scratch kernel.VA // word-aligned scratch for doorbells etc.
+
+	// loopback holds self-addressed messages.
+	loopback []*selfMsg
+
+	// collSeq numbers collective operations (all processes perform
+	// collectives in the same global order).
+	collSeq uint32
+
+	// Stats for the paper's Section 6 claims: data transfers are far more
+	// common than control transfers, and interrupts are rare.
+	Stats struct {
+		DataSends     int64 // packet-buffer and zero-copy data transfers
+		CreditFlushes int64 // control transfers carrying credits
+		Doorbells     int64 // buffer-request notifications (interrupting)
+	}
+}
+
+type conn struct {
+	peer int
+
+	// out is the imported remote region this process writes (me->peer);
+	// outShadow is its local AU-bound shadow.
+	out       *vmmc.Import
+	outShadow kernel.VA
+
+	// in is the locally-exported region the peer writes (peer->me).
+	in    kernel.VA
+	inExp *vmmc.Export
+
+	// staging is a word-aligned marshal area for DU sends.
+	staging kernel.VA
+
+	// backup is the zero-copy safety-copy buffer (grown on demand).
+	backup      kernel.VA
+	backupCap   int
+	sendSeq     uint32
+	recvSeq     map[int]uint32 // unused placeholder for future per-type tracking
+	freeBufs    []int          // packet buffers we may still fill
+	creditsSeen int            // credits consumed from the peer's ring
+
+	// Receiver-side state for the peer's messages.
+	creditsGiven int   // credits we have stamped into our outgoing ring
+	pendingCred  []int // consumed-but-uncredited buffer indices (lazy)
+
+	zcSendSeq uint32 // our next zero-copy sequence toward peer
+	zcOut     int    // outstanding zero-copy sends
+}
+
+type zcExport struct {
+	exp  *vmmc.Export
+	id   uint32
+	base kernel.VA
+}
+
+type zcImportKey struct {
+	node int
+	id   uint32
+}
+
+type zcImport struct {
+	imp    *vmmc.Import
+	shadow kernel.VA // AU-bound shadow, mapped lazily for ProtoAU1
+}
+
+type selfMsg struct {
+	typ  int
+	data []byte
+	pid  int
+}
+
+// New attaches a process to NX on a cluster. node is this process's logical
+// node number; nnodes the machine size. Connections to every peer are
+// established eagerly, as NX does at initialization.
+func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *NX {
+	if cfg.SmallMax == 0 {
+		cfg.SmallMax = PayloadMax
+	}
+	nx := &NX{
+		ep:        vmmc.Attach(p, c.Node(node).Daemon),
+		node:      node,
+		n:         nnodes,
+		cfg:       cfg,
+		conns:     make(map[int]*conn),
+		zcExports: make(map[[2]kernel.VA]*zcExport),
+		zcImports: make(map[zcImportKey]*zcImport),
+		recvs:     make(map[ID]*postedRecv),
+		sends:     make(map[ID]*zcSend),
+	}
+	nx.scratch = p.Alloc(64, hw.WordSize)
+
+	// Export incoming regions first so peers can import them.
+	for peer := 0; peer < nnodes; peer++ {
+		if peer == node {
+			continue
+		}
+		cn := &conn{peer: peer}
+		cn.in = p.MapPages(regionPages, 0)
+		exp, err := nx.ep.Export(cn.in, regionPages, vmmc.ExportOpts{
+			Name:    regionName(peer, node),
+			Handler: func(vmmc.Notification) { nx.onDoorbell(cn) },
+		})
+		if err != nil {
+			panic(fmt.Sprintf("nx init: %v", err))
+		}
+		cn.inExp = exp
+		for i := 0; i < NumPkt; i++ {
+			cn.freeBufs = append(cn.freeBufs, i)
+		}
+		cn.staging = p.Alloc(hdrSize+PayloadMax+8, hw.WordSize)
+		nx.conns[peer] = cn
+	}
+	// Import each peer's matching region, retrying until its export
+	// appears (peers initialize concurrently).
+	for peer := 0; peer < nnodes; peer++ {
+		if peer == node {
+			continue
+		}
+		cn := nx.conns[peer]
+		for try := 0; ; try++ {
+			imp, err := nx.ep.Import(peer, regionName(node, peer))
+			if err == nil {
+				cn.out = imp
+				break
+			}
+			if try > 10000 {
+				panic(fmt.Sprintf("nx init: peer %d never exported: %v", peer, err))
+			}
+			p.P.Sleep(200 * time.Microsecond)
+		}
+		cn.outShadow = p.MapPages(regionPages, 0)
+		if _, err := nx.ep.BindAU(cn.outShadow, cn.out, 0, regionPages,
+			vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
+			panic(fmt.Sprintf("nx init: bind: %v", err))
+		}
+	}
+	return nx
+}
+
+// Mynode returns this process's node number.
+func (nx *NX) Mynode() int { return nx.node }
+
+// Numnodes returns the machine size.
+func (nx *NX) Numnodes() int { return nx.n }
+
+// Infocount returns the byte count of the last received message.
+func (nx *NX) Infocount() int { return nx.lastCount }
+
+// Infotype returns the type of the last received message.
+func (nx *NX) Infotype() int { return nx.lastType }
+
+// Infonode returns the sending node of the last received message.
+func (nx *NX) Infonode() int { return nx.lastNode }
+
+// Infopid returns the sending pid of the last received message.
+func (nx *NX) Infopid() int { return nx.lastPid }
+
+// proc returns the owning kernel process.
+func (nx *NX) proc() *kernel.Process { return nx.ep.Proc }
+
+// --- Region access helpers ---
+
+// shadowWrite writes into the outgoing region via the AU-bound shadow: the
+// store stream is the transfer (control information always goes this way).
+func (cn *conn) shadowWrite(p *kernel.Process, off int, b []byte) {
+	p.WriteBytes(cn.outShadow+kernel.VA(off), b)
+}
+
+func (cn *conn) shadowWriteWord(p *kernel.Process, off int, v uint32) {
+	p.WriteWord(cn.outShadow+kernel.VA(off), v)
+}
+
+// inWord reads a word of the locally-exported incoming region (plain local
+// memory; the peer's NIC DMAs into it).
+func (cn *conn) inWord(p *kernel.Process, off int) uint32 {
+	return p.PeekWord(cn.in + kernel.VA(off))
+}
+
+// onDoorbell services a notification from the peer: flush any lazily-held
+// credits so a blocked sender can continue, and advance any of our own
+// pending zero-copy transfers whose replies have arrived. Runs in this
+// process's context via the notification (signal) machinery, so protocol
+// state progresses even when the application is computing between library
+// calls.
+func (nx *NX) onDoorbell(cn *conn) {
+	nx.flushCredits(cn)
+	nx.servicePending()
+}
+
+// Drain completes all outstanding protocol work: pending zero-copy
+// transfers are pushed to completion and lazy credits are returned. NX
+// applications terminate through the runtime's exit protocol, which drains
+// exactly like this; tests and examples call it before a process exits.
+func (nx *NX) Drain() {
+	p := nx.proc()
+	p.Compute(hw.CallCost)
+	for len(nx.pendingZC) > 0 {
+		nx.servicePending()
+		if len(nx.pendingZC) == 0 {
+			break
+		}
+		p.WaitAnyChange(nx.wakeAddrs(), func() bool { return nx.pendingActionable() })
+	}
+	nx.flushAllCredits()
+}
+
+// flushCredits stamps all consumed-but-uncredited buffers into the credit
+// ring (via automatic update, as control traffic).
+func (nx *NX) flushCredits(cn *conn) {
+	p := nx.proc()
+	if len(cn.pendingCred) > 0 {
+		nx.Stats.CreditFlushes++
+	}
+	for _, bufIdx := range cn.pendingCred {
+		k := cn.creditsGiven
+		cn.shadowWriteWord(p, creditOff(k), uint32(k+1)<<8|uint32(bufIdx))
+		cn.creditsGiven++
+	}
+	cn.pendingCred = cn.pendingCred[:0]
+}
+
+// acquireBuf takes a free packet buffer for sending to cn's peer, blocking
+// on the credit ring when none are available. When it must block it rings
+// the peer's doorbell — a notifying transfer that interrupts a receiver
+// that is not currently in library code (paper Section 6, "Interrupts").
+func (nx *NX) acquireBuf(cn *conn) int {
+	p := nx.proc()
+	rang := false
+	for {
+		if nx.pollCredits(cn) && len(cn.freeBufs) > 0 {
+			break
+		}
+		if len(cn.freeBufs) > 0 {
+			break
+		}
+		if !rang {
+			rang = true
+			nx.Stats.Doorbells++
+			p.WriteWord(nx.scratch, 1)
+			if err := nx.ep.SendNotify(cn.out, doorbellBase, nx.scratch, 4); err != nil {
+				panic(err)
+			}
+		}
+		slot := cn.in + kernel.VA(creditOff(cn.creditsSeen))
+		want := uint32(cn.creditsSeen+1) << 8
+		p.WaitWord(slot, func(v uint32) bool { return v&^0xff == want })
+	}
+	buf := cn.freeBufs[0]
+	cn.freeBufs = cn.freeBufs[1:]
+	return buf
+}
+
+// pollCredits consumes any stamped credits; reports whether it found any.
+func (nx *NX) pollCredits(cn *conn) bool {
+	p := nx.proc()
+	found := false
+	for {
+		v := cn.inWord(p, creditOff(cn.creditsSeen))
+		if v>>8 != uint32(cn.creditsSeen+1) {
+			return found
+		}
+		cn.freeBufs = append(cn.freeBufs, int(v&0xff))
+		cn.creditsSeen++
+		found = true
+	}
+}

@@ -1,0 +1,240 @@
+package nx
+
+import (
+	"fmt"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+)
+
+// hdr is a packet-buffer descriptor in decoded form.
+type hdr struct {
+	size     int // payload bytes (wire: size+1, 0 = free)
+	typ      int
+	seq      uint32
+	flags    uint32
+	msgID    uint32
+	fullSize int
+	pid      int
+}
+
+func (h *hdr) encode() []byte {
+	b := make([]byte, hdrSize)
+	putU32 := func(off int, v uint32) {
+		b[off], b[off+1], b[off+2], b[off+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	}
+	putU32(0, uint32(h.size+1))
+	putU32(4, uint32(h.typ))
+	putU32(8, h.seq)
+	putU32(12, h.flags)
+	putU32(16, h.msgID)
+	putU32(20, uint32(h.fullSize))
+	putU32(24, uint32(h.pid))
+	return b
+}
+
+// readHdr decodes the descriptor of packet buffer buf in cn's incoming
+// region. The caller has already seen a nonzero size word; one word-touch is
+// charged for the descriptor read (it is cached after the size-word poll).
+func (nx *NX) readHdr(cn *conn, buf int) hdr {
+	p := nx.proc()
+	off := pktOff(buf)
+	p.P.Sleep(hw.WordTouchCost)
+	b := p.Peek(cn.in+kernel.VA(off), hdrSize)
+	u32 := func(o int) uint32 {
+		return uint32(b[o]) | uint32(b[o+1])<<8 | uint32(b[o+2])<<16 | uint32(b[o+3])<<24
+	}
+	return hdr{
+		size:     int(u32(0)) - 1,
+		typ:      int(int32(u32(4))),
+		seq:      u32(8),
+		flags:    u32(12),
+		msgID:    u32(16),
+		fullSize: int(u32(20)),
+		pid:      int(u32(24)),
+	}
+}
+
+// doneOff returns the offset of the done word for a payload of n bytes.
+func doneOff(pkt, n int) int { return pkt + hdrSize + ceil4(n) }
+
+// Csend sends a message of the given type: the blocking NX send. It returns
+// when the user buffer may be reused.
+func (nx *NX) Csend(typ int, buf kernel.VA, count, node, pid int) {
+	p := nx.proc()
+	p.Compute(hw.CallCost)
+	if typ < 0 {
+		panic(fmt.Sprintf("nx: csend with reserved type %d", typ))
+	}
+	if node == nx.node {
+		nx.sendSelf(typ, buf, count, pid)
+		return
+	}
+	cn := nx.conns[node]
+	proto := nx.cfg.Force
+	if proto == ProtoDefault {
+		if count > nx.cfg.SmallMax {
+			proto = ProtoDU0
+		} else {
+			proto = ProtoAU2
+		}
+	}
+	switch proto {
+	case ProtoAU2, ProtoDU1, ProtoDU2:
+		nx.sendBuffered(cn, typ, buf, count, pid, proto)
+	case ProtoAU1, ProtoDU0:
+		nx.zcSendBlocking(cn, typ, buf, count, pid, proto)
+	}
+}
+
+// Isend starts an asynchronous send and returns a handle for Msgwait.
+func (nx *NX) Isend(typ int, buf kernel.VA, count, node, pid int) ID {
+	p := nx.proc()
+	p.Compute(hw.CallCost)
+	nx.nextID++
+	id := nx.nextID
+	if node == nx.node {
+		nx.sendSelf(typ, buf, count, pid)
+		nx.sends[id] = &zcSend{complete: true}
+		return id
+	}
+	cn := nx.conns[node]
+	proto := nx.cfg.Force
+	if proto == ProtoDefault {
+		if count > nx.cfg.SmallMax {
+			proto = ProtoDU0
+		} else {
+			proto = ProtoAU2
+		}
+	}
+	switch proto {
+	case ProtoAU2, ProtoDU1, ProtoDU2:
+		// Small sends complete inline: the data is out of the user
+		// buffer once written to the connection.
+		nx.sendBuffered(cn, typ, buf, count, pid, proto)
+		nx.sends[id] = &zcSend{complete: true}
+	default:
+		// Large asynchronous sends skip the backup copy entirely: the
+		// user buffer stays live until Msgwait, so the transfer always
+		// goes directly from user memory.
+		zs := nx.zcStart(cn, typ, buf, count, pid, proto, false)
+		nx.sends[id] = zs
+	}
+	return id
+}
+
+// sendBuffered transmits through packet buffers, chunking messages larger
+// than one buffer.
+func (nx *NX) sendBuffered(cn *conn, typ int, buf kernel.VA, count, pid int, proto Proto) {
+	if count <= PayloadMax {
+		nx.sendChunk(cn, hdr{typ: typ, fullSize: count, pid: pid}, buf, count, proto)
+		return
+	}
+	nx.nextID++
+	msgID := uint32(nx.nextID)
+	off, idx := 0, 0
+	for off < count {
+		n := count - off
+		if n > PayloadMax {
+			n = PayloadMax
+		}
+		h := hdr{typ: typ, msgID: msgID, fullSize: count, pid: pid}
+		if idx > 0 {
+			h.flags = flagCont
+			h.fullSize = idx
+		}
+		nx.sendChunk(cn, h, buf+kernel.VA(off), n, proto)
+		off += n
+		idx++
+	}
+}
+
+// sendChunk writes one packet-buffer message: payload area first (or via a
+// deliberate update), descriptor and trailing done word so that, with
+// in-order delivery, done != 0 implies the whole message is in place.
+func (nx *NX) sendChunk(cn *conn, h hdr, src kernel.VA, n int, proto Proto) {
+	p := nx.proc()
+	nx.Stats.DataSends++
+	// Descriptor setup, buffer selection, protocol dispatch.
+	p.Compute(3 * hw.CallCost)
+	buf := nx.acquireBuf(cn)
+	off := pktOff(buf)
+	h.size = n
+	cn.sendSeq++
+	h.seq = cn.sendSeq
+
+	switch proto {
+	case ProtoAU2, ProtoAU1, ProtoDU0:
+		// One-copy automatic-update path (also carries scouts and
+		// chunked fallbacks for the zero-copy protocols): header,
+		// payload and done word are stored consecutively into the
+		// AU-bound shadow, so the hardware combines them into a
+		// minimal packet train.
+		cn.shadowWrite(p, off, h.encode())
+		if n > 0 {
+			p.CopyVA(cn.outShadow+kernel.VA(off+hdrSize), src, n)
+		}
+		cn.shadowWriteWord(p, doneOff(off, n), uint32(n+1))
+
+	case ProtoDU2:
+		// Two-copy deliberate-update path: marshal header + payload +
+		// done into the staging area, one deliberate update moves all
+		// of it. The done word rides in the final packet, so its
+		// arrival implies the payload's.
+		p.WriteBytes(cn.staging, h.encode())
+		if n > 0 {
+			p.CopyVA(cn.staging+hdrSize, src, n)
+		}
+		p.WriteWord(cn.staging+kernel.VA(hdrSize+ceil4(n)), uint32(n+1))
+		if err := nx.ep.Send(cn.out, off, cn.staging, hdrSize+ceil4(n)+4); err != nil {
+			panic(err)
+		}
+
+	case ProtoDU1:
+		// One-copy deliberate-update path: the payload goes directly
+		// from user memory with its own deliberate update (saving the
+		// local copy at the cost of an extra send); header by another
+		// update and the done word by automatic update afterwards.
+		// Misaligned user buffers fall back to the two-copy path, as
+		// the paper requires.
+		if src%hw.WordSize != 0 {
+			nx.sendChunkStaged(cn, h, src, n, off)
+			return
+		}
+		p.WriteBytes(cn.staging, h.encode())
+		if err := nx.ep.Send(cn.out, off, cn.staging, hdrSize); err != nil {
+			panic(err)
+		}
+		if n > 0 {
+			if err := nx.ep.Send(cn.out, off+hdrSize, src, ceil4(n)); err != nil {
+				panic(err)
+			}
+		}
+		cn.shadowWriteWord(p, doneOff(off, n), uint32(n+1))
+	default:
+		panic("nx: bad chunk protocol")
+	}
+}
+
+// sendChunkStaged is the alignment fallback for ProtoDU1: copy the payload
+// into the word-aligned staging area and send everything with one update
+// (effectively the two-copy protocol for this message).
+func (nx *NX) sendChunkStaged(cn *conn, h hdr, src kernel.VA, n, off int) {
+	p := nx.proc()
+	p.WriteBytes(cn.staging, h.encode())
+	if n > 0 {
+		p.CopyVA(cn.staging+hdrSize, src, n)
+	}
+	p.WriteWord(cn.staging+kernel.VA(hdrSize+ceil4(n)), uint32(n+1))
+	if err := nx.ep.Send(cn.out, off, cn.staging, hdrSize+ceil4(n)+4); err != nil {
+		panic(err)
+	}
+}
+
+// sendSelf loops a message back to this process through a local queue, with
+// one memcpy charged per side.
+func (nx *NX) sendSelf(typ int, buf kernel.VA, count, pid int) {
+	p := nx.proc()
+	data := p.ReadBytes(buf, count)
+	nx.loopback = append(nx.loopback, &selfMsg{typ: typ, data: data, pid: pid})
+}

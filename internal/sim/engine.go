@@ -1,0 +1,207 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine owns a virtual clock and an ordered event queue. All simulated
+// activity — CPU work, bus transfers, DMA engines, network links, and the
+// user-level library code of the SHRIMP reproduction — executes as events on
+// this clock, so measured latencies and bandwidths are exact and perfectly
+// repeatable.
+//
+// Two execution styles coexist:
+//
+//   - Plain events: funcs scheduled with Engine.Schedule/At, used by hardware
+//     models (NIC engines, mesh links, timers).
+//   - Processes: goroutine-backed coroutines (Proc) for code that reads
+//     naturally as sequential — application programs, library protocol code,
+//     daemons. Exactly one goroutine (the engine or a single Proc) runs at a
+//     time, so no locking is needed anywhere in the simulation and execution
+//     order is fully deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since simulation start.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from earlier to t.
+func (t Time) Sub(earlier Time) time.Duration { return time.Duration(t - earlier) }
+
+// Microseconds reports t as a floating-point microsecond count, the unit the
+// paper's figures use.
+func (t Time) Microseconds() float64 { return float64(t) / 1e3 }
+
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
+
+// event is a scheduled callback. Events with equal deadlines fire in the
+// order they were scheduled (seq breaks ties), which makes the simulation
+// deterministic.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+// Timer is a handle to a scheduled event that can be canceled or re-armed.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// Stop cancels the timer if it has not fired. It reports whether the timer
+// was still pending.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+		return false
+	}
+	t.ev.canceled = true
+	return true
+}
+
+// Pending reports whether the timer is still scheduled to fire.
+func (t *Timer) Pending() bool {
+	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator instance.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	procs  []*Proc
+	cur    *Proc // proc currently holding execution, nil in event context
+	halted bool
+	tracer Tracer
+
+	// Stats, exposed for tests and the bench harness.
+	EventsRun int64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run d from now. d must be non-negative.
+// The returned Timer may be used to cancel the event.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// At arranges for fn to run at absolute virtual time t, which must not be in
+// the past.
+func (e *Engine) At(t Time, fn func()) *Timer {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
+// Halt stops the run loop after the current event completes. Pending events
+// remain queued; Run may be called again to continue.
+func (e *Engine) Halt() { e.halted = true }
+
+// Run executes events until the queue drains, the engine is halted, or every
+// remaining event is beyond limit (limit <= 0 means no limit). It returns the
+// virtual time at which it stopped.
+func (e *Engine) Run(limit Time) Time {
+	e.halted = false
+	for len(e.queue) > 0 && !e.halted {
+		next := e.queue[0]
+		if limit > 0 && next.at > limit {
+			e.now = limit
+			break
+		}
+		heap.Pop(&e.queue)
+		if next.canceled {
+			continue
+		}
+		if next.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = next.at
+		e.EventsRun++
+		if e.tracer != nil {
+			e.tracer.Event(next.at, next.seq)
+		}
+		next.fn()
+	}
+	return e.now
+}
+
+// RunAll executes until no events remain.
+func (e *Engine) RunAll() Time { return e.Run(0) }
+
+// Shutdown unwinds every parked process goroutine (daemons and servers
+// block forever by design; a long-lived host program releases them here
+// once the simulation is over). The engine must not be running. After
+// Shutdown the engine is spent: procs are dead and only plain events could
+// still execute.
+func (e *Engine) Shutdown() {
+	if e.cur != nil {
+		panic("sim: Shutdown from inside a proc")
+	}
+	for _, p := range e.procs {
+		if p.dead {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{} // wake inside park(); it panics killSentinel
+		<-p.yield              // goroutine unwinds and reports dead
+	}
+}
+
+// Idle reports whether no events are pending.
+func (e *Engine) Idle() bool {
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			return false
+		}
+	}
+	return true
+}

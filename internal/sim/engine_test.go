@@ -1,0 +1,464 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func us(n int64) time.Duration { return time.Duration(n) * time.Microsecond }
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(us(30), func() { order = append(order, 3) })
+	e.Schedule(us(10), func() { order = append(order, 1) })
+	e.Schedule(us(20), func() { order = append(order, 2) })
+	e.RunAll()
+	if !reflect.DeepEqual(order, []int{1, 2, 3}) {
+		t.Fatalf("order = %v", order)
+	}
+	if got := e.Now(); got != Time(30*1000) {
+		t.Fatalf("final time = %v", got)
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(us(5), func() { order = append(order, i) })
+	}
+	e.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []string
+	e.Schedule(us(10), func() {
+		hits = append(hits, "a")
+		e.Schedule(us(5), func() { hits = append(hits, "c") })
+		e.Schedule(0, func() { hits = append(hits, "b") })
+	})
+	e.RunAll()
+	if !reflect.DeepEqual(hits, []string{"a", "b", "c"}) {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(us(10), func() { fired = true })
+	if !tm.Pending() {
+		t.Fatal("timer should be pending")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop should report true on pending timer")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("canceled timer fired")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(us(10), func() { fired = append(fired, 1) })
+	e.Schedule(us(30), func() { fired = append(fired, 2) })
+	e.Run(Time(20 * 1000))
+	if !reflect.DeepEqual(fired, []int{1}) {
+		t.Fatalf("fired = %v", fired)
+	}
+	if e.Now() != Time(20*1000) {
+		t.Fatalf("clock should rest at limit, got %v", e.Now())
+	}
+	e.RunAll()
+	if !reflect.DeepEqual(fired, []int{1, 2}) {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(us(1), func() { n++; e.Halt() })
+	e.Schedule(us(2), func() { n++ })
+	e.RunAll()
+	if n != 1 {
+		t.Fatalf("halt did not stop the loop, n=%d", n)
+	}
+	e.RunAll() // resumes
+	if n != 2 {
+		t.Fatalf("run after halt did not continue, n=%d", n)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var stamps []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		stamps = append(stamps, p.Now())
+		p.Sleep(us(7))
+		stamps = append(stamps, p.Now())
+		p.Sleep(us(3))
+		stamps = append(stamps, p.Now())
+	})
+	e.RunAll()
+	want := []Time{0, 7000, 10000}
+	if !reflect.DeepEqual(stamps, want) {
+		t.Fatalf("stamps = %v, want %v", stamps, want)
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("a", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, fmt.Sprintf("a%d@%d", i, p.Now()))
+			p.Sleep(us(10))
+		}
+	})
+	e.Spawn("b", func(p *Proc) {
+		p.Sleep(us(5))
+		for i := 0; i < 3; i++ {
+			trace = append(trace, fmt.Sprintf("b%d@%d", i, p.Now()))
+			p.Sleep(us(10))
+		}
+	})
+	e.RunAll()
+	want := []string{"a0@0", "b0@5000", "a1@10000", "b1@15000", "a2@20000", "b2@25000"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestCondSignalBroadcast(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	ready := 0
+	var woke []string
+	for _, name := range []string{"w1", "w2", "w3"} {
+		name := name
+		e.Spawn(name, func(p *Proc) {
+			for ready == 0 {
+				c.Wait(p)
+			}
+			woke = append(woke, name)
+		})
+	}
+	e.Spawn("signaler", func(p *Proc) {
+		p.Sleep(us(10))
+		ready = 1
+		c.Broadcast()
+	})
+	e.RunAll()
+	if !reflect.DeepEqual(woke, []string{"w1", "w2", "w3"}) {
+		t.Fatalf("woke = %v", woke)
+	}
+	if e.Now() != Time(10000) {
+		t.Fatalf("broadcast wakeups should be same-instant, now=%v", e.Now())
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var timedOut, signaled bool
+	e.Spawn("t", func(p *Proc) {
+		timedOut = c.WaitTimeout(p, us(5))
+	})
+	e.Spawn("s", func(p *Proc) {
+		got := c.WaitTimeout(p, us(100))
+		signaled = !got
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(us(20))
+		c.Broadcast()
+	})
+	e.RunAll()
+	if !timedOut {
+		t.Fatal("first waiter should time out")
+	}
+	if !signaled {
+		t.Fatal("second waiter should be signaled before timeout")
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	woken := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			woken++
+		})
+	}
+	e.Spawn("s", func(p *Proc) {
+		p.Sleep(us(1))
+		c.Signal()
+	})
+	e.Run(Time(1e6))
+	if woken != 1 {
+		t.Fatalf("Signal woke %d procs, want 1", woken)
+	}
+}
+
+func TestInterruptWhileBlocked(t *testing.T) {
+	e := NewEngine()
+	c := NewCond(e)
+	var trace []string
+	target := e.Spawn("target", func(p *Proc) {
+		flag := false
+		for !flag {
+			c.Wait(p)
+			trace = append(trace, fmt.Sprintf("wake@%d", p.Now()))
+			flag = true // handler ran by now; just exit after one wake
+		}
+		trace = append(trace, "exit")
+	})
+	e.Spawn("irq", func(p *Proc) {
+		p.Sleep(us(10))
+		target.Interrupt(func(tp *Proc) { trace = append(trace, "handler") })
+	})
+	e.RunAll()
+	want := []string{"handler", fmt.Sprintf("wake@%d", 10000), "exit"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestInterruptMasking(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Spawn("t", func(p *Proc) {
+		p.MaskInterrupts()
+		p.Interrupt(func(*Proc) { trace = append(trace, "h1") })
+		p.Sleep(us(5))
+		trace = append(trace, "critical-done")
+		p.UnmaskInterrupts()
+		trace = append(trace, "after-unmask")
+	})
+	e.RunAll()
+	want := []string{"critical-done", "h1", "after-unmask"}
+	if !reflect.DeepEqual(trace, want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestServerFIFO(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e)
+	st1, en1 := s.Reserve(us(10))
+	st2, en2 := s.Reserve(us(5))
+	if st1 != 0 || en1 != Time(10000) {
+		t.Fatalf("first reservation [%v,%v)", st1, en1)
+	}
+	if st2 != Time(10000) || en2 != Time(15000) {
+		t.Fatalf("second reservation should queue: [%v,%v)", st2, en2)
+	}
+	if s.Busy != us(15) {
+		t.Fatalf("busy = %v", s.Busy)
+	}
+}
+
+func TestServerIdleGap(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e)
+	s.Reserve(us(10))
+	st, _ := s.ReserveAt(Time(50*1000), us(10))
+	if st != Time(50*1000) {
+		t.Fatalf("reservation after idle gap should start on request: %v", st)
+	}
+}
+
+// TestDeterminism runs a randomized workload twice with the same seed and
+// requires identical traces — the engine must be a pure function of its
+// inputs.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []string {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		c := NewCond(e)
+		var trace []string
+		counter := 0
+		for i := 0; i < 8; i++ {
+			i := i
+			delays := make([]time.Duration, 20)
+			for j := range delays {
+				delays[j] = time.Duration(rng.Intn(50)) * time.Microsecond
+			}
+			e.Spawn(fmt.Sprintf("p%d", i), func(p *Proc) {
+				for _, d := range delays {
+					p.Sleep(d)
+					counter++
+					trace = append(trace, fmt.Sprintf("p%d@%d=%d", i, p.Now(), counter))
+					if counter%7 == 0 {
+						c.Broadcast()
+					} else if counter%11 == 0 {
+						c.WaitTimeout(p, us(30))
+					}
+				}
+			})
+		}
+		e.RunAll()
+		return trace
+	}
+	a := run(42)
+	b := run(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different traces")
+	}
+	c := run(43)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds suspiciously produced identical traces")
+	}
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the clock never moves backwards.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			e.Schedule(time.Duration(r)*time.Nanosecond, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.RunAll()
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: server reservations never overlap and preserve request order.
+func TestServerProperty(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := NewEngine()
+		s := NewServer(e)
+		var lastEnd Time
+		for _, d := range durs {
+			st, en := s.Reserve(time.Duration(d) * time.Nanosecond)
+			if st < lastEnd || en < st {
+				return false
+			}
+			lastEnd = en
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcPanicsOutsideContext(t *testing.T) {
+	e := NewEngine()
+	var p1 *Proc
+	p1 = e.Spawn("p1", func(p *Proc) { p.Sleep(us(100)) })
+	e.Spawn("p2", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("using another proc's Sleep should panic")
+			}
+		}()
+		p1.Sleep(us(1))
+	})
+	e.RunAll()
+}
+
+func TestTracers(t *testing.T) {
+	e := NewEngine()
+	ct := NewCountingTracer()
+	lt := &LogTracer{Max: 3}
+	e.SetTracer(ct)
+	e.Spawn("worker", func(p *Proc) {
+		for i := 0; i < 4; i++ {
+			p.Sleep(us(10))
+		}
+	})
+	e.RunAll()
+	if ct.Events == 0 || ct.Switches["worker"] < 4 {
+		t.Fatalf("counting tracer: events=%d switches=%v", ct.Events, ct.Switches)
+	}
+	if !strings.Contains(ct.Summary(), "worker") {
+		t.Fatalf("summary missing proc:\n%s", ct.Summary())
+	}
+
+	e2 := NewEngine()
+	e2.SetTracer(lt)
+	e2.Spawn("a", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			p.Sleep(us(1))
+		}
+	})
+	e2.RunAll()
+	if len(lt.Lines) != 3 {
+		t.Fatalf("log tracer should cap at Max: %d lines", len(lt.Lines))
+	}
+	// Removing the tracer stops collection.
+	e2.SetTracer(nil)
+	e2.Spawn("b", func(p *Proc) { p.Sleep(us(1)) })
+	e2.RunAll()
+	if len(lt.Lines) != 3 {
+		t.Fatal("tracer fired after removal")
+	}
+}
+
+func TestShutdownReleasesGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	e := NewEngine()
+	c := NewCond(e)
+	for i := 0; i < 20; i++ {
+		e.Spawn("blocked", func(p *Proc) {
+			for {
+				c.Wait(p) // parked forever
+			}
+		})
+	}
+	e.RunAll()
+	peak := runtime.NumGoroutine()
+	e.Shutdown()
+	var after int
+	for i := 0; i < 200; i++ {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+		if after = runtime.NumGoroutine(); after <= peak-20 {
+			break
+		}
+	}
+	// All 20 parked procs must have unwound (other tests' leftovers make
+	// absolute counts noisy; the delta is what matters).
+	if after > peak-20 {
+		t.Fatalf("goroutines not released: peak %d, after shutdown %d (baseline %d)", peak, after, before)
+	}
+	// Shutdown on an already-drained engine is a no-op.
+	e.Shutdown()
+}

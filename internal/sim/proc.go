@@ -1,0 +1,280 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Proc is a simulated sequential process (a coroutine backed by a goroutine).
+//
+// Exactly one goroutine is runnable at any instant: either the engine's event
+// loop or a single Proc. Control transfers by synchronous channel handoff, so
+// a Proc may freely touch engine and model state while it runs — no other
+// code can be executing concurrently.
+//
+// Procs advance virtual time with Sleep/Delay, and block on Conds. Code
+// running inside a Proc must only return to the engine through these calls.
+type Proc struct {
+	Name string
+
+	eng    *Engine
+	resume chan struct{}
+	yield  chan struct{}
+	done   bool
+	dead   bool // goroutine exited
+
+	wakePending bool    // an unpark event is already scheduled
+	waitingOn   []*Cond // conds this proc is currently enqueued on
+	killed      bool    // Shutdown has asked the goroutine to unwind
+
+	// Interrupts: handlers that should run in this proc's context at its
+	// next yield point (used by the kernel signal machinery).
+	pendingInterrupts []func(*Proc)
+	interruptsMasked  bool
+}
+
+// killSentinel unwinds a proc goroutine during Engine.Shutdown.
+type killSentinel struct{}
+
+// Spawn creates a process and schedules its first execution at the current
+// time. fn runs in the process context; when fn returns the process is done.
+// A panic in fn is fatal to the host program (simulation state would be
+// unrecoverable); only the Shutdown sentinel is absorbed.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		Name:   name,
+		eng:    e,
+		resume: make(chan struct{}),
+		yield:  make(chan struct{}),
+	}
+	e.procs = append(e.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killSentinel); !ok {
+					panic(r) // real failure: propagate
+				}
+			}
+			p.done = true
+			p.dead = true
+			p.yield <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.Schedule(0, func() { e.dispatch(p) })
+	return p
+}
+
+// dispatch hands control to p until its next yield. Runs in engine context.
+func (e *Engine) dispatch(p *Proc) {
+	if p.dead {
+		return
+	}
+	if e.tracer != nil {
+		e.tracer.ProcSwitch(e.now, p.Name)
+	}
+	prev := e.cur
+	e.cur = p
+	p.resume <- struct{}{}
+	<-p.yield
+	e.cur = prev
+}
+
+// park yields control back to the engine. Must be called from p's goroutine.
+// The proc will not run again until something schedules an unpark.
+func (p *Proc) park() {
+	p.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(killSentinel{})
+	}
+	p.runPendingInterrupts()
+}
+
+// unpark schedules the proc to resume at the current virtual time. Safe to
+// call from engine context or from another proc's context. Idempotent while
+// a wake is already pending.
+func (p *Proc) unpark() {
+	if p.wakePending || p.dead {
+		return
+	}
+	p.wakePending = true
+	p.eng.Schedule(0, func() {
+		p.wakePending = false
+		p.eng.dispatch(p)
+	})
+}
+
+// Engine returns the engine this proc belongs to.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep advances virtual time by d from the proc's perspective: the proc
+// yields and resumes exactly d later. Models both CPU busy-time and idle
+// waiting; the distinction is drawn by the caller (see kernel.CPU).
+func (p *Proc) Sleep(d time.Duration) {
+	p.checkCurrent()
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	if d == 0 {
+		return
+	}
+	p.eng.Schedule(d, p.unparkEvent)
+	p.park()
+}
+
+// unparkEvent is used for wakeups that must not be coalesced with the
+// wakePending flag (a sleep's own timer).
+func (p *Proc) unparkEvent() {
+	if p.dead {
+		return
+	}
+	p.eng.dispatch(p)
+}
+
+// YieldOnce lets all other events scheduled at the current instant run, then
+// resumes. Useful in tests to establish ordering.
+func (p *Proc) YieldOnce() {
+	p.checkCurrent()
+	p.eng.Schedule(0, p.unparkEvent)
+	p.park()
+}
+
+func (p *Proc) checkCurrent() {
+	if p.eng.cur != p {
+		panic(fmt.Sprintf("sim: proc %q used outside its own context", p.Name))
+	}
+}
+
+// Interrupt queues fn to run in p's context at its next yield point (or
+// immediately unparks it if it is blocked on a Cond). If the proc has masked
+// interrupts, fn stays queued until unmasked.
+func (p *Proc) Interrupt(fn func(*Proc)) {
+	p.pendingInterrupts = append(p.pendingInterrupts, fn)
+	if len(p.waitingOn) > 0 && !p.interruptsMasked {
+		// Wake the proc out of its cond wait so the handler runs promptly.
+		p.leaveConds()
+		p.unpark()
+	}
+}
+
+// leaveConds removes the proc from every cond it is enqueued on.
+func (p *Proc) leaveConds() {
+	for _, c := range p.waitingOn {
+		c.remove(p)
+	}
+	p.waitingOn = nil
+}
+
+// MaskInterrupts defers queued and future interrupt handlers until
+// UnmaskInterrupts is called.
+func (p *Proc) MaskInterrupts() { p.interruptsMasked = true }
+
+// UnmaskInterrupts re-enables interrupt delivery and runs any queued
+// handlers immediately in the proc's context.
+func (p *Proc) UnmaskInterrupts() {
+	p.interruptsMasked = false
+	p.runPendingInterrupts()
+}
+
+func (p *Proc) runPendingInterrupts() {
+	if p.interruptsMasked {
+		return
+	}
+	for len(p.pendingInterrupts) > 0 {
+		fn := p.pendingInterrupts[0]
+		p.pendingInterrupts = p.pendingInterrupts[1:]
+		fn(p)
+	}
+}
+
+// A Cond is a condition variable for procs. Waiters are woken in FIFO order.
+// As with sync.Cond, waiters must re-check their predicate after waking.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// Wait blocks p until the cond is signaled (or p is interrupted). Callers
+// must loop: for !pred() { c.Wait(p) }.
+func (c *Cond) Wait(p *Proc) { WaitAny(p, c) }
+
+// WaitAny blocks p until any one of the conds is signaled (or p is
+// interrupted). As with Wait, callers re-check predicates after waking.
+func WaitAny(p *Proc, conds ...*Cond) {
+	p.checkCurrent()
+	if len(p.pendingInterrupts) > 0 && !p.interruptsMasked {
+		p.runPendingInterrupts()
+		return
+	}
+	for _, c := range conds {
+		c.waiters = append(c.waiters, p)
+	}
+	p.waitingOn = append(p.waitingOn[:0], conds...)
+	p.park()
+	p.leaveConds()
+}
+
+// WaitTimeout blocks like Wait but gives up after d. It reports whether the
+// wait timed out (true) rather than being signaled.
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	p.checkCurrent()
+	if len(p.pendingInterrupts) > 0 && !p.interruptsMasked {
+		p.runPendingInterrupts()
+		return false
+	}
+	timedOut := false
+	timer := c.eng.Schedule(d, func() {
+		if len(p.waitingOn) > 0 {
+			timedOut = true
+			p.leaveConds()
+			p.unpark()
+		}
+	})
+	c.waiters = append(c.waiters, p)
+	p.waitingOn = append(p.waitingOn[:0], c)
+	p.park()
+	p.leaveConds()
+	timer.Stop()
+	return timedOut
+}
+
+// Signal wakes the longest-waiting proc, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.leaveConds()
+	p.unpark()
+}
+
+// Broadcast wakes every waiting proc.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, p := range ws {
+		p.leaveConds()
+		p.unpark()
+	}
+}
+
+func (c *Cond) remove(p *Proc) {
+	for i, w := range c.waiters {
+		if w == p {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}

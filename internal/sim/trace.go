@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Tracer receives engine execution events when installed with SetTracer.
+// Implementations must not mutate simulation state.
+type Tracer interface {
+	// Event fires before each executed event callback.
+	Event(at Time, seq uint64)
+	// ProcSwitch fires when control transfers to a process.
+	ProcSwitch(at Time, name string)
+}
+
+// SetTracer installs (or, with nil, removes) an execution tracer.
+func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+
+// CountingTracer is a minimal Tracer that tallies events and per-process
+// dispatch counts — enough to answer "what is the simulation spending its
+// events on" without logging overhead.
+type CountingTracer struct {
+	Events   int64
+	Switches map[string]int64
+	LastAt   Time
+}
+
+// NewCountingTracer returns an empty tracer.
+func NewCountingTracer() *CountingTracer {
+	return &CountingTracer{Switches: make(map[string]int64)}
+}
+
+// Event implements Tracer.
+func (c *CountingTracer) Event(at Time, seq uint64) {
+	c.Events++
+	c.LastAt = at
+}
+
+// ProcSwitch implements Tracer.
+func (c *CountingTracer) ProcSwitch(at Time, name string) {
+	c.Switches[name]++
+	c.LastAt = at
+}
+
+// Summary renders the per-process dispatch counts, busiest first.
+func (c *CountingTracer) Summary() string {
+	type kv struct {
+		name string
+		n    int64
+	}
+	var rows []kv
+	for name, n := range c.Switches {
+		rows = append(rows, kv{name, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].name < rows[j].name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d events through %v\n", c.Events, c.LastAt)
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-24s %8d dispatches\n", r.name, r.n)
+	}
+	return b.String()
+}
+
+// LogTracer records a bounded textual trace of process switches, for test
+// failure diagnostics.
+type LogTracer struct {
+	Max   int
+	Lines []string
+}
+
+// Event implements Tracer.
+func (l *LogTracer) Event(at Time, seq uint64) {}
+
+// ProcSwitch implements Tracer.
+func (l *LogTracer) ProcSwitch(at Time, name string) {
+	if l.Max > 0 && len(l.Lines) >= l.Max {
+		return
+	}
+	l.Lines = append(l.Lines, fmt.Sprintf("%v %s", at, name))
+}
+
+// Elapsed converts a virtual interval to a time.Duration (identity, typed).
+func Elapsed(from, to Time) time.Duration { return to.Sub(from) }

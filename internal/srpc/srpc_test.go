@@ -1,0 +1,132 @@
+package srpc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseIDL(t *testing.T) {
+	svc, err := ParseIDL(`
+		// A comment.
+		service Math {
+			proc add(in a i32, in b i32) (out sum i32)
+			proc scale(inout v f64) // doubles v
+			proc blob(inout data bytes[1024])
+		}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svc.Name != "Math" || len(svc.Procs) != 3 {
+		t.Fatalf("parsed %+v", svc)
+	}
+	add := svc.Procs[0]
+	if add.ID != 1 || len(add.Params) != 3 {
+		t.Fatalf("add = %+v", add)
+	}
+	if got := len(add.Args()); got != 2 {
+		t.Fatalf("add args = %d", got)
+	}
+	if got := len(add.Results()); got != 1 {
+		t.Fatalf("add results = %d", got)
+	}
+	scale := svc.Procs[1]
+	if len(scale.Args()) != 1 || len(scale.Results()) != 1 {
+		t.Fatalf("inout should appear in both lists: %+v", scale)
+	}
+	blob := svc.Procs[2]
+	if blob.Params[0].Type.Max != 1024 {
+		t.Fatalf("bytes bound = %d", blob.Params[0].Type.Max)
+	}
+}
+
+func TestParseIDLErrors(t *testing.T) {
+	cases := []string{
+		``,
+		`service {`,
+		`service S { }`,
+		`service S { proc p(in x q32) }`,
+		`service S { proc p(sideways x u32) }`,
+		`service S { proc p() proc p() }`,
+		`service S { proc p(in x u32, in x u32) }`,
+		`service S { proc p(in d bytes[0]) }`,
+		`service S { proc p(in d bytes[99999999]) }`,
+	}
+	for _, src := range cases {
+		if _, err := ParseIDL(src); err == nil {
+			t.Errorf("accepted bad IDL: %q", src)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	svc, err := ParseIDL(`service S { proc p(in a bytes[64], in b bytes[64]) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(svc, "x"); err == nil {
+		t.Error("two bytes params accepted")
+	}
+	svc, _ = ParseIDL(`service S { proc p(out d bytes[64]) }`)
+	if _, err := Generate(svc, "x"); err == nil {
+		t.Error("out-only bytes accepted")
+	}
+}
+
+func TestGeneratedShape(t *testing.T) {
+	svc, err := ParseIDL(`service Echo { proc ping(in x u32) (out y u32) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := Generate(svc, "echo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"package echo",
+		"ProcEchoPing = 1",
+		"type EchoClient struct{ B *srpc.Binding }",
+		"func (c *EchoClient) Ping(x uint32) (yR uint32)",
+		"type EchoServer interface {",
+		"Ping(x uint32) uint32",
+		"func ServeEcho(b *srpc.Binding, impl EchoServer, limit int)",
+	} {
+		if !strings.Contains(code, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestImageAndFields(t *testing.T) {
+	var im Image
+	im.PutU32(7)
+	im.PutI32(-9)
+	im.PutU64(1 << 40)
+	im.PutF64(2.5)
+	im.PutBool(true)
+	b := im.Build()
+	if len(b)%4 != 0 {
+		t.Fatalf("image not word aligned: %d", len(b))
+	}
+	f := NewFields(b)
+	if f.U32() != 7 || f.I32() != -9 || f.U64() != 1<<40 || f.F64() != 2.5 || !f.Bool() {
+		t.Fatal("fields roundtrip failed")
+	}
+
+	var im2 Image
+	im2.PutBytes([]byte("hello")) // 5 data + 3 pad + 4 len = 12
+	if got := len(im2.Build()); got != 12 {
+		t.Fatalf("bytes image length %d", got)
+	}
+}
+
+func TestFlagPacking(t *testing.T) {
+	v := packFlag(0xABC, 0x7, 2048)
+	if flagSeq(v) != 0xABC || flagProc(v) != 7 || flagLen(v) != 2048 {
+		t.Fatalf("flag roundtrip: seq=%x proc=%d len=%d", flagSeq(v), flagProc(v), flagLen(v))
+	}
+	// Sequence wraps at 12 bits.
+	v2 := packFlag(0x1001, 1, 0)
+	if flagSeq(v2) != 1 {
+		t.Fatalf("seq wrap: %x", flagSeq(v2))
+	}
+}

@@ -1,0 +1,269 @@
+package sunrpc
+
+import (
+	"errors"
+	"fmt"
+
+	"shrimp/internal/xdr"
+)
+
+// RPC protocol constants (RFC 1057).
+const (
+	rpcVersion = 2
+
+	msgCall  = 0
+	msgReply = 1
+
+	replyAccepted = 0
+	replyDenied   = 1
+
+	acceptSuccess      = 0
+	acceptProgUnavail  = 1
+	acceptProgMismatch = 2
+	acceptProcUnavail  = 3
+	acceptGarbageArgs  = 4
+
+	rejectRPCMismatch = 0
+	rejectAuthError   = 1
+)
+
+// AuthFlavor identifies a credential scheme.
+type AuthFlavor uint32
+
+// Credential flavors.
+const (
+	AuthNone AuthFlavor = 0
+	AuthSys  AuthFlavor = 1
+)
+
+// OpaqueAuth is a credential or verifier: flavor plus opaque body.
+type OpaqueAuth struct {
+	Flavor AuthFlavor
+	Body   []byte
+}
+
+// AuthSysParms is the AUTH_SYS (née AUTH_UNIX) credential body of RFC 1057
+// Appendix A: the conventional Unix identity.
+type AuthSysParms struct {
+	Stamp       uint32
+	MachineName string
+	UID, GID    uint32
+	GIDs        []uint32
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *AuthSysParms) EncodeXDR(e *xdr.Encoder) {
+	e.PutUint32(a.Stamp)
+	e.PutString(a.MachineName)
+	e.PutUint32(a.UID)
+	e.PutUint32(a.GID)
+	e.PutUint32Array(a.GIDs)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *AuthSysParms) DecodeXDR(d *xdr.Decoder) error {
+	var err error
+	if a.Stamp, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.MachineName, err = d.String(255); err != nil {
+		return err
+	}
+	if a.UID, err = d.Uint32(); err != nil {
+		return err
+	}
+	if a.GID, err = d.Uint32(); err != nil {
+		return err
+	}
+	a.GIDs, err = d.Uint32Array(16)
+	return err
+}
+
+// SysAuth builds an AUTH_SYS credential from the parameters.
+func SysAuth(p *AuthSysParms) OpaqueAuth {
+	sink := &xdr.BufferSink{}
+	p.EncodeXDR(xdr.NewEncoder(sink))
+	return OpaqueAuth{Flavor: AuthSys, Body: sink.Buf}
+}
+
+// ParseSysAuth decodes an AUTH_SYS credential body.
+func ParseSysAuth(a OpaqueAuth) (*AuthSysParms, error) {
+	if a.Flavor != AuthSys {
+		return nil, fmt.Errorf("sunrpc: credential flavor %d is not AUTH_SYS", a.Flavor)
+	}
+	var p AuthSysParms
+	if err := p.DecodeXDR(xdr.NewDecoder(&xdr.BufferSource{Buf: a.Body})); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// EncodeXDR implements xdr.Marshaler.
+func (a *OpaqueAuth) EncodeXDR(e *xdr.Encoder) {
+	e.PutUint32(uint32(a.Flavor))
+	e.PutOpaque(a.Body)
+}
+
+// DecodeXDR implements xdr.Unmarshaler.
+func (a *OpaqueAuth) DecodeXDR(d *xdr.Decoder) error {
+	f, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	a.Flavor = AuthFlavor(f)
+	a.Body, err = d.Opaque(400) // RFC 1057: auth bodies are at most 400 bytes
+	return err
+}
+
+// callHeader is the body of an RPC CALL message up to the parameters.
+type callHeader struct {
+	XID  uint32
+	Prog uint32
+	Vers uint32
+	Proc uint32
+	Cred OpaqueAuth
+	Verf OpaqueAuth
+}
+
+func (c *callHeader) EncodeXDR(e *xdr.Encoder) {
+	e.PutUint32(c.XID)
+	e.PutUint32(msgCall)
+	e.PutUint32(rpcVersion)
+	e.PutUint32(c.Prog)
+	e.PutUint32(c.Vers)
+	e.PutUint32(c.Proc)
+	c.Cred.EncodeXDR(e)
+	c.Verf.EncodeXDR(e)
+}
+
+func (c *callHeader) DecodeXDR(d *xdr.Decoder) error {
+	var err error
+	if c.XID, err = d.Uint32(); err != nil {
+		return err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if mtype != msgCall {
+		return fmt.Errorf("sunrpc: expected CALL, got message type %d", mtype)
+	}
+	vers, err := d.Uint32()
+	if err != nil {
+		return err
+	}
+	if vers != rpcVersion {
+		return fmt.Errorf("sunrpc: RPC version %d not supported", vers)
+	}
+	if c.Prog, err = d.Uint32(); err != nil {
+		return err
+	}
+	if c.Vers, err = d.Uint32(); err != nil {
+		return err
+	}
+	if c.Proc, err = d.Uint32(); err != nil {
+		return err
+	}
+	if err = c.Cred.DecodeXDR(d); err != nil {
+		return err
+	}
+	return c.Verf.DecodeXDR(d)
+}
+
+// Error values surfaced by Client.Call for non-SUCCESS replies.
+var (
+	ErrProgUnavailable = errors.New("sunrpc: program unavailable")
+	ErrProcUnavailable = errors.New("sunrpc: procedure unavailable")
+	ErrGarbageArgs     = errors.New("sunrpc: server could not decode arguments")
+	ErrDenied          = errors.New("sunrpc: call denied")
+	ErrXIDMismatch     = errors.New("sunrpc: reply xid mismatch")
+)
+
+// ProgMismatchError reports the version range a server supports.
+type ProgMismatchError struct {
+	Low, High uint32
+}
+
+func (e *ProgMismatchError) Error() string {
+	return fmt.Sprintf("sunrpc: program version mismatch (server supports %d-%d)", e.Low, e.High)
+}
+
+// writeReplyHeader emits a reply up to (but excluding) the results.
+func writeReplyHeader(e *xdr.Encoder, xid uint32, acceptStat uint32, mismatch *ProgMismatchError) {
+	e.PutUint32(xid)
+	e.PutUint32(msgReply)
+	e.PutUint32(replyAccepted)
+	(&OpaqueAuth{Flavor: AuthNone}).EncodeXDR(e)
+	e.PutUint32(acceptStat)
+	if acceptStat == acceptProgMismatch && mismatch != nil {
+		e.PutUint32(mismatch.Low)
+		e.PutUint32(mismatch.High)
+	}
+}
+
+// readReplyHeader consumes a reply header, returning the xid and an error
+// for any non-SUCCESS status. On success the decoder is positioned at the
+// results.
+func readReplyHeader(d *xdr.Decoder) (uint32, error) {
+	xid, err := d.Uint32()
+	if err != nil {
+		return 0, err
+	}
+	mtype, err := d.Uint32()
+	if err != nil {
+		return xid, err
+	}
+	if mtype != msgReply {
+		return xid, fmt.Errorf("sunrpc: expected REPLY, got %d", mtype)
+	}
+	stat, err := d.Uint32()
+	if err != nil {
+		return xid, err
+	}
+	if stat == replyDenied {
+		reason, err := d.Uint32()
+		if err != nil {
+			return xid, err
+		}
+		if reason == rejectRPCMismatch {
+			var lo, hi uint32
+			if lo, err = d.Uint32(); err != nil {
+				return xid, err
+			}
+			if hi, err = d.Uint32(); err != nil {
+				return xid, err
+			}
+			return xid, fmt.Errorf("%w: rpc version mismatch (%d-%d)", ErrDenied, lo, hi)
+		}
+		return xid, ErrDenied
+	}
+	var verf OpaqueAuth
+	if err := verf.DecodeXDR(d); err != nil {
+		return xid, err
+	}
+	astat, err := d.Uint32()
+	if err != nil {
+		return xid, err
+	}
+	switch astat {
+	case acceptSuccess:
+		return xid, nil
+	case acceptProgUnavail:
+		return xid, ErrProgUnavailable
+	case acceptProgMismatch:
+		var e ProgMismatchError
+		if e.Low, err = d.Uint32(); err != nil {
+			return xid, err
+		}
+		if e.High, err = d.Uint32(); err != nil {
+			return xid, err
+		}
+		return xid, &e
+	case acceptProcUnavail:
+		return xid, ErrProcUnavailable
+	case acceptGarbageArgs:
+		return xid, ErrGarbageArgs
+	default:
+		return xid, fmt.Errorf("sunrpc: unknown accept status %d", astat)
+	}
+}

@@ -1,0 +1,196 @@
+package sunrpc
+
+import (
+	"testing"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+	"shrimp/internal/xdr"
+)
+
+// TestMultipleClientsOneServer: three clients on three nodes bind to one
+// server and interleave calls; the server multiplexes its sessions over the
+// per-session streams.
+func TestMultipleClientsOneServer(t *testing.T) {
+	cl := cluster.Default()
+	up := false
+	ready := sim.NewCond(cl.Eng)
+	finished := 0
+	const perClient = 12
+
+	cl.Spawn(3, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, cl.Node(3).Daemon)
+		srv := NewServer(ep, cl.Ether, 3, testProgram(t))
+		up = true
+		ready.Broadcast()
+		srv.Serve(3 * perClient)
+	})
+	for node := 0; node < 3; node++ {
+		node := node
+		cl.Spawn(node, "client", func(p *kernel.Process) {
+			for !up {
+				ready.Wait(p.P)
+			}
+			ep := vmmc.Attach(p, cl.Node(node).Daemon)
+			mode := ModeAU
+			if node%2 == 1 {
+				mode = ModeDU // mixed transfer modes on one server
+			}
+			c, err := Dial(ep, cl.Ether, 3, progTest, versTest, mode)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := int32(0); i < perClient; i++ {
+				var sum int32
+				err := c.Call(procAdd,
+					func(e *xdr.Encoder) { e.PutInt32(int32(node) * 100); e.PutInt32(i) },
+					func(d *xdr.Decoder) error {
+						var err error
+						sum, err = d.Int32()
+						return err
+					})
+				if err != nil {
+					t.Errorf("node %d call %d: %v", node, i, err)
+					return
+				}
+				if sum != int32(node)*100+i {
+					t.Errorf("node %d call %d: sum %d", node, i, sum)
+				}
+			}
+			finished++
+		})
+	}
+	cl.Run()
+	if finished != 3 {
+		t.Fatalf("only %d/3 clients finished", finished)
+	}
+}
+
+// TestTwoProgramsOneServer: a server can host multiple (program, version)
+// pairs, dispatching by the call header.
+func TestTwoProgramsOneServer(t *testing.T) {
+	cl := cluster.Default()
+	up := false
+	ready := sim.NewCond(cl.Eng)
+	ok := false
+	second := &Program{
+		Prog: 0x20000777, Vers: 3,
+		Procs: map[uint32]Handler{
+			1: func(d *xdr.Decoder, e *xdr.Encoder) error {
+				v, err := d.Uint32()
+				if err != nil {
+					return err
+				}
+				e.PutUint32(v * 2)
+				return nil
+			},
+		},
+	}
+	cl.Spawn(1, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, cl.Node(1).Daemon)
+		srv := NewServer(ep, cl.Ether, 1, testProgram(t))
+		srv.AddProgram(second)
+		up = true
+		ready.Broadcast()
+		srv.Serve(2)
+	})
+	cl.Spawn(0, "client", func(p *kernel.Process) {
+		for !up {
+			ready.Wait(p.P)
+		}
+		ep := vmmc.Attach(p, cl.Node(0).Daemon)
+		c1, err := Dial(ep, cl.Ether, 1, progTest, versTest, ModeAU)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c2, err := Dial(ep, cl.Ether, 1, 0x20000777, 3, ModeAU)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var sum int32
+		if err := c1.Call(procAdd,
+			func(e *xdr.Encoder) { e.PutInt32(2); e.PutInt32(3) },
+			func(d *xdr.Decoder) error { var err error; sum, err = d.Int32(); return err }); err != nil {
+			t.Error(err)
+			return
+		}
+		var dbl uint32
+		if err := c2.Call(1,
+			func(e *xdr.Encoder) { e.PutUint32(21) },
+			func(d *xdr.Decoder) error { var err error; dbl, err = d.Uint32(); return err }); err != nil {
+			t.Error(err)
+			return
+		}
+		if sum != 5 || dbl != 42 {
+			t.Errorf("sum=%d dbl=%d", sum, dbl)
+		}
+		ok = true
+	})
+	cl.Run()
+	if !ok {
+		t.Fatal("client never finished")
+	}
+}
+
+func TestAuthSysCredential(t *testing.T) {
+	cred := SysAuth(&AuthSysParms{
+		Stamp: 77, MachineName: "node0", UID: 1000, GID: 100, GIDs: []uint32{100, 4},
+	})
+	var seen OpaqueAuth
+	prog := &Program{
+		Prog: progTest, Vers: versTest,
+		Procs: map[uint32]Handler{
+			procNull: func(d *xdr.Decoder, e *xdr.Encoder) error { return nil },
+		},
+	}
+	cl := cluster.Default()
+	up := false
+	ready := sim.NewCond(cl.Eng)
+	done := false
+	var srv *Server
+	cl.Spawn(1, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, cl.Node(1).Daemon)
+		srv = NewServer(ep, cl.Ether, 1, prog)
+		up = true
+		ready.Broadcast()
+		srv.Serve(1)
+		seen = srv.LastCred
+	})
+	cl.Spawn(0, "client", func(p *kernel.Process) {
+		for !up {
+			ready.Wait(p.P)
+		}
+		ep := vmmc.Attach(p, cl.Node(0).Daemon)
+		c, err := Dial(ep, cl.Ether, 1, progTest, versTest, ModeAU)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c.SetCredential(cred)
+		if err := c.Call(procNull, nil, nil); err != nil {
+			t.Error(err)
+			return
+		}
+		done = true
+	})
+	cl.Run()
+	if !done {
+		t.Fatal("client never finished")
+	}
+	parms, err := ParseSysAuth(seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parms.UID != 1000 || parms.MachineName != "node0" || len(parms.GIDs) != 2 {
+		t.Fatalf("credential mangled: %+v", parms)
+	}
+	// Flavor checks.
+	if _, err := ParseSysAuth(OpaqueAuth{Flavor: AuthNone}); err == nil {
+		t.Fatal("AUTH_NONE parsed as AUTH_SYS")
+	}
+}

@@ -1,0 +1,371 @@
+package sunrpc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
+	"shrimp/internal/vmmc"
+	"shrimp/internal/xdr"
+)
+
+const (
+	progTest = 0x20000099
+	versTest = 1
+
+	procEcho  = 1 // opaque -> same opaque
+	procAdd   = 2 // two int32 -> int32
+	procNull  = 0
+	procUpper = 3 // string -> string
+)
+
+func testProgram(t *testing.T) *Program {
+	return &Program{
+		Prog: progTest,
+		Vers: versTest,
+		Procs: map[uint32]Handler{
+			procNull: func(d *xdr.Decoder, e *xdr.Encoder) error { return nil },
+			procEcho: func(d *xdr.Decoder, e *xdr.Encoder) error {
+				b, err := d.Opaque(1 << 20)
+				if err != nil {
+					return err
+				}
+				e.PutOpaque(b)
+				return nil
+			},
+			procAdd: func(d *xdr.Decoder, e *xdr.Encoder) error {
+				a, err := d.Int32()
+				if err != nil {
+					return err
+				}
+				b, err := d.Int32()
+				if err != nil {
+					return err
+				}
+				e.PutInt32(a + b)
+				return nil
+			},
+			procUpper: func(d *xdr.Decoder, e *xdr.Encoder) error {
+				s, err := d.String(4096)
+				if err != nil {
+					return err
+				}
+				up := make([]byte, len(s))
+				for i := 0; i < len(s); i++ {
+					c := s[i]
+					if c >= 'a' && c <= 'z' {
+						c -= 32
+					}
+					up[i] = c
+				}
+				e.PutString(string(up))
+				return nil
+			},
+		},
+	}
+}
+
+// rig runs a server on node 1 and the client body on node 0.
+func rig(t *testing.T, mode Mode, serverCalls int64, body func(c *Client)) {
+	t.Helper()
+	rigCustom(t, testProgram(t), mode, serverCalls, body)
+}
+
+// rigCustom is rig with a caller-supplied program.
+func rigCustom(t *testing.T, prog *Program, mode Mode, serverCalls int64, body func(c *Client)) {
+	t.Helper()
+	cl := cluster.Default()
+	serverUp := false
+	ready := sim.NewCond(cl.Eng)
+	done := false
+	cl.Spawn(1, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, cl.Node(1).Daemon)
+		srv := NewServer(ep, cl.Ether, 1, prog)
+		serverUp = true
+		ready.Broadcast()
+		srv.Serve(serverCalls)
+	})
+	cl.Spawn(0, "client", func(p *kernel.Process) {
+		for !serverUp {
+			ready.Wait(p.P)
+		}
+		ep := vmmc.Attach(p, cl.Node(0).Daemon)
+		c, err := Dial(ep, cl.Ether, 1, prog.Prog, prog.Vers, mode)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		body(c)
+		done = true
+	})
+	cl.Run()
+	if !done {
+		t.Fatal("client never finished (deadlock?)")
+	}
+}
+
+func TestNullCall(t *testing.T) {
+	for _, mode := range []Mode{ModeAU, ModeDU} {
+		rig(t, mode, 1, func(c *Client) {
+			if err := c.Call(procNull, nil, nil); err != nil {
+				t.Errorf("%v: %v", mode, err)
+			}
+		})
+	}
+}
+
+func TestAddCall(t *testing.T) {
+	rig(t, ModeAU, 1, func(c *Client) {
+		var sum int32
+		err := c.Call(procAdd,
+			func(e *xdr.Encoder) { e.PutInt32(19); e.PutInt32(23) },
+			func(d *xdr.Decoder) error {
+				var err error
+				sum, err = d.Int32()
+				return err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum != 42 {
+			t.Fatalf("sum = %d", sum)
+		}
+	})
+}
+
+func TestEchoLarge(t *testing.T) {
+	payload := bytes.Repeat([]byte("xdr!"), 4000) // 16 KB
+	for _, mode := range []Mode{ModeAU, ModeDU} {
+		rig(t, mode, 1, func(c *Client) {
+			var got []byte
+			err := c.Call(procEcho,
+				func(e *xdr.Encoder) { e.PutOpaque(payload) },
+				func(d *xdr.Decoder) error {
+					var err error
+					got, err = d.Opaque(1 << 20)
+					return err
+				})
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("%v: echo corrupted (%d bytes)", mode, len(got))
+			}
+		})
+	}
+}
+
+func TestStringProc(t *testing.T) {
+	rig(t, ModeDU, 1, func(c *Client) {
+		var got string
+		err := c.Call(procUpper,
+			func(e *xdr.Encoder) { e.PutString("shrimp vmmc") },
+			func(d *xdr.Decoder) error {
+				var err error
+				got, err = d.String(4096)
+				return err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "SHRIMP VMMC" {
+			t.Fatalf("got %q", got)
+		}
+	})
+}
+
+func TestManySequentialCalls(t *testing.T) {
+	rig(t, ModeAU, 50, func(c *Client) {
+		for i := int32(0); i < 50; i++ {
+			var sum int32
+			err := c.Call(procAdd,
+				func(e *xdr.Encoder) { e.PutInt32(i); e.PutInt32(i * 2) },
+				func(d *xdr.Decoder) error {
+					var err error
+					sum, err = d.Int32()
+					return err
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != 3*i {
+				t.Fatalf("call %d: sum %d", i, sum)
+			}
+		}
+	})
+}
+
+func TestRingWrapAround(t *testing.T) {
+	// Push enough traffic through a binding that the 64 KB ring wraps
+	// several times; contents must survive the wrap.
+	payload := bytes.Repeat([]byte{0xA5}, 20000)
+	rig(t, ModeDU, 12, func(c *Client) {
+		for i := 0; i < 12; i++ {
+			var got []byte
+			err := c.Call(procEcho,
+				func(e *xdr.Encoder) { e.PutOpaque(payload) },
+				func(d *xdr.Decoder) error {
+					var err error
+					got, err = d.Opaque(1 << 20)
+					return err
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("wrap iteration %d corrupted", i)
+			}
+		}
+	})
+}
+
+func TestProcUnavailable(t *testing.T) {
+	rig(t, ModeAU, 1, func(c *Client) {
+		err := c.Call(999, nil, nil)
+		if !errors.Is(err, ErrProcUnavailable) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestProgErrors(t *testing.T) {
+	cl := cluster.Default()
+	up := false
+	ready := sim.NewCond(cl.Eng)
+	checked := false
+	cl.Spawn(1, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, cl.Node(1).Daemon)
+		srv := NewServer(ep, cl.Ether, 1, testProgram(t))
+		up = true
+		ready.Broadcast()
+		srv.Serve(2)
+	})
+	cl.Spawn(0, "client", func(p *kernel.Process) {
+		for !up {
+			ready.Wait(p.P)
+		}
+		ep := vmmc.Attach(p, cl.Node(0).Daemon)
+		// Wrong program number.
+		c1, err := Dial(ep, cl.Ether, 1, 0x3333, 1, ModeAU)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := c1.Call(procNull, nil, nil); !errors.Is(err, ErrProgUnavailable) {
+			t.Errorf("wrong prog: %v", err)
+		}
+		// Wrong version.
+		c2, err := Dial(ep, cl.Ether, 1, progTest, 9, ModeAU)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		err = c2.Call(procNull, nil, nil)
+		var mm *ProgMismatchError
+		if !errors.As(err, &mm) || mm.Low != versTest || mm.High != versTest {
+			t.Errorf("wrong vers: %v", err)
+		}
+		checked = true
+	})
+	cl.Run()
+	if !checked {
+		t.Fatal("client never finished")
+	}
+}
+
+func TestGarbageArgs(t *testing.T) {
+	rig(t, ModeAU, 1, func(c *Client) {
+		// procAdd expects two int32s; send none. The handler's decode
+		// hits the *following* call's bytes... to keep the stream
+		// parseable we send a single undersized opaque instead to
+		// procEcho with a corrupted length. Simplest in-protocol
+		// garbage: procUpper with a giant declared length.
+		err := c.Call(procUpper, func(e *xdr.Encoder) {
+			e.PutUint32(1 << 30) // declared string length, no body
+			e.PutFixedOpaque(make([]byte, 8))
+		}, nil)
+		if !errors.Is(err, ErrGarbageArgs) {
+			t.Fatalf("err = %v", err)
+		}
+	})
+}
+
+func TestNullLatencyIsMicroseconds(t *testing.T) {
+	// The headline VRPC property: a null RPC costs tens of microseconds,
+	// not the conventional network's milliseconds. Exact calibration is
+	// checked in the bench package.
+	var rt time.Duration
+	rig(t, ModeAU, 9, func(c *Client) {
+		c.Call(procNull, nil, nil) // warm
+		p := c.Proc()
+		t0 := p.P.Now()
+		for i := 0; i < 8; i++ {
+			if err := c.Call(procNull, nil, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rt = p.P.Now().Sub(t0) / 8
+	})
+	if rt < 15*time.Microsecond || rt > 60*time.Microsecond {
+		t.Fatalf("null VRPC roundtrip %v, paper ~29us", rt)
+	}
+	t.Logf("null VRPC roundtrip: %v (paper ~29us)", rt)
+}
+
+func TestEtherBaseline(t *testing.T) {
+	cl := cluster.Default()
+	up := false
+	ready := sim.NewCond(cl.Eng)
+	var rt time.Duration
+	ok := false
+	cl.Spawn(1, "server", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, cl.Node(1).Daemon)
+		srv := NewEtherServer(ep, cl.Ether, 1, testProgram(t))
+		up = true
+		ready.Broadcast()
+		srv.Serve(3)
+	})
+	cl.Spawn(0, "client", func(p *kernel.Process) {
+		for !up {
+			ready.Wait(p.P)
+		}
+		ep := vmmc.Attach(p, cl.Node(0).Daemon)
+		c, err := DialEther(ep, cl.Ether, 1, progTest, versTest)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		var sum int32
+		if err := c.Call(procAdd,
+			func(e *xdr.Encoder) { e.PutInt32(4); e.PutInt32(5) },
+			func(d *xdr.Decoder) error {
+				var err error
+				sum, err = d.Int32()
+				return err
+			}); err != nil {
+			t.Error(err)
+			return
+		}
+		if sum != 9 {
+			t.Errorf("sum %d", sum)
+		}
+		t0 := p.P.Now()
+		c.Call(procNull, nil, nil)
+		c.Call(procNull, nil, nil)
+		rt = p.P.Now().Sub(t0) / 2
+		ok = true
+	})
+	cl.Run()
+	if !ok {
+		t.Fatal("client never finished")
+	}
+	// Conventional network: hundreds of microseconds at least.
+	if rt < 300*time.Microsecond {
+		t.Fatalf("ether baseline null RPC %v — implausibly fast", rt)
+	}
+	t.Logf("ether baseline null RPC roundtrip: %v", rt)
+}

@@ -1,0 +1,56 @@
+package vmmc_test
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/vmmc"
+)
+
+// The complete VMMC programming model in one place: a receiver exports a
+// buffer and polls a flag — there is no receive call — while a sender
+// imports the buffer and pushes data with a blocking deliberate update.
+func Example() {
+	c := cluster.Default() // the paper's 4-node prototype
+
+	c.Spawn(1, "receiver", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, c.Node(1).Daemon)
+		buf := p.MapPages(1, 0)
+		if _, err := ep.Export(buf, 1, vmmc.ExportOpts{Name: "inbox"}); err != nil {
+			panic(err)
+		}
+		// Data arrives directly in memory; the flag word (sent after the
+		// data, so delivered after it) says when.
+		p.WaitWord(buf+hw.Page-4, func(v uint32) bool { return v == 1 })
+		fmt.Printf("received %q\n", p.Peek(buf, 5))
+	})
+
+	c.Spawn(0, "sender", func(p *kernel.Process) {
+		ep := vmmc.Attach(p, c.Node(0).Daemon)
+		var imp *vmmc.Import
+		for { // retry until the receiver has exported
+			var err error
+			if imp, err = ep.Import(1, "inbox"); err == nil {
+				break
+			}
+			p.P.Sleep(200 * time.Microsecond)
+		}
+		msg := p.Alloc(8, hw.WordSize)
+		p.WriteBytes(msg, []byte("hello\x00\x00\x00"))
+		if err := ep.Send(imp, 0, msg, 8); err != nil { // data
+			panic(err)
+		}
+		flag := p.Alloc(4, hw.WordSize)
+		p.WriteWord(flag, 1)
+		if err := ep.Send(imp, hw.Page-4, flag, 4); err != nil { // then control
+			panic(err)
+		}
+	})
+
+	c.Run()
+	// Output:
+	// received "hello"
+}

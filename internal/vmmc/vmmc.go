@@ -1,0 +1,408 @@
+// Package vmmc implements virtual memory-mapped communication — the paper's
+// primary contribution (Section 2). It is the "thin layer library" of Figure
+// 1: it provides user processes direct access to the network for data
+// transfers, and talks to the SHRIMP daemon for import-export mapping
+// management.
+//
+// The model in brief:
+//
+//   - A receiving process exports a region of its address space as a receive
+//     buffer with a set of permissions. A sender imports it; after import,
+//     data moves between user address spaces with no protection-domain
+//     crossing.
+//   - Two transfer strategies: deliberate update (an explicit, blocking send
+//     backed by the NIC's DMA engine) and automatic update (local stores to
+//     bound pages propagate to the remote buffer automatically).
+//   - Transfers are delivered reliably and in order (blocking deliberate
+//     update), so control information written after data arrives after it.
+//   - There is no receive operation and no buffer management: received data
+//     lands directly in memory, and the receiver typically just checks a
+//     flag. Notifications (queued, blockable, per-buffer handlers) provide
+//     control transfer when polling is inappropriate.
+package vmmc
+
+import (
+	"errors"
+	"fmt"
+
+	"shrimp/internal/daemon"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+)
+
+// SigNotify is the signal number the notification mechanism rides on (the
+// paper's prototype implements notifications with UNIX signals).
+const SigNotify = 30
+
+// Errors returned by the VMMC calls.
+var (
+	// ErrAlignment: the hardware requires word-aligned source and
+	// destination addresses and whole-word lengths for deliberate update.
+	ErrAlignment = errors.New("vmmc: deliberate update requires word alignment")
+	// ErrRange: transfer exceeds the imported buffer.
+	ErrRange = errors.New("vmmc: transfer outside imported buffer")
+	// ErrRevoked: the mapping was destroyed.
+	ErrRevoked = errors.New("vmmc: mapping revoked")
+)
+
+// Endpoint is a process's attachment to the VMMC layer.
+type Endpoint struct {
+	Proc *kernel.Process
+	D    *daemon.Daemon
+
+	exports []*Export
+}
+
+// Attach connects a process to VMMC on its node and installs the
+// notification signal dispatcher.
+func Attach(p *kernel.Process, d *daemon.Daemon) *Endpoint {
+	ep := &Endpoint{Proc: p, D: d}
+	p.OnSignal(SigNotify, func(_ *kernel.Process, s kernel.Signal) {
+		n := s.Data.(Notification)
+		n.Export.dispatch(n)
+	})
+	return ep
+}
+
+// Notification reports the arrival of a notifying transfer into an export.
+type Notification struct {
+	Export  *Export
+	SrcNode int
+}
+
+// Handler is a user-level notification handler function.
+type Handler func(n Notification)
+
+// ExportOpts configures an export.
+type ExportOpts struct {
+	// Name publishes the export for importers. Required to be importable.
+	Name string
+	// Handler, when non-nil, enables notifications on this buffer
+	// ("notifications only take effect when a handler has been
+	// specified").
+	Handler Handler
+	// Allowed restricts importing nodes (nil = any): the export's
+	// permission set.
+	Allowed []int
+	// FastNotify selects the active-message-style notification path the
+	// paper planned as the signals replacement (Section 2.3): arrivals
+	// post a record to a user-level queue and the handler runs at the
+	// process's next poll or yield point — no interrupt, no signal
+	// machinery, and well under a microsecond of software. Fast
+	// notifications are not subject to BlockNotifications (they bypass
+	// the kernel signal queue); use SetDiscard for per-buffer control.
+	FastNotify bool
+}
+
+// Export is an exported receive buffer.
+type Export struct {
+	ep      *Endpoint
+	rec     *daemon.ExportRec
+	VA      kernel.VA
+	Pages   int
+	handler Handler
+	discard bool
+	queue   []Notification
+	avail   *sim.Cond
+	dead    bool
+}
+
+// Export publishes pages of the process's address space as a receive buffer.
+// va must be page-aligned (the incoming page table is per-page).
+func (ep *Endpoint) Export(va kernel.VA, pages int, opts ExportOpts) (*Export, error) {
+	e := &Export{ep: ep, VA: va, Pages: pages, handler: opts.Handler,
+		avail: sim.NewCond(ep.Proc.M.Eng)}
+	rec, err := ep.D.Export(ep.Proc, opts.Name, va, pages, opts.Handler != nil, opts.FastNotify, e, opts.Allowed)
+	if err != nil {
+		return nil, err
+	}
+	e.rec = rec
+	ep.exports = append(ep.exports, e)
+	return e, nil
+}
+
+// NotifyArrival implements daemon.Notifiable: the NIC raised a notification
+// interrupt for this buffer. Runs in interrupt context; delivery to the user
+// process uses the kernel signal machinery (queued while blocked).
+func (e *Export) NotifyArrival(srcNode int) {
+	if e.dead || e.discard {
+		return
+	}
+	e.ep.Proc.Deliver(kernel.Signal{Num: SigNotify, Data: Notification{Export: e, SrcNode: srcNode}})
+}
+
+// FastArrival implements daemon.FastNotifiable: the NIC posted a record to
+// the user-level notification queue; the handler runs in the process
+// context at its next poll or yield point, at user-level dispatch cost.
+func (e *Export) FastArrival(srcNode int) {
+	if e.dead || e.discard {
+		return
+	}
+	e.ep.Proc.P.Interrupt(func(sp *sim.Proc) {
+		sp.Sleep(hw.FastNotifyDispatch)
+		e.dispatch(Notification{Export: e, SrcNode: srcNode})
+	})
+}
+
+// dispatch runs in the process context when the signal is delivered.
+func (e *Export) dispatch(n Notification) {
+	if e.dead {
+		return
+	}
+	e.queue = append(e.queue, n)
+	e.avail.Broadcast()
+	if e.handler != nil {
+		e.handler(n)
+	}
+}
+
+// SetDiscard controls per-buffer acceptance: while true, notifications for
+// this buffer are discarded rather than queued (paper Section 2.3).
+func (e *Export) SetDiscard(on bool) { e.discard = on }
+
+// Wait suspends the process until a notification for this particular buffer
+// arrives, and returns it. Signals are temporarily unblocked so queued
+// notifications can drain into per-buffer queues.
+func (e *Export) Wait() Notification {
+	p := e.ep.Proc
+	wasBlocked := p.SignalsBlocked()
+	if wasBlocked {
+		p.UnblockSignals()
+	}
+	for len(e.queue) == 0 && !e.dead {
+		e.avail.Wait(p.P)
+	}
+	if wasBlocked {
+		p.BlockSignals()
+	}
+	if len(e.queue) == 0 {
+		return Notification{Export: e}
+	}
+	n := e.queue[0]
+	e.queue = e.queue[1:]
+	return n
+}
+
+// Pending returns the number of queued notifications for this buffer.
+func (e *Export) Pending() int { return len(e.queue) }
+
+// Unexport destroys the export after draining pending traffic.
+func (ep *Endpoint) Unexport(e *Export) error {
+	if e.dead {
+		return ErrRevoked
+	}
+	if err := ep.D.Unexport(ep.Proc, e.rec); err != nil {
+		return err
+	}
+	e.dead = true
+	e.avail.Broadcast()
+	return nil
+}
+
+// BlockNotifications defers notification delivery; notifications queue.
+func (ep *Endpoint) BlockNotifications() { ep.Proc.BlockSignals() }
+
+// UnblockNotifications resumes delivery, draining the queue.
+func (ep *Endpoint) UnblockNotifications() { ep.Proc.UnblockSignals() }
+
+// Import is an imported remote receive buffer.
+type Import struct {
+	ep   *Endpoint
+	rec  *daemon.ImportRec
+	Node int
+	Size int
+	dead bool
+}
+
+// Import maps a named export on the given node into this process's reach.
+func (ep *Endpoint) Import(node int, name string) (*Import, error) {
+	rec, err := ep.D.Import(ep.Proc, node, name)
+	if err != nil {
+		return nil, err
+	}
+	return &Import{ep: ep, rec: rec, Node: node, Size: rec.Pages * hw.Page}, nil
+}
+
+// Unimport destroys the mapping after pending messages drain.
+func (ep *Endpoint) Unimport(imp *Import) error {
+	if imp.dead {
+		return ErrRevoked
+	}
+	imp.dead = true
+	return ep.D.Unimport(ep.Proc, imp.rec)
+}
+
+// Send performs a blocking deliberate-update transfer of n bytes from srcVA
+// in the caller's address space to offset dstOff in the imported buffer. It
+// returns when the source data has been read out of main memory (safe to
+// reuse), which — with in-order delivery — is also the point after which any
+// subsequently sent data arrives later at the receiver.
+func (ep *Endpoint) Send(imp *Import, dstOff int, srcVA kernel.VA, n int) error {
+	return ep.send(imp, dstOff, srcVA, n, false)
+}
+
+// SendNotify is Send with the destination-interrupt flag set on the final
+// packet, triggering a notification if the receiver enabled one.
+func (ep *Endpoint) SendNotify(imp *Import, dstOff int, srcVA kernel.VA, n int) error {
+	return ep.send(imp, dstOff, srcVA, n, true)
+}
+
+// AsyncSend is the handle of a non-blocking deliberate-update send.
+type AsyncSend struct {
+	job *nic.DUJob
+	ep  *Endpoint
+}
+
+// Wait blocks until the source data has been read out of main memory (the
+// point at which the buffer may be reused and after which later sends are
+// ordered behind this one).
+func (a *AsyncSend) Wait() { a.job.Wait(a.ep.Proc.P) }
+
+// Done reports whether the source read has completed.
+func (a *AsyncSend) Done() bool { return a.job.ReadDone() }
+
+// SendAsync is the non-blocking deliberate-update send (paper Section 2.2).
+// It queues the transfer and returns immediately; the source buffer must
+// not be modified until Wait (or Done) reports completion. The in-order
+// delivery guarantee VMMC makes for blocking sends is weaker here: a
+// subsequent automatic-update store can reach the wire before a queued
+// non-blocking send's data has been read, so protocols that signal
+// completion with a separate control write must Wait first — exactly the
+// complication the paper alludes to ("the ordering guarantees are a bit
+// more complicated when the non-blocking deliberate-update send operation
+// is used").
+func (ep *Endpoint) SendAsync(imp *Import, dstOff int, srcVA kernel.VA, n int) (*AsyncSend, error) {
+	if imp.dead {
+		return nil, ErrRevoked
+	}
+	if srcVA%hw.WordSize != 0 || dstOff%hw.WordSize != 0 || n%hw.WordSize != 0 {
+		return nil, ErrAlignment
+	}
+	if n < 0 || dstOff < 0 || dstOff+n > imp.Size {
+		return nil, ErrRange
+	}
+	p := ep.Proc
+	for i := 0; i < 2; i++ {
+		_, end := ep.D.NIC.EISA().Reserve(hw.DUInitAccess)
+		p.P.Sleep(end.Sub(p.P.Now()))
+	}
+	chunks, err := ep.duChunks(imp, dstOff, srcVA, n, false)
+	if err != nil {
+		return nil, err
+	}
+	return &AsyncSend{job: ep.D.NIC.SubmitDU(chunks), ep: ep}, nil
+}
+
+func (ep *Endpoint) send(imp *Import, dstOff int, srcVA kernel.VA, n int, notify bool) error {
+	if imp.dead {
+		return ErrRevoked
+	}
+	if srcVA%hw.WordSize != 0 || dstOff%hw.WordSize != 0 || n%hw.WordSize != 0 {
+		return ErrAlignment
+	}
+	if n < 0 || dstOff < 0 || dstOff+n > imp.Size {
+		return ErrRange
+	}
+	if n == 0 {
+		return nil
+	}
+	p := ep.Proc
+
+	// The two-access transfer initiation sequence: user-level programmed
+	// I/O to addresses decoded by the NIC on the EISA bus.
+	for i := 0; i < 2; i++ {
+		_, end := ep.D.NIC.EISA().Reserve(hw.DUInitAccess)
+		p.P.Sleep(end.Sub(p.P.Now()))
+	}
+
+	chunks, err := ep.duChunks(imp, dstOff, srcVA, n, notify)
+	if err != nil {
+		return err
+	}
+	job := ep.D.NIC.SubmitDU(chunks)
+	job.Wait(p.P)
+	return nil
+}
+
+// duChunks translates and splits a transfer: packets must not cross source
+// pages (DMA is physically contiguous), destination pages (the header
+// addresses one page), or the maximum payload.
+func (ep *Endpoint) duChunks(imp *Import, dstOff int, srcVA kernel.VA, n int, notify bool) ([]nic.DUChunk, error) {
+	p := ep.Proc
+	var chunks []nic.DUChunk
+	off := 0
+	for off < n {
+		srcPA, err := p.Translate(srcVA + kernel.VA(off))
+		if err != nil {
+			return nil, fmt.Errorf("vmmc: send source: %w", err)
+		}
+		c := n - off
+		if room := hw.Page - int(srcPA)%hw.Page; c > room {
+			c = room
+		}
+		d := dstOff + off
+		if room := hw.Page - d%hw.Page; c > room {
+			c = room
+		}
+		if c > hw.MaxPacketPayload {
+			c = hw.MaxPacketPayload
+		}
+		chunks = append(chunks, nic.MakeDUChunk(srcPA, imp.rec.OPTBase+d/hw.Page, uint32(d%hw.Page), c, false))
+		off += c
+	}
+	if notify && len(chunks) > 0 {
+		chunks[len(chunks)-1].Notify = true
+	}
+	return chunks, nil
+}
+
+// AUOpts configures an automatic-update binding.
+type AUOpts struct {
+	// Combine enables hardware write-combining of consecutive stores.
+	Combine bool
+	// Timer enables the flush timeout on an open combined packet;
+	// meaningful only with Combine.
+	Timer bool
+	// Notify requests a destination interrupt for every packet produced
+	// through this binding.
+	Notify bool
+	// Uncached maps the local pages uncached instead of write-through
+	// (lower one-word latency; Section 3.4 measures both).
+	Uncached bool
+}
+
+// Binding is an active automatic-update binding.
+type Binding struct {
+	ep      *Endpoint
+	imp     *Import
+	LocalVA kernel.VA
+	Pages   int
+	dead    bool
+}
+
+// BindAU binds pages of local address space starting at localVA (page-
+// aligned) to the imported buffer's pages starting at page dstPage. All
+// stores to the bound pages propagate to the remote buffer automatically —
+// "eliminating the need for an explicit send operation".
+func (ep *Endpoint) BindAU(localVA kernel.VA, imp *Import, dstPage, pages int, opts AUOpts) (*Binding, error) {
+	if imp.dead {
+		return nil, ErrRevoked
+	}
+	err := ep.D.BindAU(ep.Proc, imp.rec, localVA, pages, dstPage, opts.Combine, opts.Timer, opts.Notify, opts.Uncached)
+	if err != nil {
+		return nil, err
+	}
+	return &Binding{ep: ep, imp: imp, LocalVA: localVA, Pages: pages}, nil
+}
+
+// UnbindAU removes the binding (open combined packets are flushed).
+func (ep *Endpoint) UnbindAU(b *Binding) error {
+	if b.dead {
+		return ErrRevoked
+	}
+	b.dead = true
+	ep.D.UnbindAU(ep.Proc, b.imp.rec, b.LocalVA, b.Pages)
+	return nil
+}

@@ -1,0 +1,226 @@
+package vmmc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/nic"
+	"shrimp/internal/sim"
+)
+
+func TestSendAsync(t *testing.T) {
+	msg := bytes.Repeat([]byte("async!"), 700) // ~4 KB: several chunks
+	var got []byte
+	pair(t,
+		func(ep *Endpoint) {
+			va := ep.Proc.MapPages(2, 0)
+			if _, err := ep.Export(va, 2, ExportOpts{Name: "rx"}); err != nil {
+				t.Error(err)
+				return
+			}
+			ep.Proc.WaitWord(va+hw.Page*2-4, func(v uint32) bool { return v == 1 })
+			got = ep.Proc.Peek(va, len(msg))
+		},
+		func(ep *Endpoint) {
+			imp, err := ep.Import(1, "rx")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src := ep.Proc.Alloc(len(msg)+8, 4)
+			ep.Proc.Poke(src, msg)
+			t0 := ep.Proc.P.Now()
+			a, err := ep.SendAsync(imp, 0, src, (len(msg)+3)&^3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			// The call must return before the source read completes
+			// (the whole point of the non-blocking variant).
+			if a.Done() {
+				t.Error("SendAsync completed synchronously")
+			}
+			queuedAt := ep.Proc.P.Now().Sub(t0)
+			if queuedAt > 10*time.Microsecond {
+				t.Errorf("SendAsync blocked for %v", queuedAt)
+			}
+			a.Wait()
+			if !a.Done() {
+				t.Error("Done false after Wait")
+			}
+			// Now ordered: the flag send cannot overtake.
+			flag := ep.Proc.Alloc(4, 4)
+			ep.Proc.WriteWord(flag, 1)
+			if err := ep.Send(imp, 2*hw.Page-4, flag, 4); err != nil {
+				t.Error(err)
+			}
+		})
+	if !bytes.Equal(got, msg) {
+		t.Fatal("async payload corrupted")
+	}
+}
+
+func TestSendAsyncValidation(t *testing.T) {
+	pair(t,
+		func(ep *Endpoint) {
+			va := ep.Proc.MapPages(1, 0)
+			if _, err := ep.Export(va, 1, ExportOpts{Name: "rx"}); err != nil {
+				t.Error(err)
+			}
+		},
+		func(ep *Endpoint) {
+			imp, err := ep.Import(1, "rx")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src := ep.Proc.Alloc(64, 4)
+			if _, err := ep.SendAsync(imp, 2, src, 4); err != ErrAlignment {
+				t.Errorf("unaligned: %v", err)
+			}
+			if _, err := ep.SendAsync(imp, hw.Page-4, src, 8); err != ErrRange {
+				t.Errorf("overflow: %v", err)
+			}
+		})
+}
+
+func TestSelfImport(t *testing.T) {
+	// A process may import its own node's export; packets route through
+	// the mesh's self-path.
+	c := cluster.Default()
+	ok := false
+	c.Spawn(0, "self", func(p *kernel.Process) {
+		ep := Attach(p, c.Node(0).Daemon)
+		va := p.MapPages(1, 0)
+		if _, err := ep.Export(va, 1, ExportOpts{Name: "me"}); err != nil {
+			t.Error(err)
+			return
+		}
+		imp, err := ep.Import(0, "me")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		src := p.Alloc(32, 4)
+		p.Poke(src, []byte("talking to myself via the NIC!!!"))
+		if err := ep.Send(imp, 0, src, 32); err != nil {
+			t.Error(err)
+			return
+		}
+		p.WaitWord(va+28, func(v uint32) bool { return v != 0 })
+		if string(p.Peek(va, 32)) != "talking to myself via the NIC!!!" {
+			t.Error("self-import payload corrupted")
+		}
+		ok = true
+	})
+	c.Run()
+	if !ok {
+		t.Fatal("self-import process never finished")
+	}
+}
+
+func TestProtectionFaultEndToEnd(t *testing.T) {
+	// A transfer landing on a page whose IPT was disabled (here: revoked
+	// behind the sender's back, simulating a misbehaving/raced mapping)
+	// must freeze the receive path and raise the protection interrupt —
+	// and must NOT write the memory.
+	c := cluster.Default()
+	var faults []nic.ProtectionFault
+	c.Node(1).Daemon.FaultHook = func(f nic.ProtectionFault) { faults = append(faults, f) }
+
+	exported := false
+	ready := sim.NewCond(c.Eng)
+	var victim kernel.VA
+	var rxp *kernel.Process
+	c.Spawn(1, "rx", func(p *kernel.Process) {
+		rxp = p
+		ep := Attach(p, c.Node(1).Daemon)
+		victim = p.MapPages(1, 0)
+		if _, err := ep.Export(victim, 1, ExportOpts{Name: "rx"}); err != nil {
+			t.Error(err)
+			return
+		}
+		exported = true
+		ready.Broadcast()
+	})
+	c.Spawn(0, "tx", func(p *kernel.Process) {
+		for !exported {
+			ready.Wait(p.P)
+		}
+		ep := Attach(p, c.Node(0).Daemon)
+		imp, err := ep.Import(1, "rx")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Disable the IPT behind the mapping (hardware-level revocation
+		// without the drain protocol).
+		pte, _ := rxp.PTEOf(victim)
+		c.Node(1).NIC.SetIPT(pte.Frame, nic.IPTEntry{})
+		src := p.Alloc(4, 4)
+		p.WriteWord(src, 0xbad)
+		if err := ep.Send(imp, 0, src, 4); err != nil {
+			t.Error(err)
+		}
+	})
+	c.Run()
+	if len(faults) != 1 {
+		t.Fatalf("faults = %v", faults)
+	}
+	if !c.Node(1).NIC.Frozen() {
+		t.Fatal("receive path should freeze")
+	}
+	if rxp.PeekWord(victim) == 0xbad {
+		t.Fatal("protection violated: data written despite disabled IPT")
+	}
+	c.Node(1).NIC.Unfreeze(true)
+}
+
+func TestNotificationOrderPreserved(t *testing.T) {
+	// Multiple notifying transfers must deliver their notifications in
+	// send order (in-order network + FIFO signal queue).
+	var order []int
+	pair(t,
+		func(ep *Endpoint) {
+			va := ep.Proc.MapPages(1, 0)
+			exp, err := ep.Export(va, 1, ExportOpts{
+				Name:    "rx",
+				Handler: func(n Notification) {},
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 5; i++ {
+				exp.Wait()
+				order = append(order, int(ep.Proc.PeekWord(va)))
+			}
+		},
+		func(ep *Endpoint) {
+			imp, err := ep.Import(1, "rx")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			src := ep.Proc.Alloc(4, 4)
+			for i := 1; i <= 5; i++ {
+				ep.Proc.WriteWord(src, uint32(i))
+				if err := ep.SendNotify(imp, 0, src, 4); err != nil {
+					t.Error(err)
+				}
+				ep.Proc.P.Sleep(200 * time.Microsecond)
+			}
+		})
+	for i, v := range order {
+		if v < i+1 {
+			t.Fatalf("notification order regressed: %v", order)
+		}
+	}
+	if len(order) != 5 {
+		t.Fatalf("got %d notifications", len(order))
+	}
+}
