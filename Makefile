@@ -1,0 +1,37 @@
+# Development targets for the SHRIMP message-passing simulation.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all build test race vet lint fuzz check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint runs shrimplint, the project's determinism-and-discipline checker
+# (see DESIGN.md "Determinism contract"). Exits nonzero on any finding.
+lint:
+	$(GO) run ./cmd/shrimplint ./...
+
+# fuzz gives the XDR round-trip and raw-decode targets a brief shake; the
+# corpus accumulates in the Go build cache across runs.
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/xdr
+	$(GO) test -run NONE -fuzz FuzzDecodeRaw -fuzztime $(FUZZTIME) ./internal/xdr
+
+# check is the full gate CI runs: build, vet, lint, race-enabled tests.
+check: build vet lint race
+
+clean:
+	$(GO) clean ./...

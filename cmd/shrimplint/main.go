@@ -1,0 +1,125 @@
+// Command shrimplint runs the determinism-and-discipline static analysis
+// suite over the module. It loads every non-test package, applies the five
+// analyzers (see internal/lint), and exits nonzero if any unsuppressed
+// diagnostic is found.
+//
+// Usage:
+//
+//	shrimplint [-json] [-list] [patterns...]
+//
+// Patterns are directory prefixes relative to the module root; "./..." (or
+// no pattern) means the whole module. Suppress a finding at its site with
+// `//lint:allow <rule> <reason>` on the same line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"shrimp/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: shrimplint [-json] [-list] [patterns...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shrimplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shrimplint:", err)
+		os.Exit(2)
+	}
+	pkgs = filterPackages(pkgs, root, flag.Args())
+	if len(pkgs) == 0 {
+		fmt.Fprintf(os.Stderr, "shrimplint: no packages match %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	if *jsonOut {
+		b, err := lint.JSON(diags)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "shrimplint:", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(b))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "shrimplint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks upward from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// filterPackages restricts the loaded set to the requested patterns.
+// "./..." and the empty pattern list select everything; "./internal/nx" or
+// "internal/nx/..." selects by directory prefix.
+func filterPackages(pkgs []*lint.Package, root string, patterns []string) []*lint.Package {
+	if len(patterns) == 0 {
+		return pkgs
+	}
+	var prefixes []string
+	for _, pat := range patterns {
+		pat = strings.TrimSuffix(pat, "...")
+		pat = strings.TrimSuffix(pat, "/")
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" || pat == "." {
+			return pkgs
+		}
+		prefixes = append(prefixes, filepath.Join(root, filepath.FromSlash(pat)))
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		for _, pre := range prefixes {
+			if p.Dir == pre || strings.HasPrefix(p.Dir, pre+string(filepath.Separator)) {
+				out = append(out, p)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ package main
 
 import (
 	"encoding/binary"
+	"flag"
 	"fmt"
 	"math/rand"
 
@@ -30,18 +31,22 @@ func fnv1a(b []byte) uint64 {
 }
 
 func main() {
+	// A fixed default seed keeps the example reproducible run to run; pass
+	// -seed to vary the payload deterministically.
+	seed := flag.Int64("seed", 42, "seed for the generated file contents")
+	flag.Parse()
 	for _, mode := range []socket.Mode{socket.ModeAU2, socket.ModeDU1, socket.ModeDU2} {
-		runOnce(mode)
+		runOnce(mode, *seed)
 	}
 }
 
-func runOnce(mode socket.Mode) {
+func runOnce(mode socket.Mode, seed int64) {
 	c := cluster.Default()
 	port := 2121
 
 	// File contents, shared by both sides for verification.
 	file := make([]byte, fileSize)
-	rand.New(rand.NewSource(42)).Read(file)
+	rand.New(rand.NewSource(seed)).Read(file)
 	wantSum := fnv1a(file)
 
 	c.Spawn(1, "server", func(p *kernel.Process) {

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+
+	"shrimp/internal/nx"
+	"shrimp/internal/sim"
+	"shrimp/internal/socket"
+	"shrimp/internal/sunrpc"
+)
+
+// Replay-divergence checks over the paper's benchmark drivers: each figure's
+// measurement scenario is run twice and the complete event stream compared.
+// These are the runtime oracle behind shrimplint's static rules — if a
+// nondeterminism bug (map-order iteration, unseeded randomness, wall-clock
+// leakage) creeps back into the stack under any driver, the digests diverge.
+
+func TestFig3VMMCDeterministic(t *testing.T) {
+	for _, strat := range []string{AU1copy, AU2copy, DU0copy, DU1copy} {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			sim.CheckDeterminism(t, func() {
+				VMMCPingPong(strat, 64, 4)
+			})
+		})
+	}
+}
+
+func TestFig5VRPCDeterministic(t *testing.T) {
+	for _, mode := range []sunrpc.Mode{sunrpc.ModeAU, sunrpc.ModeDU} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			sim.CheckDeterminism(t, func() {
+				VRPCPingPong(mode, 64, 4)
+			})
+		})
+	}
+}
+
+func TestFig7SocketDeterministic(t *testing.T) {
+	for _, mode := range []socket.Mode{socket.ModeAU2, socket.ModeDU1, socket.ModeDU2} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			sim.CheckDeterminism(t, func() {
+				SocketPingPong(mode, 64, 4)
+			})
+		})
+	}
+}
+
+// TestFig4NXDeterministic covers the NX library path, whose receive scan
+// iterated a map before the connList fix.
+func TestFig4NXDeterministic(t *testing.T) {
+	sim.CheckDeterminism(t, func() {
+		NXPingPong(nx.ProtoDefault, 64, 4)
+	})
+}

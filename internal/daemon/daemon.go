@@ -13,6 +13,7 @@ package daemon
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"shrimp/internal/ether"
@@ -78,11 +79,13 @@ type Daemon struct {
 	Mesh   *mesh.Network
 	Ether  *ether.Network
 
-	port      *ether.Port
-	proc      *kernel.Process
-	exports   map[uint32]*ExportRec
-	byName    map[string]*ExportRec
-	imports   map[*ImportRec]bool
+	port    *ether.Port
+	proc    *kernel.Process
+	exports map[uint32]*ExportRec
+	byName  map[string]*ExportRec
+	// imports is kept in import order: revocation walks it front to back,
+	// so the order mappings are torn down in is deterministic.
+	imports   []*ImportRec
 	nextID    uint32
 	nextEphem int
 
@@ -129,7 +132,6 @@ func New(nodeID int, m *kernel.Machine, n *nic.NIC, msh *mesh.Network, eth *ethe
 		Ether:     eth,
 		exports:   make(map[uint32]*ExportRec),
 		byName:    make(map[string]*ExportRec),
-		imports:   make(map[*ImportRec]bool),
 		nextEphem: 1000,
 	}
 	d.port = eth.Bind(ether.Addr{Node: nodeID, Port: Port})
@@ -224,13 +226,26 @@ func (d *Daemon) handleRelease(req releaseReq) {
 // quiesce the outgoing path so pending sends drain, then free the OPT
 // entries.
 func (d *Daemon) handleRevoke(p *kernel.Process, req revokeReq) {
-	for rec := range d.imports {
+	kept := d.imports[:0]
+	for _, rec := range d.imports {
 		if rec.Exporter == req.Exporter && rec.ExportID == req.ExportID && !rec.released {
 			d.NIC.Quiesce(p.P)
 			d.Mesh.WaitDrained(p.P, mesh.NodeID(d.NodeID), mesh.NodeID(req.Exporter))
 			d.NIC.FreeOPT(rec.OPTBase, rec.Pages)
 			rec.released = true
-			delete(d.imports, rec)
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	d.imports = kept
+}
+
+// removeImport drops rec from the import list, preserving order.
+func (d *Daemon) removeImport(rec *ImportRec) {
+	for i, r := range d.imports {
+		if r == rec {
+			d.imports = append(d.imports[:i], d.imports[i+1:]...)
+			return
 		}
 	}
 }
@@ -301,7 +316,7 @@ func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec
 		d.NIC.SetOPT(base+i, nic.OPTEntry{Valid: true, DstNode: mesh.NodeID(node), DstPFN: f})
 	}
 	rec := &ImportRec{Exporter: node, ExportID: resp.ExportID, Name: name, OPTBase: base, Pages: len(resp.Frames)}
-	d.imports[rec] = true
+	d.imports = append(d.imports, rec)
 	return rec, nil
 }
 
@@ -316,7 +331,7 @@ func (d *Daemon) Unimport(proc *kernel.Process, rec *ImportRec) error {
 	d.Mesh.WaitDrained(proc.P, mesh.NodeID(d.NodeID), mesh.NodeID(rec.Exporter))
 	d.NIC.FreeOPT(rec.OPTBase, rec.Pages)
 	rec.released = true
-	delete(d.imports, rec)
+	d.removeImport(rec)
 	port := d.ephemeralPort()
 	defer port.Close()
 	port.Call(proc.P, ether.Addr{Node: rec.Exporter, Port: Port}, 16, releaseReq{ExportID: rec.ExportID, From: d.NodeID})
@@ -332,7 +347,15 @@ func (d *Daemon) Unexport(proc *kernel.Process, rec *ExportRec) error {
 		return fmt.Errorf("unexport: already revoked")
 	}
 	rec.revoked = true
+	// Notify importing daemons in node order: revocation traffic and the
+	// resulting quiesce/drain sequences must not follow map iteration
+	// order, or the virtual-time run stops being repeatable.
+	nodes := make([]int, 0, len(rec.importers))
 	for node := range rec.importers {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	for _, node := range nodes {
 		if node == d.NodeID {
 			d.handleRevoke(proc, revokeReq{Exporter: d.NodeID, ExportID: rec.ID})
 			continue

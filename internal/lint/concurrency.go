@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ConcurrencyAnalyzer returns the no-stray-concurrency rule: outside
+// internal/sim itself, goroutines, channels, select, and the sync package
+// are forbidden. The Proc coroutine discipline guarantees exactly one
+// runnable goroutine, so such primitives are at best redundant and at worst
+// introduce host-scheduler ordering into the virtual-time run.
+func ConcurrencyAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "no-stray-concurrency",
+		Doc:  "forbid go statements, channels, select, and sync outside internal/sim",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if p.IsSimItself() {
+				return
+			}
+			eachFile(p, func(f *ast.File) {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						report(n.Pos(), "go statement outside internal/sim; use Engine.Spawn for concurrent activity")
+					case *ast.SelectStmt:
+						report(n.Pos(), "select outside internal/sim; use sim.Cond / sim.WaitAny")
+					case *ast.SendStmt:
+						report(n.Pos(), "channel send outside internal/sim; the Proc discipline replaces channels")
+					case *ast.UnaryExpr:
+						if n.Op == token.ARROW {
+							report(n.Pos(), "channel receive outside internal/sim; the Proc discipline replaces channels")
+						}
+					case *ast.ChanType:
+						report(n.Pos(), "channel type outside internal/sim; the Proc discipline replaces channels")
+					case *ast.RangeStmt:
+						if p.Info != nil {
+							if tv, ok := p.Info.Types[n.X]; ok {
+								if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+									report(n.Pos(), "range over channel outside internal/sim")
+								}
+							}
+						}
+					case *ast.SelectorExpr:
+						if pkg := pkgNameOf(p, f, n); pkg == "sync" || pkg == "sync/atomic" {
+							report(n.Pos(), fmt.Sprintf(
+								"%s.%s outside internal/sim; exactly one goroutine runs at a time, locking is redundant or order-breaking",
+								pkg, n.Sel.Name))
+						}
+					}
+					return true
+				})
+			})
+		},
+	}
+}

@@ -1,0 +1,257 @@
+// Package lint is shrimplint: a static analysis suite that enforces the
+// simulation's determinism contract.
+//
+// The whole reproduction rests on internal/sim's promise that exactly one
+// goroutine runs at a time and that execution order is fully deterministic —
+// every figure regenerated from the paper is only trustworthy if virtual-time
+// runs are bit-for-bit repeatable. The analyzers here catch, at compile time,
+// the code patterns that break that promise:
+//
+//	no-wallclock             wall-clock time in virtual-time code
+//	no-stray-concurrency     goroutines/channels/sync outside internal/sim
+//	deterministic-iteration  map iteration driving order-sensitive work
+//	no-unseeded-rand         global math/rand in sim-reachable code
+//	no-panic-on-datapath     panics reachable from exported protocol entry
+//	                         points of the message-passing libraries
+//
+// A diagnostic can be suppressed at the site with a comment on the same
+// line or the line directly above:
+//
+//	//lint:allow <rule> <reason>
+//
+// The reason is mandatory; a bare allow is itself reported.
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path (e.g. "shrimp/internal/daemon").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir  string
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources.
+	Files []*ast.File
+	// Types is the (possibly partially) type-checked package object.
+	Types *types.Package
+	// Info carries type information for expressions in Files. Analyzers
+	// must tolerate missing entries: type checking is best-effort and
+	// continues past errors.
+	Info *types.Info
+	// SimReachable reports whether the package is internal/sim itself or
+	// imports it, directly or transitively. The virtual-time rules apply
+	// only to such packages.
+	SimReachable bool
+}
+
+// IsSimItself reports whether p is the simulation engine package, which is
+// exempt from the concurrency rule (it implements the coroutine discipline
+// the rest of the tree must rely on).
+func (p *Package) IsSimItself() bool {
+	return p.Path == SimPath || strings.HasSuffix(p.Path, "/internal/sim")
+}
+
+// SimPath is the import path of the simulation engine.
+const SimPath = "shrimp/internal/sim"
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Rule string `json:"rule"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Rule, d.Msg)
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(p *Package, report func(pos token.Pos, msg string))
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		WallclockAnalyzer(),
+		ConcurrencyAnalyzer(),
+		MapRangeAnalyzer(),
+		RandAnalyzer(),
+		PanicPathAnalyzer(),
+	}
+}
+
+// Run applies the analyzers to the packages and returns unsuppressed
+// diagnostics sorted by position. Malformed suppression comments are
+// reported as diagnostics under the rule "lint-allow".
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		sup, bad := collectSuppressions(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			a.Run(p, func(pos token.Pos, msg string) {
+				position := p.Fset.Position(pos)
+				if sup.allows(a.Name, position) {
+					return
+				}
+				out = append(out, Diagnostic{
+					Rule: a.Name,
+					File: position.Filename,
+					Line: position.Line,
+					Col:  position.Column,
+					Msg:  msg,
+				})
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Rule < out[j].Rule
+	})
+	return out
+}
+
+// JSON renders diagnostics as a JSON array (never null).
+func JSON(diags []Diagnostic) ([]byte, error) {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	return json.MarshalIndent(diags, "", "  ")
+}
+
+// --- Suppressions ---
+
+// allowDirective is the comment prefix that suppresses a diagnostic.
+const allowDirective = "//lint:allow"
+
+// suppressions records, per file and line, which rules are allowed there.
+type suppressions struct {
+	// byFileLine maps file -> line -> allowed rule names.
+	byFileLine map[string]map[int][]string
+}
+
+// allows reports whether rule is suppressed at position: an allow directive
+// on the same line, or on the line directly above, matches.
+func (s suppressions) allows(rule string, pos token.Position) bool {
+	lines := s.byFileLine[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, l := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range lines[l] {
+			if r == rule {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// collectSuppressions scans the package's comments for allow directives.
+// Directives missing a rule or a reason are returned as diagnostics.
+func collectSuppressions(p *Package) (suppressions, []Diagnostic) {
+	s := suppressions{byFileLine: map[string]map[int][]string{}}
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowDirective) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowDirective)
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Diagnostic{
+						Rule: "lint-allow",
+						File: pos.Filename,
+						Line: pos.Line,
+						Col:  pos.Column,
+						Msg:  "malformed suppression: want //lint:allow <rule> <reason>",
+					})
+					continue
+				}
+				lines := s.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					s.byFileLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], fields[0])
+			}
+		}
+	}
+	return s, bad
+}
+
+// --- Shared AST/type helpers ---
+
+// pkgNameOf resolves sel's qualifier to an imported package path, using type
+// info when available and falling back to the file's import table. It
+// returns "" when sel is not a package-qualified selector.
+func pkgNameOf(p *Package, file *ast.File, sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if p.Info != nil {
+		if use, ok := p.Info.Uses[id]; ok {
+			if pn, ok := use.(*types.PkgName); ok {
+				return pn.Imported().Path()
+			}
+			return "" // a variable, field, etc. — not a package
+		}
+	}
+	// Fall back to matching the identifier against the import table.
+	for _, imp := range file.Imports {
+		path := strings.Trim(imp.Path.Value, `"`)
+		name := path[strings.LastIndex(path, "/")+1:]
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == id.Name {
+			return path
+		}
+	}
+	return ""
+}
+
+// calleeName returns the bare name of the function or method being called:
+// "f" for f(...), "M" for x.M(...). It returns "" for indirect calls.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// eachFile runs fn over every file of the package.
+func eachFile(p *Package, fn func(f *ast.File)) {
+	for _, f := range p.Files {
+		fn(f)
+	}
+}

@@ -1,0 +1,464 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture type-checks one synthetic source file as a package with the
+// given import path, using the same best-effort machinery as LoadModule.
+func loadFixture(t *testing.T, path, src string, simReachable bool) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse fixture: %v", err)
+	}
+	imp := &moduleImporter{
+		std:    importer.ForCompiler(fset, "source", nil),
+		module: map[string]*types.Package{},
+		fakes:  map[string]*types.Package{},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp, Error: func(error) {}}
+	tpkg, _ := conf.Check(path, fset, []*ast.File{f}, info)
+	return &Package{
+		Path: path, Fset: fset, Files: []*ast.File{f},
+		Types: tpkg, Info: info, SimReachable: simReachable,
+	}
+}
+
+// runOne applies a single analyzer (plus suppression handling) to a fixture.
+func runOne(a *Analyzer, p *Package) []Diagnostic {
+	return Run([]*Package{p}, []*Analyzer{a})
+}
+
+func wantRules(t *testing.T, diags []Diagnostic, want ...string) {
+	t.Helper()
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Rule)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics %v, want %d %v\ndiags: %v", len(got), got, len(want), want, diags)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("diagnostic %d: got rule %q, want %q\ndiags: %v", i, got[i], want[i], diags)
+		}
+	}
+}
+
+func TestWallclock(t *testing.T) {
+	cases := []struct {
+		name         string
+		src          string
+		simReachable bool
+		want         int
+	}{
+		{
+			name: "hit: time.Now and time.Sleep in sim-reachable code",
+			src: `package x
+import "time"
+func f() time.Time { time.Sleep(time.Second); return time.Now() }`,
+			simReachable: true,
+			want:         2,
+		},
+		{
+			name: "hit: time.After and time.Tick",
+			src: `package x
+import "time"
+func f() { <-time.After(time.Second); <-time.Tick(time.Second) }`,
+			simReachable: true,
+			want:         2,
+		},
+		{
+			name: "clean: durations and arithmetic only",
+			src: `package x
+import "time"
+const d = 25 * time.Microsecond
+func f(t time.Duration) time.Duration { return t + d }`,
+			simReachable: true,
+			want:         0,
+		},
+		{
+			name: "clean: wall clock outside the simulation",
+			src: `package x
+import "time"
+func f() time.Time { return time.Now() }`,
+			simReachable: false,
+			want:         0,
+		},
+		{
+			name: "clean: aliased import still tracked, local time var not confused",
+			src: `package x
+import wall "time"
+func f(time wall.Duration) wall.Duration { return time }`,
+			simReachable: true,
+			want:         0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, "shrimp/internal/x", tc.src, tc.simReachable)
+			diags := runOne(WallclockAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestConcurrency(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{
+			name: "hit: go statement and channel",
+			path: "shrimp/internal/x",
+			src: `package x
+func f() {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	<-ch
+}`,
+			want: 4, // chan type, go stmt, send, recv
+		},
+		{
+			name: "hit: select and sync.Mutex",
+			path: "shrimp/internal/x",
+			src: `package x
+import "sync"
+var mu sync.Mutex
+func f(ch chan int) {
+	mu.Lock()
+	select {
+	case <-ch:
+	default:
+	}
+	mu.Unlock()
+}`,
+			want: 4, // sync.Mutex selector, chan type in param, select, recv
+		},
+		{
+			name: "clean: plain sequential code",
+			path: "shrimp/internal/x",
+			src: `package x
+func f(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: internal/sim itself is exempt",
+			path: "shrimp/internal/sim",
+			src: `package sim
+func f() {
+	ch := make(chan struct{})
+	go func() { ch <- struct{}{} }()
+	<-ch
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, tc.path, tc.src, true)
+			diags := runOne(ConcurrencyAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestMapRange(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "hit: map range body schedules",
+			src: `package x
+func Schedule(k int) {}
+func f(m map[int]int) {
+	for k := range m {
+		Schedule(k)
+	}
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: map range body sends via method",
+			src: `package x
+type port struct{}
+func (port) Send(n int) {}
+func f(m map[int]port) {
+	for k, p := range m {
+		p.Send(k)
+	}
+}`,
+			want: 1,
+		},
+		{
+			name: "clean: slice range may schedule",
+			src: `package x
+func Schedule(k int) {}
+func f(xs []int) {
+	for _, k := range xs {
+		Schedule(k)
+	}
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: map range that only accumulates",
+			src: `package x
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, "shrimp/internal/x", tc.src, true)
+			diags := runOne(MapRangeAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestRand(t *testing.T) {
+	cases := []struct {
+		name         string
+		src          string
+		simReachable bool
+		want         int
+	}{
+		{
+			name: "hit: global rand.Intn and rand.Float64",
+			src: `package x
+import "math/rand"
+func f() float64 { return float64(rand.Intn(10)) + rand.Float64() }`,
+			simReachable: true,
+			want:         2,
+		},
+		{
+			name: "clean: explicitly seeded generator",
+			src: `package x
+import "math/rand"
+func f(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}`,
+			simReachable: true,
+			want:         0,
+		},
+		{
+			name: "clean: global rand outside the simulation",
+			src: `package x
+import "math/rand"
+func f() int { return rand.Intn(10) }`,
+			simReachable: false,
+			want:         0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, "shrimp/internal/x", tc.src, tc.simReachable)
+			diags := runOne(RandAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestPanicPath(t *testing.T) {
+	cases := []struct {
+		name string
+		path string
+		src  string
+		want int
+	}{
+		{
+			name: "hit: panic directly in exported func",
+			path: "shrimp/internal/socket",
+			src: `package socket
+func Send(n int) {
+	if n < 0 {
+		panic("negative")
+	}
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: panic in helper reachable from exported method",
+			path: "shrimp/internal/nx",
+			src: `package nx
+type NX struct{}
+func (n *NX) Csend(b []byte) error { return n.send(b) }
+func (n *NX) send(b []byte) error {
+	if len(b) == 0 {
+		panic("empty")
+	}
+	return nil
+}`,
+			want: 1,
+		},
+		{
+			name: "clean: panic in unexported code not reachable from exports",
+			path: "shrimp/internal/vmmc",
+			src: `package vmmc
+func Attach() {}
+func debugOnly() { panic("never wired up") }`,
+			want: 0,
+		},
+		{
+			name: "clean: errors returned instead of panics",
+			path: "shrimp/internal/sunrpc",
+			src: `package sunrpc
+import "errors"
+func Serve(n int) error {
+	if n < 0 {
+		return errors.New("bad n")
+	}
+	return nil
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: panic outside the datapath packages is out of scope",
+			path: "shrimp/internal/daemon",
+			src: `package daemon
+func Serve() { panic("boom") }`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, tc.path, tc.src, true)
+			diags := runOne(PanicPathAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	t.Run("same line", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+import "time"
+func f() time.Time { return time.Now() } //lint:allow no-wallclock testing the suppression
+`, true)
+		wantRules(t, runOne(WallclockAnalyzer(), p))
+	})
+	t.Run("line above", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+import "time"
+func f() time.Time {
+	//lint:allow no-wallclock testing the suppression
+	return time.Now()
+}`, true)
+		wantRules(t, runOne(WallclockAnalyzer(), p))
+	})
+	t.Run("wrong rule does not suppress", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+import "time"
+func f() time.Time {
+	//lint:allow no-unseeded-rand wrong rule
+	return time.Now()
+}`, true)
+		wantRules(t, runOne(WallclockAnalyzer(), p), "no-wallclock")
+	})
+	t.Run("missing reason is itself reported", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+import "time"
+func f() time.Time {
+	//lint:allow no-wallclock
+	return time.Now()
+}`, true)
+		// The malformed directive is reported and does not suppress.
+		wantRules(t, runOne(WallclockAnalyzer(), p), "lint-allow", "no-wallclock")
+	})
+}
+
+func TestJSONOutput(t *testing.T) {
+	b, err := JSON(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(b)) != "[]" {
+		t.Fatalf("empty diagnostics should marshal to [], got %s", b)
+	}
+	p := loadFixture(t, "shrimp/internal/x", `package x
+import "time"
+func f() time.Time { return time.Now() }`, true)
+	diags := runOne(WallclockAnalyzer(), p)
+	b, err = JSON(diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"rule"`, `"no-wallclock"`, `"line"`, `"fixture.go"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("JSON output missing %s: %s", want, b)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the real module and requires zero
+// findings: the determinism contract holds on the committed tree. If this
+// fails, either fix the violation or add a //lint:allow with a reason.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loader found only %d packages; expected the whole module", len(pkgs))
+	}
+	var simReachable int
+	for _, p := range pkgs {
+		if p.SimReachable {
+			simReachable++
+		}
+	}
+	if simReachable < 5 {
+		t.Fatalf("only %d sim-reachable packages; reachability computation looks broken", simReachable)
+	}
+	diags := Run(pkgs, All())
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

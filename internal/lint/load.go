@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LoadModule discovers, parses, and type-checks every non-test package of
+// the Go module rooted at root, without shelling out to the go tool and
+// without any dependency beyond the standard library.
+//
+// Standard-library imports are type-checked from GOROOT source via the
+// stdlib "source" importer; module-internal imports are resolved against the
+// packages being loaded (checked in dependency order). Type checking is
+// best-effort: a package that fails to fully check still yields partial type
+// information, and analyzers degrade to syntactic matching.
+func LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	type node struct {
+		path  string
+		dir   string
+		files []*ast.File
+		deps  []string // module-internal imports
+	}
+	nodes := map[string]*node{}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := modPath
+		if rel != "." {
+			path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		files, err := parseDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		if len(files) == 0 {
+			continue
+		}
+		n := &node{path: path, dir: dir, files: files}
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					n.deps = append(n.deps, ip)
+				}
+			}
+		}
+		nodes[path] = n
+	}
+
+	// Topological order over module-internal imports (Go forbids cycles,
+	// but guard against them so a broken tree cannot hang the linter).
+	var order []string
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string) error
+	visit = func(path string) error {
+		n, ok := nodes[path]
+		if !ok {
+			return nil
+		}
+		switch state[path] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", path)
+		case 2:
+			return nil
+		}
+		state[path] = 1
+		deps := append([]string(nil), n.deps...)
+		sort.Strings(deps)
+		for _, d := range deps {
+			if err := visit(d); err != nil {
+				return err
+			}
+		}
+		state[path] = 2
+		order = append(order, path)
+		return nil
+	}
+	var paths []string
+	for p := range nodes {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+
+	imp := &moduleImporter{
+		std:    importer.ForCompiler(fset, "source", nil),
+		module: map[string]*types.Package{},
+		fakes:  map[string]*types.Package{},
+	}
+	var pkgs []*Package
+	byPath := map[string]*Package{}
+	for _, path := range order {
+		n := nodes[path]
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(error) {}, // best-effort: keep checking
+		}
+		tpkg, _ := conf.Check(path, fset, n.files, info)
+		if tpkg != nil {
+			imp.module[path] = tpkg
+		}
+		p := &Package{
+			Path:  path,
+			Dir:   n.dir,
+			Fset:  fset,
+			Files: n.files,
+			Types: tpkg,
+			Info:  info,
+		}
+		pkgs = append(pkgs, p)
+		byPath[path] = p
+	}
+
+	// Sim reachability: internal/sim itself plus everything that imports
+	// it transitively within the module.
+	reach := map[string]bool{}
+	var reachable func(path string) bool
+	reachable = func(path string) bool {
+		if path == SimPath {
+			return true
+		}
+		if v, ok := reach[path]; ok {
+			return v
+		}
+		reach[path] = false // cycle guard
+		n := nodes[path]
+		if n == nil {
+			return false
+		}
+		for _, d := range n.deps {
+			if reachable(d) {
+				reach[path] = true
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range pkgs {
+		p.SimReachable = reachable(p.Path)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// moduleImporter resolves module-internal imports from the already-checked
+// set, standard-library imports from GOROOT source, and anything else (or
+// any failure) as an empty placeholder so checking can continue.
+type moduleImporter struct {
+	std    types.Importer
+	module map[string]*types.Package
+	fakes  map[string]*types.Package
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.module[path]; ok {
+		return p, nil
+	}
+	if p, err := m.std.Import(path); err == nil && p != nil {
+		return p, nil
+	}
+	if p, ok := m.fakes[path]; ok {
+		return p, nil
+	}
+	name := path[strings.LastIndex(path, "/")+1:]
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	m.fakes[path] = p
+	return p, nil
+}
+
+// modulePath extracts the module directive from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w (run from the module root)", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// packageDirs walks the module tree and returns every directory holding at
+// least one non-test .go file.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor" || name == "results") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// parseDir parses every non-test .go file in dir, with comments (needed for
+// suppression directives).
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

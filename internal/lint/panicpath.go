@@ -1,0 +1,214 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// datapathSuffixes selects the message-passing library packages whose
+// exported API is a protocol surface: errors there (bad peer data, exhausted
+// rings, revoked mappings) must surface as error returns, not crash the
+// whole simulated machine.
+var datapathSuffixes = []string{
+	"/internal/nx",
+	"/internal/vmmc",
+	"/internal/socket",
+	"/internal/sunrpc",
+}
+
+func isDatapathPackage(path string) bool {
+	for _, s := range datapathSuffixes {
+		if strings.HasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// PanicPathAnalyzer returns the no-panic-on-datapath rule: panic calls in
+// any function reachable (through the package's internal call graph,
+// including closures) from an exported function or method are flagged.
+func PanicPathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "no-panic-on-datapath",
+		Doc:  "flag panics reachable from exported entry points of nx/vmmc/socket/sunrpc",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if !isDatapathPackage(p.Path) {
+				return
+			}
+			g := buildCallGraph(p)
+			reachedVia := map[string]string{} // decl key -> exported entry name
+			var queue []string
+			for _, key := range g.sortedKeys() {
+				if g.exported[key] {
+					reachedVia[key] = key
+					queue = append(queue, key)
+				}
+			}
+			for len(queue) > 0 {
+				key := queue[0]
+				queue = queue[1:]
+				for _, callee := range g.edges[key] {
+					if _, seen := reachedVia[callee]; !seen {
+						reachedVia[callee] = reachedVia[key]
+						queue = append(queue, callee)
+					}
+				}
+			}
+			for key, decl := range g.decls {
+				entry, reachable := reachedVia[key]
+				if !reachable {
+					continue
+				}
+				ast.Inspect(decl.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltin(p, id) {
+						via := ""
+						if entry != key {
+							via = fmt.Sprintf(" (reachable from exported %s via %s)", entry, key)
+						} else {
+							via = fmt.Sprintf(" (in exported %s)", entry)
+						}
+						report(call.Pos(), "panic on a library datapath"+via+"; return an error instead")
+					}
+					return true
+				})
+			}
+		},
+	}
+}
+
+// isBuiltin reports whether id resolves to the builtin of the same name
+// (i.e. is not shadowed by a local declaration). Without type info it
+// assumes the builtin.
+func isBuiltin(p *Package, id *ast.Ident) bool {
+	if p.Info == nil {
+		return true
+	}
+	obj, ok := p.Info.Uses[id]
+	if !ok {
+		return true
+	}
+	_, builtin := obj.(*types.Builtin)
+	return builtin
+}
+
+// callGraph is the package-internal call graph over declared functions and
+// methods. Keys are "Func" for functions and "Type.Method" for methods.
+type callGraph struct {
+	decls    map[string]*ast.FuncDecl
+	edges    map[string][]string
+	exported map[string]bool
+}
+
+func (g *callGraph) sortedKeys() []string {
+	keys := make([]string, 0, len(g.decls))
+	for k := range g.decls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func buildCallGraph(p *Package) *callGraph {
+	g := &callGraph{
+		decls:    map[string]*ast.FuncDecl{},
+		edges:    map[string][]string{},
+		exported: map[string]bool{},
+	}
+	// methodsByName lets selector calls fall back to a name-only match when
+	// the receiver expression cannot be typed; over-approximating keeps the
+	// rule sound (it can only add reachability).
+	methodsByName := map[string][]string{}
+	eachFile(p, func(f *ast.File) {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			key := declKey(fd)
+			g.decls[key] = fd
+			if fd.Name.IsExported() {
+				g.exported[key] = true
+			}
+			if fd.Recv != nil {
+				methodsByName[fd.Name.Name] = append(methodsByName[fd.Name.Name], key)
+			}
+		}
+	})
+	for key, fd := range g.decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fn := call.Fun.(type) {
+			case *ast.Ident:
+				if _, ok := g.decls[fn.Name]; ok {
+					g.edges[key] = append(g.edges[key], fn.Name)
+				}
+			case *ast.SelectorExpr:
+				if tkey, ok := methodKey(p, fn); ok {
+					if _, declared := g.decls[tkey]; declared {
+						g.edges[key] = append(g.edges[key], tkey)
+						return true
+					}
+				}
+				g.edges[key] = append(g.edges[key], methodsByName[fn.Sel.Name]...)
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// declKey names a FuncDecl: "Func" or "Type.Method".
+func declKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	return receiverTypeName(fd.Recv.List[0].Type) + "." + fd.Name.Name
+}
+
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr: // generic receiver
+		return receiverTypeName(e.X)
+	}
+	return "?"
+}
+
+// methodKey resolves x.M to "Type.M" when x's type is a named type declared
+// in this package.
+func methodKey(p *Package, sel *ast.SelectorExpr) (string, bool) {
+	if p.Info == nil {
+		return "", false
+	}
+	tv, ok := p.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return "", false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj() == nil || named.Obj().Pkg() == nil {
+		return "", false
+	}
+	if named.Obj().Pkg().Path() != p.Path {
+		return "", false
+	}
+	return named.Obj().Name() + "." + sel.Sel.Name, true
+}

@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// randConstructors are the math/rand entry points that build an explicit,
+// seedable generator rather than drawing from the global source. These are
+// the only permitted uses: deterministic code must thread a seeded
+// *rand.Rand, never the process-global source.
+var randConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	// Types and constants referenced by name are harmless.
+	"Rand":   true,
+	"Source": true,
+	"Zipf":   true,
+}
+
+// RandAnalyzer returns the no-unseeded-rand rule: top-level math/rand
+// functions (rand.Intn, rand.Float64, rand.Shuffle, …) use the global,
+// auto-seeded source, so two runs of the same scenario draw different
+// numbers. Sim-reachable code must use an explicitly seeded *rand.Rand.
+func RandAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "no-unseeded-rand",
+		Doc:  "forbid global math/rand functions in sim-reachable packages",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if !p.SimReachable {
+				return
+			}
+			eachFile(p, func(f *ast.File) {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					pkg := pkgNameOf(p, f, sel)
+					if pkg != "math/rand" && pkg != "math/rand/v2" {
+						return true
+					}
+					if randConstructors[sel.Sel.Name] {
+						return true
+					}
+					report(sel.Pos(), fmt.Sprintf(
+						"rand.%s draws from the global source; pass an explicitly seeded *rand.Rand (rand.New(rand.NewSource(seed)))",
+						sel.Sel.Name))
+					return true
+				})
+			})
+		},
+	}
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// bannedTimeFuncs are the package time entry points that read or wait on the
+// wall clock. time.Duration arithmetic and constants remain fine — the
+// simulation measures virtual durations — but an actual clock read in
+// sim-reachable code smuggles host nondeterminism into virtual time.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// WallclockAnalyzer returns the no-wallclock rule: packages that participate
+// in the simulation (import internal/sim, directly or transitively) must use
+// virtual time exclusively.
+func WallclockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "no-wallclock",
+		Doc:  "forbid time.Now/Sleep/After/Tick etc. in sim-reachable packages",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if !p.SimReachable {
+				return
+			}
+			eachFile(p, func(f *ast.File) {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					if pkgNameOf(p, f, sel) != "time" || !bannedTimeFuncs[sel.Sel.Name] {
+						return true
+					}
+					report(sel.Pos(), fmt.Sprintf(
+						"time.%s reads the wall clock; sim-reachable code must use virtual time (sim.Engine.Now, Proc.Sleep)",
+						sel.Sel.Name))
+					return true
+				})
+			})
+		},
+	}
+}

@@ -170,7 +170,7 @@ func (nx *NX) match(typesel int) (candidate, bool) {
 	p := nx.proc()
 	var best candidate
 	found := false
-	for _, cn := range nx.conns {
+	for _, cn := range nx.connList {
 		for buf := 0; buf < NumPkt; buf++ {
 			off := pktOff(buf)
 			size := cn.inWord(p, off)
@@ -200,7 +200,7 @@ func (nx *NX) match(typesel int) (candidate, bool) {
 // charging per-word costs (the real scan re-runs with costs after wake).
 func (nx *NX) matchExists(typesel int) bool {
 	p := nx.proc()
-	for _, cn := range nx.conns {
+	for _, cn := range nx.connList {
 		for buf := 0; buf < NumPkt; buf++ {
 			off := pktOff(buf)
 			size := p.PeekWord(cn.in + kernel.VA(off))
@@ -336,7 +336,7 @@ func (nx *NX) waitChunk(cn *conn, flag uint32, msgID uint32, idx int) candidate 
 // nothing else: replies and done words live in those regions too).
 func (nx *NX) wakeAddrs() []kernel.VA {
 	var vas []kernel.VA
-	for _, cn := range nx.conns {
+	for _, cn := range nx.connList {
 		vas = append(vas, nx.connAddrs(cn)...)
 	}
 	return vas
@@ -351,7 +351,7 @@ func (nx *NX) connAddrs(cn *conn) []kernel.VA {
 }
 
 func (nx *NX) flushAllCredits() {
-	for _, cn := range nx.conns {
+	for _, cn := range nx.connList {
 		if len(cn.pendingCred) > 0 {
 			nx.flushCredits(cn)
 		}

@@ -5,7 +5,20 @@ import (
 
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/vmmc"
 )
+
+// mustSend issues a deliberate update the NX protocol cannot recover from if
+// it fails. The paper's NX interface (csend/crecv/isend) has no error
+// channel: an import revoked mid-send means the peer tore down its buffers
+// underneath an established connection, which is fatal to the process on
+// the real machine too.
+func (nx *NX) mustSend(imp *vmmc.Import, dstOff int, src kernel.VA, n int) {
+	if err := nx.ep.Send(imp, dstOff, src, n); err != nil {
+		//lint:allow no-panic-on-datapath NX csend has no error channel; a mapping revoked mid-send is fatal by design
+		panic(fmt.Sprintf("nx: send: %v", err))
+	}
+}
 
 // hdr is a packet-buffer descriptor in decoded form.
 type hdr struct {
@@ -64,6 +77,7 @@ func (nx *NX) Csend(typ int, buf kernel.VA, count, node, pid int) {
 	p := nx.proc()
 	p.Compute(hw.CallCost)
 	if typ < 0 {
+		//lint:allow no-panic-on-datapath API-misuse invariant: reserved types are a caller bug, as in real NX
 		panic(fmt.Sprintf("nx: csend with reserved type %d", typ))
 	}
 	if node == nx.node {
@@ -186,9 +200,7 @@ func (nx *NX) sendChunk(cn *conn, h hdr, src kernel.VA, n int, proto Proto) {
 			p.CopyVA(cn.staging+hdrSize, src, n)
 		}
 		p.WriteWord(cn.staging+kernel.VA(hdrSize+ceil4(n)), uint32(n+1))
-		if err := nx.ep.Send(cn.out, off, cn.staging, hdrSize+ceil4(n)+4); err != nil {
-			panic(err)
-		}
+		nx.mustSend(cn.out, off, cn.staging, hdrSize+ceil4(n)+4)
 
 	case ProtoDU1:
 		// One-copy deliberate-update path: the payload goes directly
@@ -202,16 +214,13 @@ func (nx *NX) sendChunk(cn *conn, h hdr, src kernel.VA, n int, proto Proto) {
 			return
 		}
 		p.WriteBytes(cn.staging, h.encode())
-		if err := nx.ep.Send(cn.out, off, cn.staging, hdrSize); err != nil {
-			panic(err)
-		}
+		nx.mustSend(cn.out, off, cn.staging, hdrSize)
 		if n > 0 {
-			if err := nx.ep.Send(cn.out, off+hdrSize, src, ceil4(n)); err != nil {
-				panic(err)
-			}
+			nx.mustSend(cn.out, off+hdrSize, src, ceil4(n))
 		}
 		cn.shadowWriteWord(p, doneOff(off, n), uint32(n+1))
 	default:
+		//lint:allow no-panic-on-datapath unreachable: every Proto constant is handled above
 		panic("nx: bad chunk protocol")
 	}
 }
@@ -226,9 +235,7 @@ func (nx *NX) sendChunkStaged(cn *conn, h hdr, src kernel.VA, n, off int) {
 		p.CopyVA(cn.staging+hdrSize, src, n)
 	}
 	p.WriteWord(cn.staging+kernel.VA(hdrSize+ceil4(n)), uint32(n+1))
-	if err := nx.ep.Send(cn.out, off, cn.staging, hdrSize+ceil4(n)+4); err != nil {
-		panic(err)
-	}
+	nx.mustSend(cn.out, off, cn.staging, hdrSize+ceil4(n)+4)
 }
 
 // sendSelf loops a message back to this process through a local queue, with

@@ -70,6 +70,15 @@ func (t *Timer) Pending() bool {
 	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
 }
 
+// Reset re-arms the timer to fire d from now with its original callback,
+// whether it is pending, stopped, or has already fired. It reports whether
+// the timer was still pending (and was therefore canceled) before re-arming.
+func (t *Timer) Reset(d time.Duration) bool {
+	wasPending := t.Stop()
+	t.ev = t.eng.Schedule(d, t.ev.fn).ev
+	return wasPending
+}
+
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -108,6 +117,10 @@ type Engine struct {
 	cur    *Proc // proc currently holding execution, nil in event context
 	halted bool
 	tracer Tracer
+	// auto is the determinism-digest tracer attached at construction when
+	// a sim.Digest scenario is running; it observes execution alongside
+	// any user-installed tracer.
+	auto Tracer
 
 	// Stats, exposed for tests and the bench harness.
 	EventsRun int64
@@ -115,7 +128,7 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{}
+	return &Engine{auto: autoTracer}
 }
 
 // Now returns the current virtual time.
@@ -168,6 +181,9 @@ func (e *Engine) Run(limit Time) Time {
 		e.EventsRun++
 		if e.tracer != nil {
 			e.tracer.Event(next.at, next.seq)
+		}
+		if e.auto != nil {
+			e.auto.Event(next.at, next.seq)
 		}
 		next.fn()
 	}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// Timer edge cases: the Stop/Pending/Reset contract around firing,
+// cancellation, and re-arming.
+
+func TestTimerStopAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.Schedule(time.Microsecond, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d times, want 1", fired)
+	}
+	if tm.Stop() {
+		t.Fatal("Stop after fire reported the timer as still pending")
+	}
+	if tm.Pending() {
+		t.Fatal("Pending true after the timer fired")
+	}
+}
+
+func TestTimerDoubleStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.Schedule(time.Microsecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("first Stop should report the timer was pending")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report the timer was already stopped")
+	}
+	e.RunAll()
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestTimerStopSelfInsideCallback(t *testing.T) {
+	// By the time the callback runs, the event has been popped from the
+	// heap; stopping "yourself" must be a harmless no-op.
+	e := NewEngine()
+	var tm *Timer
+	stopped := true
+	tm = e.Schedule(time.Microsecond, func() { stopped = tm.Stop() })
+	e.RunAll()
+	if stopped {
+		t.Fatal("Stop from inside the firing callback reported pending")
+	}
+}
+
+func TestTimerStopPeerInsideCallback(t *testing.T) {
+	// An event scheduled at the same instant can cancel a later one: the
+	// victim is still in the heap when the first callback runs.
+	e := NewEngine()
+	victimRan := false
+	victim := e.Schedule(time.Microsecond, func() { victimRan = true })
+	canceled := false
+	e.At(e.Now().Add(time.Microsecond), func() {}) // unrelated, same instant
+	e.Schedule(0, func() { canceled = victim.Stop() })
+	e.RunAll()
+	if !canceled {
+		t.Fatal("Stop on a queued peer event reported not pending")
+	}
+	if victimRan {
+		t.Fatal("canceled event still ran")
+	}
+}
+
+func TestTimerResetWhilePending(t *testing.T) {
+	e := NewEngine()
+	var firedAt []Time
+	tm := e.Schedule(100*time.Microsecond, nil)
+	// Capture the fire time; the callback is shared across re-arms.
+	tm.ev.fn = func() { firedAt = append(firedAt, e.Now()) }
+	if !tm.Reset(200 * time.Microsecond) {
+		t.Fatal("Reset of a pending timer should report it was pending")
+	}
+	if !tm.Pending() {
+		t.Fatal("re-armed timer should be pending")
+	}
+	e.RunAll()
+	if len(firedAt) != 1 || firedAt[0] != Time(200*1000) {
+		t.Fatalf("re-armed timer fired at %v, want exactly once at 200us", firedAt)
+	}
+}
+
+func TestTimerResetAfterFire(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.Schedule(time.Microsecond, func() { fired++ })
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if tm.Reset(time.Microsecond) {
+		t.Fatal("Reset after fire should report not pending")
+	}
+	if !tm.Pending() {
+		t.Fatal("timer should be pending again after Reset")
+	}
+	e.RunAll()
+	if fired != 2 {
+		t.Fatalf("re-armed timer: fired %d, want 2", fired)
+	}
+}
+
+func TestTimerPendingLifecycle(t *testing.T) {
+	e := NewEngine()
+	tm := e.Schedule(time.Microsecond, func() {})
+	if !tm.Pending() {
+		t.Fatal("fresh timer should be pending")
+	}
+	tm.Stop()
+	if tm.Pending() {
+		t.Fatal("stopped timer should not be pending")
+	}
+	tm.Reset(time.Microsecond)
+	if !tm.Pending() {
+		t.Fatal("re-armed timer should be pending")
+	}
+	e.RunAll()
+	if tm.Pending() {
+		t.Fatal("fired timer should not be pending")
+	}
+	var nilTimer *Timer
+	if nilTimer.Pending() {
+		t.Fatal("nil timer should not be pending")
+	}
+}

@@ -272,10 +272,14 @@ func (c *Conn) Send(va kernel.VA, n int) (int, error) {
 					return written, err
 				}
 			} else {
-				c.stageAndSend(src, pos, chunk)
+				if err := c.stageAndSend(src, pos, chunk); err != nil {
+					return written, err
+				}
 			}
 		case ModeDU2:
-			c.stageAndSend(src, pos, chunk)
+			if err := c.stageAndSend(src, pos, chunk); err != nil {
+				return written, err
+			}
 		}
 		c.sent += chunk
 		written += chunk
@@ -293,7 +297,7 @@ func (c *Conn) Send(va kernel.VA, n int) (int, error) {
 // boundary. Trailing pad bytes land beyond the published write count, so
 // the receiver never observes them; they are rewritten by the next send's
 // prefix.
-func (c *Conn) stageAndSend(src kernel.VA, pos, chunk int) {
+func (c *Conn) stageAndSend(src kernel.VA, pos, chunk int) error {
 	p := c.lib.ep.Proc
 	lead := pos % hw.WordSize
 	if lead > 0 {
@@ -302,7 +306,7 @@ func (c *Conn) stageAndSend(src kernel.VA, pos, chunk int) {
 	p.CopyVA(c.staging+kernel.VA(lead), src, chunk)
 	padded := (lead + chunk + 3) &^ 3
 	if err := c.lib.ep.Send(c.out, pos-lead, c.staging, padded); err != nil {
-		panic(err)
+		return err
 	}
 	// Remember the bytes of the new partial word at the stream head.
 	newTail := (pos + chunk) % hw.WordSize
@@ -310,6 +314,7 @@ func (c *Conn) stageAndSend(src kernel.VA, pos, chunk int) {
 		start := lead + chunk - newTail
 		copy(c.tail[:], p.Peek(c.staging+kernel.VA(start), newTail))
 	}
+	return nil
 }
 
 // waitSpace blocks until at least one byte of ring space is free, returning

@@ -1,0 +1,135 @@
+package xdr
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+// FuzzRoundTrip encodes a value of every XDR item kind, decodes the buffer,
+// and requires the decoded values, the byte counts, and the 4-byte alignment
+// invariants to match exactly.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint32(0), int64(0), false, 0.0, []byte(nil), "")
+	f.Add(uint32(7), int64(-1), true, 3.25, []byte("abc"), "hello")
+	f.Add(uint32(0xdeadbeef), int64(math.MinInt64), true, math.Inf(-1),
+		[]byte{0, 1, 2, 3, 4, 5, 6}, "padded string!")
+	f.Fuzz(func(t *testing.T, u32 uint32, i64 int64, b bool, fl float64, op []byte, s string) {
+		// The counted array is derived from the opaque bytes so the fuzzer
+		// steers its length and contents too.
+		arr := make([]uint32, len(op))
+		for i, c := range op {
+			arr[i] = uint32(c) << (uint(i) % 24)
+		}
+
+		sink := &BufferSink{}
+		e := NewEncoder(sink)
+		e.PutUint32(u32)
+		e.PutInt64(i64)
+		e.PutBool(b)
+		e.PutFloat64(fl)
+		e.PutOpaque(op)
+		e.PutString(s)
+		e.PutFixedOpaque(op)
+		e.PutUint32Array(arr)
+		if e.Bytes != len(sink.Buf) {
+			t.Fatalf("encoder counted %d bytes, sink holds %d", e.Bytes, len(sink.Buf))
+		}
+		if e.Bytes%4 != 0 {
+			t.Fatalf("encoded stream length %d is not 4-byte aligned", e.Bytes)
+		}
+
+		src := &BufferSource{Buf: sink.Buf}
+		d := NewDecoder(src)
+		gotU32, err := d.Uint32()
+		if err != nil || gotU32 != u32 {
+			t.Fatalf("Uint32 = %d, %v; want %d", gotU32, err, u32)
+		}
+		gotI64, err := d.Int64()
+		if err != nil || gotI64 != i64 {
+			t.Fatalf("Int64 = %d, %v; want %d", gotI64, err, i64)
+		}
+		gotB, err := d.Bool()
+		if err != nil || gotB != b {
+			t.Fatalf("Bool = %v, %v; want %v", gotB, err, b)
+		}
+		gotF, err := d.Float64()
+		if err != nil || math.Float64bits(gotF) != math.Float64bits(fl) {
+			t.Fatalf("Float64 = %v, %v; want %v", gotF, err, fl)
+		}
+		gotOp, err := d.Opaque(0)
+		if err != nil || !bytes.Equal(gotOp, op) {
+			t.Fatalf("Opaque = %q, %v; want %q", gotOp, err, op)
+		}
+		gotS, err := d.String(0)
+		if err != nil || gotS != s {
+			t.Fatalf("String = %q, %v; want %q", gotS, err, s)
+		}
+		gotFix, err := d.FixedOpaque(len(op))
+		if err != nil || !bytes.Equal(gotFix, op) {
+			t.Fatalf("FixedOpaque = %q, %v; want %q", gotFix, err, op)
+		}
+		gotArr, err := d.Uint32Array(0)
+		if err != nil || len(gotArr) != len(arr) {
+			t.Fatalf("Uint32Array len = %d, %v; want %d", len(gotArr), err, len(arr))
+		}
+		for i := range arr {
+			if gotArr[i] != arr[i] {
+				t.Fatalf("Uint32Array[%d] = %d, want %d", i, gotArr[i], arr[i])
+			}
+		}
+		if src.Remaining() != 0 {
+			t.Fatalf("%d bytes left unconsumed", src.Remaining())
+		}
+		if d.Bytes != e.Bytes {
+			t.Fatalf("decoder counted %d bytes, encoder wrote %d", d.Bytes, e.Bytes)
+		}
+
+		// A truncated copy of the stream must surface an error, never panic
+		// or fabricate data past the buffer.
+		if len(sink.Buf) > 0 {
+			short := &BufferSource{Buf: sink.Buf[:len(sink.Buf)-1]}
+			ds := NewDecoder(short)
+			for {
+				if _, err := ds.Opaque(len(sink.Buf)); err != nil {
+					break
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeRaw throws arbitrary bytes at the decoder with bounds set, the
+// way a server parses an untrusted request: every item either decodes or
+// returns an error, and the decoder never reads past the buffer.
+func FuzzDecodeRaw(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte{0, 0, 0, 1})
+	f.Add([]byte{0, 0, 0, 5, 'h', 'e', 'l', 'l', 'o', 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		src := &BufferSource{Buf: raw}
+		d := NewDecoder(src)
+		for {
+			before := src.Remaining()
+			if _, err := d.Uint32(); err != nil {
+				break
+			}
+			if _, err := d.Bool(); err != nil {
+				break
+			}
+			if _, err := d.String(1 << 16); err != nil {
+				break
+			}
+			if _, err := d.Opaque(1 << 16); err != nil {
+				break
+			}
+			if src.Remaining() >= before {
+				t.Fatal("decoder made no progress")
+			}
+		}
+		if d.Bytes > len(raw) {
+			t.Fatalf("decoder counted %d bytes from a %d-byte buffer", d.Bytes, len(raw))
+		}
+	})
+}
