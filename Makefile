@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz check clean
+.PHONY: all build test race vet lint fuzz trace-smoke check clean
 
 all: build
 
@@ -29,9 +29,19 @@ lint:
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/xdr
 	$(GO) test -run NONE -fuzz FuzzDecodeRaw -fuzztime $(FUZZTIME) ./internal/xdr
+	$(GO) test -run NONE -fuzz FuzzChromeTrace -fuzztime $(FUZZTIME) ./internal/trace
+
+# trace-smoke exercises the observability layer end to end: run the same
+# traced scenario twice and require byte-identical Chrome trace files —
+# traces are part of the determinism contract.
+trace-smoke:
+	$(GO) run ./cmd/shrimpbench -fig fig3 -trace /tmp/shrimp-trace-a.json
+	$(GO) run ./cmd/shrimpbench -fig fig3 -trace /tmp/shrimp-trace-b.json
+	cmp /tmp/shrimp-trace-a.json /tmp/shrimp-trace-b.json
+	@echo "trace-smoke: traces byte-identical"
 
 # check is the full gate CI runs: build, vet, lint, race-enabled tests.
-check: build vet lint race
+check: build vet lint race trace-smoke
 
 clean:
 	$(GO) clean ./...

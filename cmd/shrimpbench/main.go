@@ -16,6 +16,13 @@
 //
 //	shrimpbench [-fig all|fig3|fig4|fig5|fig7|fig8|peak|ttcp|rpcbase]
 //	            [-iters N] [-csv dir]
+//	shrimpbench -fig fig3 [-trace out.json] [-stats]
+//
+// With -trace or -stats, shrimpbench runs ONE representative scenario of the
+// selected figure with the observability layer attached: -trace writes a
+// Chrome trace-event JSON file (load it in Perfetto / chrome://tracing) and
+// -stats prints the span/counter/histogram summary. Traces are deterministic:
+// two runs of the same scenario produce byte-identical files.
 package main
 
 import (
@@ -25,13 +32,39 @@ import (
 	"path/filepath"
 
 	"shrimp/internal/bench"
+	"shrimp/internal/trace"
 )
 
 func main() {
 	fig := flag.String("fig", "all", "which experiment to run")
 	iters := flag.Int("iters", 8, "ping-pong iterations per point")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	tracePath := flag.String("trace", "", "write a Chrome trace of one representative -fig scenario to this file")
+	stats := flag.Bool("stats", false, "print the trace summary of one representative -fig scenario")
 	flag.Parse()
+
+	if *tracePath != "" || *stats {
+		tc := trace.New()
+		desc, err := bench.TraceFigure(*fig, tc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(desc)
+		if *tracePath != "" {
+			if err := tc.WriteChromeTrace(*tracePath); err != nil {
+				fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s (%d spans, %d engine events)\n",
+				*tracePath, len(tc.Spans()), tc.EngineEvents())
+		}
+		if *stats {
+			fmt.Println()
+			fmt.Print(tc.Summary())
+		}
+		return
+	}
 
 	run := func(name string) bool { return *fig == "all" || *fig == name }
 	var figures []*bench.Figure

@@ -8,9 +8,13 @@
 // Usage:
 //
 //	ttcp [-l buflen] [-n numbufs] [-m AU-2copy|DU-1copy|DU-2copy] [-raw]
+//	     [-trace out.json] [-stats]
 //
 // -raw disables the ttcp application-overhead model and reports the pure
-// library streaming rate (the paper's "our own microbenchmark").
+// library streaming rate (the paper's "our own microbenchmark"). -trace
+// writes a Chrome trace-event JSON of the run and -stats prints the
+// span/counter summary; both observe the same run that produced the
+// reported bandwidth.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 
 	"shrimp/internal/bench"
 	"shrimp/internal/socket"
+	"shrimp/internal/trace"
 )
 
 func main() {
@@ -28,6 +33,8 @@ func main() {
 	numbufs := flag.Int("n", 64, "number of buffers to send")
 	modeStr := flag.String("m", "DU-1copy", "socket protocol variant")
 	raw := flag.Bool("raw", false, "library microbenchmark (no ttcp app overhead)")
+	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
+	stats := flag.Bool("stats", false, "print the run's trace summary")
 	flag.Parse()
 
 	var mode socket.Mode
@@ -50,12 +57,29 @@ func main() {
 		label = "microbenchmark"
 	}
 
+	var tc *trace.Collector
+	if *tracePath != "" || *stats {
+		tc = trace.New()
+	}
+
 	total := *buflen * *numbufs
-	mbps := bench.SocketStream(mode, *buflen, *numbufs, perWrite, perByte)
+	mbps := bench.SocketStreamTraced(mode, *buflen, *numbufs, perWrite, perByte, tc)
 	secs := float64(total) / (mbps * 1e6)
 
 	fmt.Printf("ttcp-t: buflen=%d, nbuf=%d, port=5001 (%s, SHRIMP sockets)\n", *buflen, *numbufs, mode)
 	fmt.Printf("ttcp-t: %d bytes in %.3f real seconds = %.2f MB/sec (%s)\n",
 		total, secs, mbps, label)
 	fmt.Printf("ttcp-r: %d bytes received OK\n", total)
+
+	if *tracePath != "" {
+		if err := tc.WriteChromeTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "ttcp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d spans)\n", *tracePath, len(tc.Spans()))
+	}
+	if *stats {
+		fmt.Println()
+		fmt.Print(tc.Summary())
+	}
 }

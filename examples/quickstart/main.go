@@ -7,19 +7,34 @@
 // receiver exports a buffer and has no receive operation at all; data
 // appears directly in its memory, and it just checks a flag (or gets a
 // notification).
+//
+// Run with -trace out.json to also record the run through the observability
+// layer: the example prints the five most expensive spans (by total virtual
+// time) and writes a Chrome trace-event file for Perfetto.
 package main
 
 import (
+	"flag"
 	"fmt"
+	"os"
 
 	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
 func main() {
-	c := cluster.Default() // 4 Pentium nodes, 2x2 mesh backplane
+	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
+	flag.Parse()
+
+	var tc *trace.Collector // nil unless -trace: absent collector costs nothing
+	if *tracePath != "" {
+		tc = trace.New()
+	}
+	// 4 Pentium nodes, 2x2 mesh backplane.
+	c := cluster.New(cluster.Config{Trace: tc})
 
 	// --- Receiver: node 1 ---
 	c.Spawn(1, "receiver", func(p *kernel.Process) {
@@ -99,6 +114,16 @@ func main() {
 
 	c.Run()
 	fmt.Println("simulation drained; all processes finished")
+
+	if *tracePath != "" {
+		if err := tc.WriteChromeTrace(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s — load it in Perfetto (ui.perfetto.dev)\n", *tracePath)
+		fmt.Println("top 5 spans by total virtual time:")
+		tc.WriteTopSpans(os.Stdout, 5)
+	}
 }
 
 func trim(b []byte) string {

@@ -8,6 +8,7 @@ import (
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -42,10 +43,14 @@ var Fig3Strategies = []string{AU1copy, AU2copy, DU0copy, DU1copy}
 // VMMCPingPong measures one strategy at one message size over iters
 // round trips and returns one-way latency (us) and bandwidth (MB/s).
 func VMMCPingPong(strategy string, size, iters int) (float64, float64) {
+	return vmmcPingPong(strategy, size, iters, nil)
+}
+
+func vmmcPingPong(strategy string, size, iters int, tc *trace.Collector) (float64, float64) {
 	if size%hw.WordSize != 0 {
 		panic("vmmc ping-pong sizes must be word multiples")
 	}
-	c := cluster.Default()
+	c := cluster.New(cluster.Config{Trace: tc})
 	pages := (size+4)/hw.Page + 2
 
 	ready := sim.NewCond(c.Eng)

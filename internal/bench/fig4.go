@@ -8,6 +8,7 @@ import (
 	"shrimp/internal/kernel"
 	"shrimp/internal/nx"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // Figure 4: NX latency and bandwidth. Five protocol variants, as in the
@@ -22,7 +23,11 @@ var Fig4Variants = []nx.Proto{nx.ProtoAU1, nx.ProtoAU2, nx.ProtoDU0, nx.ProtoDU1
 // NXPingPong measures NX csend/crecv round trips at one size under one
 // protocol variant, returning one-way latency (us) and bandwidth (MB/s).
 func NXPingPong(proto nx.Proto, size, iters int) (float64, float64) {
-	c := cluster.Default()
+	return nxPingPong(proto, size, iters, nil)
+}
+
+func nxPingPong(proto nx.Proto, size, iters int, tc *trace.Collector) (float64, float64) {
+	c := cluster.New(cluster.Config{Trace: tc})
 	var start, end sim.Time
 	const typPing, typPong = 1, 2
 

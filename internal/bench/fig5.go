@@ -7,6 +7,7 @@ import (
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
 	"shrimp/internal/sunrpc"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 	"shrimp/internal/xdr"
 )
@@ -44,7 +45,11 @@ func fig5Program() *sunrpc.Program {
 // VRPCPingPong measures `iters` echo calls of the given argument/result
 // size and returns (roundtrip latency us, bandwidth MB/s).
 func VRPCPingPong(mode sunrpc.Mode, size, iters int) (float64, float64) {
-	c := cluster.Default()
+	return vrpcPingPong(mode, size, iters, nil)
+}
+
+func vrpcPingPong(mode sunrpc.Mode, size, iters int, tc *trace.Collector) (float64, float64) {
+	c := cluster.New(cluster.Config{Trace: tc})
 	up := false
 	ready := sim.NewCond(c.Eng)
 	var start, end sim.Time

@@ -8,6 +8,7 @@ import (
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
 	"shrimp/internal/socket"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -18,8 +19,8 @@ import (
 var Fig7Modes = []socket.Mode{socket.ModeAU2, socket.ModeDU1, socket.ModeDU2}
 
 // socketPair runs server/client bodies over one established connection.
-func socketPair(mode socket.Mode, server, client func(c *socket.Conn, p *kernel.Process)) {
-	cl := cluster.Default()
+func socketPair(mode socket.Mode, tc *trace.Collector, server, client func(c *socket.Conn, p *kernel.Process)) {
+	cl := cluster.New(cluster.Config{Trace: tc})
 	cl.Spawn(1, "server", func(p *kernel.Process) {
 		ep := vmmc.Attach(p, cl.Node(1).Daemon)
 		lib := socket.New(ep, cl.Ether, 1, mode)
@@ -45,8 +46,12 @@ func socketPair(mode socket.Mode, server, client func(c *socket.Conn, p *kernel.
 // SocketPingPong measures one-way latency (us) and ping-pong bandwidth
 // (MB/s) at one message size.
 func SocketPingPong(mode socket.Mode, size, iters int) (float64, float64) {
+	return socketPingPong(mode, size, iters, nil)
+}
+
+func socketPingPong(mode socket.Mode, size, iters int, tc *trace.Collector) (float64, float64) {
 	var start, end sim.Time
-	socketPair(mode,
+	socketPair(mode, tc,
 		func(c *socket.Conn, p *kernel.Process) {
 			buf := p.Alloc(size+8, hw.WordSize)
 			for i := 0; i < iters+1; i++ {
@@ -84,8 +89,18 @@ func SocketPingPong(mode socket.Mode, size, iters int) (float64, float64) {
 // perWriteOverhead and perByteOverhead model the measuring application's
 // own costs (zero for the library microbenchmark; nonzero for ttcp).
 func SocketStream(mode socket.Mode, size, count int, perWriteOverhead time.Duration, perByte time.Duration) float64 {
+	return socketStream(mode, size, count, perWriteOverhead, perByte, nil)
+}
+
+// SocketStreamTraced is SocketStream with an observability collector
+// attached to the cluster (cmd/ttcp's -trace/-stats). tc may be nil.
+func SocketStreamTraced(mode socket.Mode, size, count int, perWriteOverhead, perByte time.Duration, tc *trace.Collector) float64 {
+	return socketStream(mode, size, count, perWriteOverhead, perByte, tc)
+}
+
+func socketStream(mode socket.Mode, size, count int, perWriteOverhead, perByte time.Duration, tc *trace.Collector) float64 {
 	var start, end sim.Time
-	socketPair(mode,
+	socketPair(mode, tc,
 		func(c *socket.Conn, p *kernel.Process) {
 			buf := p.Alloc(size+8, hw.WordSize)
 			total := size * count

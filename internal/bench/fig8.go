@@ -7,6 +7,7 @@ import (
 	"shrimp/internal/srpc"
 	"shrimp/internal/srpc/srpctest"
 	"shrimp/internal/sunrpc"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -22,7 +23,11 @@ import (
 // SRPCNull measures the specialized system's null-with-INOUT roundtrip
 // (microseconds) at the given argument size.
 func SRPCNull(size, iters int) float64 {
-	c := cluster.Default()
+	return srpcNull(size, iters, nil)
+}
+
+func srpcNull(size, iters int, tc *trace.Collector) float64 {
+	c := cluster.New(cluster.Config{Trace: tc})
 	up := false
 	ready := sim.NewCond(c.Eng)
 	var start, end sim.Time

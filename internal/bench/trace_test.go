@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"shrimp/internal/trace"
+)
+
+// TestTraceFigureByteIdentical is the observability determinism oracle at
+// the benchmark level: a traced figure run must produce byte-identical
+// Chrome JSON, summary, and CSV exports when repeated — the trace is a pure
+// function of the scenario.
+func TestTraceFigureByteIdentical(t *testing.T) {
+	run := func() (chrome []byte, summary, csv string) {
+		tc := trace.New()
+		if _, err := TraceFigure("fig3", tc); err != nil {
+			t.Fatal(err)
+		}
+		b, err := tc.ChromeTrace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b, tc.Summary(), tc.CSV()
+	}
+	c1, s1, v1 := run()
+	c2, s2, v2 := run()
+	if !bytes.Equal(c1, c2) {
+		t.Error("Chrome traces differ between identical runs")
+	}
+	if s1 != s2 {
+		t.Error("summaries differ between identical runs")
+	}
+	if v1 != v2 {
+		t.Error("CSV exports differ between identical runs")
+	}
+}
+
+// TestTraceFigureCoversStack checks that a traced fig3 run attributes work
+// to the layers the ping-pong actually exercises: the VMMC DU-0copy path
+// crosses the library (du.send), the NIC (du.dma, inject, in.dma), and the
+// mesh (per-link spans).
+func TestTraceFigureCoversStack(t *testing.T) {
+	tc := trace.New()
+	if _, err := TraceFigure("fig3", tc); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"node0/vmmc du.send": false,
+		"node0/nic du.dma":   false,
+		"node0/nic inject":   false,
+		"node1/nic in.dma":   false,
+	}
+	meshLink := false
+	for _, st := range tc.SpanStats() {
+		k := st.Track + " " + st.Name
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+		if st.Track == "mesh" && strings.HasPrefix(st.Name, "link.") {
+			meshLink = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("traced fig3 run has no %q spans", k)
+		}
+	}
+	if !meshLink {
+		t.Error("traced fig3 run has no mesh link.* spans")
+	}
+	if tc.Counter("node0/nic", "packets.out") == 0 {
+		t.Error("node0 NIC recorded no outgoing packets")
+	}
+}
+
+func TestTraceFigureUnknown(t *testing.T) {
+	if _, err := TraceFigure("all", trace.New()); err == nil {
+		t.Fatal("TraceFigure(\"all\") should fail: a sweep has no single trace")
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"shrimp/internal/mesh"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // Config selects the system geometry.
@@ -26,6 +27,10 @@ type Config struct {
 	MemBytes int
 	// OPTEntries sizes each NIC's outgoing page table (default 4096).
 	OPTEntries int
+	// Trace, when non-nil, is bound to the cluster's engine and distributed
+	// to every layer (kernel, NIC, mesh, libraries), which then attribute
+	// spans, counters, and histograms to it. Nil costs nothing.
+	Trace *trace.Collector
 }
 
 // Node is one assembled PC node.
@@ -59,11 +64,14 @@ func New(cfg Config) *Cluster {
 		cfg.OPTEntries = 4096
 	}
 	eng := sim.NewEngine()
+	cfg.Trace.Bind(eng)
 	msh := mesh.New(eng, cfg.MeshX, cfg.MeshY)
+	msh.Trace = cfg.Trace
 	eth := ether.New(eng, cfg.MeshX*cfg.MeshY)
 	c := &Cluster{Eng: eng, Mesh: msh, Ether: eth}
 	for i := 0; i < cfg.MeshX*cfg.MeshY; i++ {
 		m := kernel.NewMachine(i, eng, cfg.MemBytes)
+		m.Trace = cfg.Trace
 		n := nic.New(m, msh, mesh.NodeID(i), cfg.OPTEntries)
 		d := daemon.New(i, m, n, msh, eth)
 		c.Nodes = append(c.Nodes, &Node{ID: i, M: m, NIC: n, Daemon: d})

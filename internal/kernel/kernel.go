@@ -17,6 +17,7 @@ import (
 	"shrimp/internal/hw"
 	"shrimp/internal/mem"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // VA is a virtual byte address in some process's address space.
@@ -71,18 +72,27 @@ type Machine struct {
 	// IRQRaised counts interrupts delivered to this node's CPU — the
 	// libraries' interrupt-avoidance claims are tested against it.
 	IRQRaised int64
+
+	// Trace, when non-nil, collects observability data for this node's
+	// whole stack; set by cluster.New, reached by the NIC and libraries
+	// through their Machine/Process references. TraceNode is the node's
+	// precomputed track prefix ("node3"), so instrumentation sites derive
+	// track names without per-event formatting.
+	Trace     *trace.Collector
+	TraceNode string
 }
 
 // NewMachine creates a node kernel over memBytes of DRAM. The first few
 // frames are reserved (frame 0 stays unmapped to catch null transfers).
 func NewMachine(id int, eng *sim.Engine, memBytes int) *Machine {
 	m := &Machine{
-		ID:     id,
-		Eng:    eng,
-		Mem:    mem.New(eng, memBytes),
-		CPU:    sim.NewServer(eng),
-		MemBus: sim.NewServer(eng),
-		irq:    make(map[int]func(any)),
+		ID:        id,
+		Eng:       eng,
+		Mem:       mem.New(eng, memBytes),
+		CPU:       sim.NewServer(eng),
+		MemBus:    sim.NewServer(eng),
+		irq:       make(map[int]func(any)),
+		TraceNode: fmt.Sprintf("node%d", id),
 	}
 	for f := m.Mem.Pages() - 1; f >= 1; f-- {
 		m.freeFrames = append(m.freeFrames, mem.PFN(f))
@@ -114,6 +124,9 @@ func (m *Machine) RaiseIRQ(vector int, data any) {
 		panic(fmt.Sprintf("kernel: node %d spurious interrupt %d", m.ID, vector))
 	}
 	m.IRQRaised++
+	if m.Trace != nil {
+		m.Trace.Count(m.TraceNode+"/kernel", "irq", 1)
+	}
 	m.Eng.Schedule(hw.InterruptCost, func() { fn(data) })
 }
 

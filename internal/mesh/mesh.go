@@ -22,10 +22,15 @@ import (
 
 	"shrimp/internal/hw"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // NodeID identifies an attached node (the linear index into the mesh).
 type NodeID int
+
+// traceTrack is the mesh's track name in the observability layer: the
+// backplane is one shared resource, so all channels share a single track.
+const traceTrack = "mesh"
 
 // Packet is one backplane packet. Payload is the raw data; the header fields
 // mirror what the SHRIMP NIC's packetizer produces.
@@ -47,17 +52,31 @@ func (p *Packet) Size() int { return hw.PacketHeaderBytes + len(p.Payload) }
 // Handler consumes packets that arrive at a node's network interface.
 type Handler func(pkt *Packet)
 
+// channel is one wormhole channel (a link or an inject/eject port) with its
+// occupancy server and precomputed trace labels, so the traced send path
+// never builds strings.
+type channel struct {
+	srv   *sim.Server
+	span  string // e.g. "link.3>4", "inject.0"
+	bytes string // e.g. "link.3>4.bytes"
+}
+
 // Network is an X×Y mesh with one attachment point per router.
 type Network struct {
 	eng  *sim.Engine
 	X, Y int
 
-	// links[from][to] for adjacent routers; each is a Server whose
+	// Trace, when non-nil, receives per-channel occupancy spans, byte
+	// counters, and the packet-size histogram on the "mesh" track. Set it
+	// before traffic flows (cluster.New does).
+	Trace *trace.Collector
+
+	// links[from][to] for adjacent routers; each wraps a Server whose
 	// occupancy models the link's wormhole channel.
-	links map[[2]int]*sim.Server
+	links map[[2]int]*channel
 
 	// inject and eject model the NIC-to-router channels.
-	inject, eject []*sim.Server
+	inject, eject []*channel
 
 	handlers []Handler
 
@@ -86,19 +105,23 @@ func New(eng *sim.Engine, x, y int) *Network {
 		eng:         eng,
 		X:           x,
 		Y:           y,
-		links:       make(map[[2]int]*sim.Server),
-		inject:      make([]*sim.Server, x*y),
-		eject:       make([]*sim.Server, x*y),
+		links:       make(map[[2]int]*channel),
+		inject:      make([]*channel, x*y),
+		eject:       make([]*channel, x*y),
 		handlers:    make([]Handler, x*y),
 		lastArrival: make(map[[2]NodeID]sim.Time),
 		inFlight:    make(map[[2]NodeID]int),
 		drained:     sim.NewCond(eng),
 	}
 	for i := range n.inject {
-		n.inject[i] = sim.NewServer(eng)
-		n.eject[i] = sim.NewServer(eng)
+		n.inject[i] = newChannel(eng, fmt.Sprintf("inject.%d", i))
+		n.eject[i] = newChannel(eng, fmt.Sprintf("eject.%d", i))
 	}
 	return n
+}
+
+func newChannel(eng *sim.Engine, span string) *channel {
+	return &channel{srv: sim.NewServer(eng), span: span, bytes: span + ".bytes"}
 }
 
 // Nodes returns the number of attachment points.
@@ -143,14 +166,14 @@ func (n *Network) Route(src, dst NodeID) []int {
 	return path
 }
 
-func (n *Network) link(from, to int) *sim.Server {
+func (n *Network) link(from, to int) *channel {
 	key := [2]int{from, to}
-	s, ok := n.links[key]
+	c, ok := n.links[key]
 	if !ok {
-		s = sim.NewServer(n.eng)
-		n.links[key] = s
+		c = newChannel(n.eng, fmt.Sprintf("link.%d>%d", from, to))
+		n.links[key] = c
 	}
-	return s
+	return c
 }
 
 // Send injects pkt into the backplane at the current time. Delivery is
@@ -174,12 +197,17 @@ func (n *Network) Send(pkt *Packet) {
 	headerAt := now
 	var tailDone sim.Time
 
-	reserve := func(s *sim.Server) {
-		start, end := s.ReserveAt(headerAt, serialize)
+	reserve := func(c *channel) {
+		start, end := c.srv.ReserveAt(headerAt, serialize)
 		headerAt = start.Add(hw.MeshHopLatency)
 		tailDone = end
+		if n.Trace != nil {
+			n.Trace.Add(traceTrack, c.span, start, end)
+			n.Trace.Count(traceTrack, c.bytes, int64(pkt.Size()))
+		}
 	}
 
+	n.Trace.Observe(traceTrack, "packet.bytes", int64(pkt.Size()))
 	reserve(n.inject[pkt.Src])
 	path := n.Route(pkt.Src, pkt.Dst)
 	for i := 0; i+1 < len(path); i++ {
@@ -200,6 +228,7 @@ func (n *Network) Send(pkt *Packet) {
 	n.eng.At(arrival, func() {
 		n.PacketsDelivered++
 		n.BytesDelivered += int64(len(pkt.Payload))
+		n.Trace.Count(traceTrack, "delivered", 1)
 		n.inFlight[key]--
 		n.handlers[pkt.Dst](pkt)
 		n.drained.Broadcast()

@@ -157,6 +157,10 @@ type NIC struct {
 	// Stats.
 	PacketsOut, PacketsIn int64
 	Faults                int64
+
+	// track is this NIC's observability track name ("node3/nic"),
+	// precomputed so instrumentation never formats strings on the datapath.
+	track string
 }
 
 // New creates a NIC with the given number of OPT entries, attaches it to the
@@ -173,6 +177,7 @@ func New(m *kernel.Machine, net *mesh.Network, id mesh.NodeID, optEntries int) *
 		port:      sim.NewServer(m.Eng),
 		eisa:      sim.NewServer(m.Eng),
 		idleCond:  sim.NewCond(m.Eng),
+		track:     m.TraceNode + "/nic",
 	}
 	for i := range n.optFree {
 		n.optFree[i] = true
@@ -272,9 +277,11 @@ func (n *NIC) snoop(pa mem.PA, data []byte) {
 			len(n.open.data)+len(data) <= hw.MaxPacketPayload {
 			n.open.data = append(n.open.data, data...)
 			n.openLastPA = pa + mem.PA(len(data))
+			n.M.Trace.Count(n.track, "combine.hit", 1)
 			n.armCombineTimer(e)
 			return
 		}
+		n.M.Trace.Count(n.track, "combine.miss", 1)
 		n.flushOpen()
 	}
 	// Start a new packet. Oversized bursts split at the packet payload
@@ -315,6 +322,7 @@ func (n *NIC) armCombineTimer(e OPTEntry) {
 	}
 	n.combineTime = n.M.Eng.Schedule(hw.CombineTimeout, func() {
 		n.combineTime = nil
+		n.M.Trace.Count(n.track, "combine.timeout", 1)
 		n.flushOpen()
 	})
 }
@@ -339,9 +347,15 @@ func (n *NIC) FlushAU() { n.flushOpen() }
 // packetize charges header-formation time, then queues in the outgoing FIFO.
 func (n *NIC) packetize(pkt *outPacket) {
 	n.packetizing++
+	if tc := n.M.Trace; tc != nil {
+		now := n.M.Eng.Now()
+		tc.Add(n.track, "packetize", now, now.Add(hw.PacketizeCost))
+		tc.Observe(n.track, "payload.bytes", int64(len(pkt.data)))
+	}
 	n.M.Eng.Schedule(hw.PacketizeCost, func() {
 		n.packetizing--
 		n.outQ = append(n.outQ, pkt)
+		n.M.Trace.Gauge(n.track, "outq", int64(len(n.outQ)))
 		n.kickInject()
 	})
 }
@@ -360,11 +374,13 @@ func (n *NIC) kickInject() {
 	n.injecting = true
 	pkt := n.outQ[0]
 	n.outQ = n.outQ[1:]
-	_, end := n.port.Reserve(hw.NICInjectCost)
+	start, end := n.port.Reserve(hw.NICInjectCost)
+	n.M.Trace.Add(n.track, "inject", start, end)
 	n.M.Eng.At(end, func() {
 		e := n.opt[pkt.optIdx]
 		if e.Valid {
 			n.PacketsOut++
+			n.M.Trace.Count(n.track, "packets.out", 1)
 			n.Net.Send(&mesh.Packet{
 				Src:     n.ID,
 				Dst:     e.DstNode,
@@ -432,11 +448,15 @@ func (n *NIC) runDUChunk(job *DUJob, i int, first bool) {
 		setup = hw.DUEngineStart
 	}
 	dur := setup + time.Duration(c.N)*hw.EISADMAPerByte
-	_, eisaEnd := n.eisa.Reserve(dur)
+	dmaStart, eisaEnd := n.eisa.Reserve(dur)
 	_, busEnd := n.M.MemBus.ReserveAt(n.M.Eng.Now(), dur)
 	end := eisaEnd
 	if busEnd > end {
 		end = busEnd
+	}
+	if tc := n.M.Trace; tc != nil {
+		tc.Add(n.track, "du.dma", dmaStart, end)
+		tc.Observe(n.track, "du.chunk.bytes", int64(c.N))
 	}
 	n.M.Eng.At(end, func() {
 		data := n.M.Mem.Read(c.SrcPA, c.N)
@@ -477,28 +497,33 @@ func (n *NIC) kickIncoming() {
 		n.inBusy = false
 		n.inQ = append([]*mesh.Packet{pkt}, n.inQ...)
 		n.Faults++
+		n.M.Trace.Count(n.track, "fault", 1)
 		n.M.RaiseIRQ(VecProtection, ProtectionFault{Frame: frame, Src: pkt.Src})
 		return
 	}
 
 	dur := hw.IPTCheckCost + hw.IncomingDMASetup + time.Duration(len(pkt.Payload))*hw.EISADMAPerByte
-	_, eisaEnd := n.eisa.Reserve(dur)
+	dmaStart, eisaEnd := n.eisa.Reserve(dur)
 	_, busEnd := n.M.MemBus.ReserveAt(n.M.Eng.Now(), dur)
 	end := eisaEnd
 	if busEnd > end {
 		end = busEnd
 	}
+	n.M.Trace.Add(n.track, "in.dma", dmaStart, end)
 	n.M.Eng.At(end, func() {
 		entry := n.ipt[frame]
 		n.M.Mem.WriteDMA(frame.Base()+mem.PA(pkt.DstOff), pkt.Payload)
 		n.PacketsIn++
+		n.M.Trace.Count(n.track, "packets.in", 1)
 		if pkt.Notify && entry.Interrupt {
 			if entry.FastNotify && n.FastNotifyHook != nil {
 				// Append a record to the user-level notification
 				// queue — no CPU interrupt.
 				tag, src := entry.Tag, pkt.Src
+				n.M.Trace.Count(n.track, "notify.fast", 1)
 				n.M.Eng.Schedule(hw.FastNotifyPost, func() { n.FastNotifyHook(tag, src) })
 			} else {
+				n.M.Trace.Count(n.track, "notify.irq", 1)
 				n.M.RaiseIRQ(VecNotify, Notify{Frame: frame, Tag: entry.Tag, Src: pkt.Src})
 			}
 		}

@@ -31,6 +31,7 @@ import (
 	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -146,6 +147,11 @@ type NX struct {
 		CreditFlushes int64 // control transfers carrying credits
 		Doorbells     int64 // buffer-request notifications (interrupting)
 	}
+
+	// tc/track: the node's observability collector (nil-safe) and this
+	// library's precomputed track name ("node3/nx").
+	tc    *trace.Collector
+	track string
 }
 
 type conn struct {
@@ -218,6 +224,8 @@ func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *N
 		zcImports: make(map[zcImportKey]*zcImport),
 		recvs:     make(map[ID]*postedRecv),
 		sends:     make(map[ID]*zcSend),
+		tc:        p.M.Trace,
+		track:     p.M.TraceNode + "/nx",
 	}
 	nx.scratch = p.Alloc(64, hw.WordSize)
 
@@ -346,6 +354,7 @@ func (nx *NX) flushCredits(cn *conn) {
 	p := nx.proc()
 	if len(cn.pendingCred) > 0 {
 		nx.Stats.CreditFlushes++
+		nx.tc.Count(nx.track, "credit.flush", 1)
 	}
 	for _, bufIdx := range cn.pendingCred {
 		k := cn.creditsGiven
@@ -362,6 +371,7 @@ func (nx *NX) flushCredits(cn *conn) {
 func (nx *NX) acquireBuf(cn *conn) int {
 	p := nx.proc()
 	rang := false
+	var wait *trace.OpenSpan
 	for {
 		if nx.pollCredits(cn) && len(cn.freeBufs) > 0 {
 			break
@@ -372,6 +382,8 @@ func (nx *NX) acquireBuf(cn *conn) int {
 		if !rang {
 			rang = true
 			nx.Stats.Doorbells++
+			nx.tc.Count(nx.track, "doorbell", 1)
+			wait = nx.tc.Begin(nx.track, "csend.credit-wait")
 			p.WriteWord(nx.scratch, 1)
 			if err := nx.ep.SendNotify(cn.out, doorbellBase, nx.scratch, 4); err != nil {
 				//lint:allow no-panic-on-datapath doorbell rings an import that was valid at connect; failure means the peer died
@@ -382,6 +394,7 @@ func (nx *NX) acquireBuf(cn *conn) int {
 		want := uint32(cn.creditsSeen+1) << 8
 		p.WaitWord(slot, func(v uint32) bool { return v&^0xff == want })
 	}
+	wait.End()
 	buf := cn.freeBufs[0]
 	cn.freeBufs = cn.freeBufs[1:]
 	return buf

@@ -20,6 +20,8 @@ type candidate struct {
 // Infonode afterwards.
 func (nx *NX) Crecv(typesel int, buf kernel.VA, count int) int {
 	p := nx.proc()
+	span := nx.tc.Begin(nx.track, "crecv")
+	defer span.End()
 	p.Compute(hw.CallCost)
 	for {
 		nx.servicePending()

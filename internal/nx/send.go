@@ -75,6 +75,9 @@ func doneOff(pkt, n int) int { return pkt + hdrSize + ceil4(n) }
 // when the user buffer may be reused.
 func (nx *NX) Csend(typ int, buf kernel.VA, count, node, pid int) {
 	p := nx.proc()
+	span := nx.tc.Begin(nx.track, "csend")
+	defer span.End()
+	nx.tc.Count(nx.track, "csend.bytes", int64(count))
 	p.Compute(hw.CallCost)
 	if typ < 0 {
 		//lint:allow no-panic-on-datapath API-misuse invariant: reserved types are a caller bug, as in real NX
@@ -169,6 +172,7 @@ func (nx *NX) sendBuffered(cn *conn, typ int, buf kernel.VA, count, pid int, pro
 func (nx *NX) sendChunk(cn *conn, h hdr, src kernel.VA, n int, proto Proto) {
 	p := nx.proc()
 	nx.Stats.DataSends++
+	nx.tc.Count(nx.track, "data.send", 1)
 	// Descriptor setup, buffer selection, protocol dispatch.
 	p.Compute(3 * hw.CallCost)
 	buf := nx.acquireBuf(cn)

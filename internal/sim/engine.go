@@ -116,7 +116,11 @@ type Engine struct {
 	procs  []*Proc
 	cur    *Proc // proc currently holding execution, nil in event context
 	halted bool
+	// tracer is what the hot paths call: the user tracer and the
+	// determinism-digest auto tracer composed via TeeTracer (retrace), so
+	// neither ever displaces the other.
 	tracer Tracer
+	user   Tracer // installed with SetTracer
 	// auto is the determinism-digest tracer attached at construction when
 	// a sim.Digest scenario is running; it observes execution alongside
 	// any user-installed tracer.
@@ -128,7 +132,14 @@ type Engine struct {
 
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
-	return &Engine{auto: autoTracer}
+	e := &Engine{auto: autoTracer}
+	e.retrace()
+	return e
+}
+
+// retrace recomposes the combined tracer from the user and auto tracers.
+func (e *Engine) retrace() {
+	e.tracer = NewTeeTracer(e.user, e.auto)
 }
 
 // Now returns the current virtual time.
@@ -181,9 +192,6 @@ func (e *Engine) Run(limit Time) Time {
 		e.EventsRun++
 		if e.tracer != nil {
 			e.tracer.Event(next.at, next.seq)
-		}
-		if e.auto != nil {
-			e.auto.Event(next.at, next.seq)
 		}
 		next.fn()
 	}

@@ -74,9 +74,6 @@ func (e *Engine) dispatch(p *Proc) {
 	if e.tracer != nil {
 		e.tracer.ProcSwitch(e.now, p.Name)
 	}
-	if e.auto != nil {
-		e.auto.ProcSwitch(e.now, p.Name)
-	}
 	prev := e.cur
 	e.cur = p
 	p.resume <- struct{}{}

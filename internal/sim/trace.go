@@ -16,8 +16,17 @@ type Tracer interface {
 	ProcSwitch(at Time, name string)
 }
 
-// SetTracer installs (or, with nil, removes) an execution tracer.
-func (e *Engine) SetTracer(t Tracer) { e.tracer = t }
+// SetTracer installs (or, with nil, removes) an execution tracer. It
+// composes with — never displaces — the determinism-digest tracer that
+// sim.Digest attaches, so digests can be taken with a tracer installed.
+func (e *Engine) SetTracer(t Tracer) {
+	e.user = t
+	e.retrace()
+}
+
+// Tracer returns the user-installed tracer, nil if none. The determinism
+// auto tracer is engine-internal and never reported here.
+func (e *Engine) Tracer() Tracer { return e.user }
 
 // CountingTracer is a minimal Tracer that tallies events and per-process
 // dispatch counts — enough to answer "what is the simulation spending its
@@ -66,6 +75,26 @@ func (c *CountingTracer) Summary() string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "  %-24s %8d dispatches\n", r.name, r.n)
 	}
+	return b.String()
+}
+
+// String renders the tracer's state on one line with the per-process
+// dispatch counts in sorted name order, so the output is deterministic.
+func (c *CountingTracer) String() string {
+	names := make([]string, 0, len(c.Switches))
+	for name := range c.Switches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "events=%d last=%v switches={", c.Events, c.LastAt)
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s:%d", name, c.Switches[name])
+	}
+	b.WriteByte('}')
 	return b.String()
 }
 

@@ -29,6 +29,7 @@ import (
 	"shrimp/internal/ether"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -92,12 +93,18 @@ type Lib struct {
 	node int
 	mode Mode
 	seq  int
+
+	// tc/track: the node's observability collector (nil-safe) and this
+	// library's precomputed track name ("node3/socket").
+	tc    *trace.Collector
+	track string
 }
 
 // New attaches the socket library to a process. mode picks the Figure 7
 // protocol variant.
 func New(ep *vmmc.Endpoint, eth *ether.Network, node int, mode Mode) *Lib {
-	return &Lib{ep: ep, eth: eth, node: node, mode: mode}
+	return &Lib{ep: ep, eth: eth, node: node, mode: mode,
+		tc: ep.Proc.M.Trace, track: ep.Proc.M.TraceNode + "/socket"}
 }
 
 // connectReq travels over the internet-domain socket during establishment.
@@ -245,10 +252,13 @@ type Conn struct {
 // connection closes underneath).
 func (c *Conn) Send(va kernel.VA, n int) (int, error) {
 	p := c.lib.ep.Proc
+	span := c.lib.tc.Begin(c.lib.track, "send")
+	defer span.End()
 	p.Compute(sendEntryCost)
 	if c.sendClosed {
 		return 0, ErrClosed
 	}
+	c.lib.tc.Count(c.lib.track, "send.bytes", int64(n))
 	written := 0
 	for written < n {
 		chunk := c.waitSpace(n - written)
@@ -323,10 +333,12 @@ func (c *Conn) waitSpace(want int) int {
 	p := c.lib.ep.Proc
 	free := ringBytes - (c.sent - c.ackSeen)
 	if free <= 0 {
+		wait := c.lib.tc.Begin(c.lib.track, "send.space-wait")
 		ackVA := c.in + kernel.VA(ctlAck)
 		v := p.WaitWord(ackVA, func(v uint32) bool { return ringBytes-(c.sent-int(v)) > 0 })
 		c.ackSeen = int(v)
 		free = ringBytes - (c.sent - c.ackSeen)
+		wait.End()
 	}
 	if want > free {
 		want = free
@@ -338,6 +350,8 @@ func (c *Conn) waitSpace(want int) int {
 // available. Returns 0, nil at end of stream (peer closed and drained).
 func (c *Conn) Recv(va kernel.VA, n int) (int, error) {
 	p := c.lib.ep.Proc
+	span := c.lib.tc.Begin(c.lib.track, "recv")
+	defer span.End()
 	p.Compute(recvEntryCost)
 	if c.recvClosed {
 		return 0, ErrClosed
@@ -371,6 +385,7 @@ func (c *Conn) Recv(va kernel.VA, n int) (int, error) {
 		c.consumed += chunk
 		got += chunk
 	}
+	c.lib.tc.Count(c.lib.track, "recv.bytes", int64(got))
 	// Return buffer space to the sender once a quarter ring has been
 	// drained (or the ring was near-full).
 	if c.consumed-c.ackPub >= ringBytes/4 {

@@ -29,6 +29,7 @@ import (
 	"shrimp/internal/ether"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -62,6 +63,11 @@ type Binding struct {
 	in     kernel.VA // local buffer, exported to the peer
 
 	seq uint32 // calls issued (client) or served (server)
+
+	// tc/track: the node's observability collector (nil-safe) and this
+	// library's precomputed track name ("node3/srpc").
+	tc    *trace.Collector
+	track string
 }
 
 // --- Binding establishment (over the conventional network, like the other
@@ -151,7 +157,8 @@ func Bind(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int) (*Binding
 
 func wire(ep *vmmc.Endpoint, out *vmmc.Import, in kernel.VA) (*Binding, error) {
 	p := ep.Proc
-	b := &Binding{ep: ep, out: out, in: in}
+	b := &Binding{ep: ep, out: out, in: in,
+		tc: p.M.Trace, track: p.M.TraceNode + "/srpc"}
 	b.shadow = p.MapPages(regionPages, 0)
 	if _, err := ep.BindAU(b.shadow, out, 0, regionPages, vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
 		return nil, err
@@ -174,6 +181,10 @@ func (b *Binding) Call(proc int, img []byte) int {
 	if len(img)%4 != 0 || len(img) > MaxPayload {
 		panic(fmt.Sprintf("srpc: bad argument image length %d", len(img)))
 	}
+	span := b.tc.Begin(b.track, "call")
+	defer span.End()
+	b.tc.Count(b.track, "calls", 1)
+	b.tc.Count(b.track, "call.bytes", int64(len(img)))
 	b.seq++
 	// Arguments fill memory consecutively, ending at the flag, so the
 	// hardware combines arguments and flag into a single packet train.
@@ -242,6 +253,8 @@ func (b *Binding) OutRef(rlen int) *Ref {
 // required".
 func (b *Binding) Finish(proc, rlen int) {
 	p := b.ep.Proc
+	b.tc.Count(b.track, "replies", 1)
+	b.tc.Count(b.track, "reply.bytes", int64(rlen))
 	p.WriteWord(b.shadow+kernel.VA(flagOff), packFlag(b.seq, proc, rlen))
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
 
@@ -76,12 +77,18 @@ type Stream struct {
 	consumed int // bytes read from the incoming ring
 	ackedPub int // last consumption count published to the peer
 	ackSeen  int // cached copy of the peer's acknowledgment word
+
+	// tc/track: the node's observability collector (nil-safe) and this
+	// library's precomputed track name ("node3/sunrpc").
+	tc    *trace.Collector
+	track string
 }
 
 // newStream wires an endpoint from an established pair of mappings.
 func newStream(ep *vmmc.Endpoint, out *vmmc.Import, in kernel.VA, mode Mode) (*Stream, error) {
 	p := ep.Proc
-	s := &Stream{ep: ep, mode: mode, out: out, in: in}
+	s := &Stream{ep: ep, mode: mode, out: out, in: in,
+		tc: p.M.Trace, track: p.M.TraceNode + "/sunrpc"}
 	s.outShadow = p.MapPages(ringPages, 0)
 	if _, err := ep.BindAU(s.outShadow, out, 0, ringPages, vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
 		return nil, err
@@ -101,6 +108,9 @@ func newStream(ep *vmmc.Endpoint, out *vmmc.Import, in kernel.VA, mode Mode) (*S
 // stream layer into XDR.
 func (s *Stream) Write(b []byte) {
 	p := s.ep.Proc
+	span := s.tc.Begin(s.track, "sbl.encode")
+	defer span.End()
+	s.tc.Count(s.track, "encode.bytes", int64(len(b)))
 	switch s.mode {
 	case ModeAU:
 		s.waitSpace(len(b))
@@ -125,6 +135,9 @@ func (s *Stream) Write(b []byte) {
 // control transfer, always by automatic update, ordered after the data).
 func (s *Stream) EndRecord() error {
 	p := s.ep.Proc
+	s.tc.Count(s.track, "records", 1)
+	span := s.tc.Begin(s.track, "sbl.push")
+	defer span.End()
 	if s.mode == ModeDU && s.staged > 0 {
 		n := (s.staged + 3) &^ 3
 		s.waitSpace(n)
@@ -174,6 +187,8 @@ func (s *Stream) waitSpace(n int) {
 // is the CPU's touch of the data, not an extra buffering pass.
 func (s *Stream) Read(n int) ([]byte, error) {
 	p := s.ep.Proc
+	span := s.tc.Begin(s.track, "sbl.decode")
+	defer span.End()
 	writtenVA := s.in + kernel.VA(ctlWritten)
 	// Fast path: the bytes are already in the ring (the written count was
 	// checked when this record was first noticed); no extra poll charge.
@@ -203,6 +218,8 @@ func (s *Stream) Read(n int) ([]byte, error) {
 // ring's flow control guarantees does not happen before EndReply.
 func (s *Stream) ReadView(n int) ([]byte, error) {
 	p := s.ep.Proc
+	span := s.tc.Begin(s.track, "sbl.decode")
+	defer span.End()
 	writtenVA := s.in + kernel.VA(ctlWritten)
 	if int(p.PeekWord(writtenVA))-s.consumed < n {
 		p.WaitWord(writtenVA, func(v uint32) bool { return int(v)-s.consumed >= n })

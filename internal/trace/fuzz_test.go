@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"encoding/json"
+	"testing"
+
+	"shrimp/internal/sim"
+)
+
+// FuzzChromeTrace feeds arbitrary track and span names (including invalid
+// UTF-8, quotes, backslashes, and control bytes) through the Chrome
+// trace-event encoder and asserts the output is always valid JSON and
+// byte-stable across re-encodes.
+func FuzzChromeTrace(f *testing.F) {
+	f.Add("node0/nic", "du.dma", int64(100), int64(4096))
+	f.Add("mesh", "link.3>4", int64(0), int64(0))
+	f.Add("a\"b\\c", "sp\x00an\n", int64(-1), int64(1))
+	f.Add("\xff\xfe", "\x80span", int64(1<<40), int64(7))
+	f.Fuzz(func(t *testing.T, track, name string, startNs, v int64) {
+		c := New()
+		c.Add(track, name, sim.Time(startNs), sim.Time(startNs+v))
+		c.Count(track, name, v)
+		c.Gauge(track, name, v)
+		c.Observe(track, name, v)
+		data, err := c.ChromeTrace()
+		if err != nil {
+			t.Fatalf("ChromeTrace(%q, %q): %v", track, name, err)
+		}
+		if !json.Valid(data) {
+			t.Fatalf("invalid JSON for track=%q name=%q: %s", track, name, data)
+		}
+		again, err := c.ChromeTrace()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if string(data) != string(again) {
+			t.Fatalf("re-encode not byte-stable for track=%q name=%q", track, name)
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over int64 values (byte counts,
+// virtual-nanosecond latencies). Bounds holds ascending inclusive upper
+// bounds; Counts has one entry per bound plus a final overflow bucket.
+// Values at or below Bounds[0] — including negatives — land in bucket 0;
+// values above Bounds[len-1] land in the overflow bucket.
+type Histogram struct {
+	Bounds []int64
+	Counts []int64
+	N      int64
+	Sum    int64
+	Min    int64
+	Max    int64
+}
+
+// DefaultBounds returns power-of-four bucket bounds from 4 to 4^15
+// (~1.07e9), a spread wide enough for both packet sizes in bytes and
+// latencies in nanoseconds.
+func DefaultBounds() []int64 {
+	bounds := make([]int64, 15)
+	v := int64(4)
+	for i := range bounds {
+		bounds[i] = v
+		v *= 4
+	}
+	return bounds
+}
+
+// NewHistogram returns an empty histogram with the given ascending
+// inclusive upper bounds.
+func NewHistogram(bounds []int64) *Histogram {
+	return &Histogram{
+		Bounds: bounds,
+		Counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe folds one value into the histogram.
+func (h *Histogram) Observe(v int64) {
+	h.Counts[h.bucket(v)]++
+	if h.N == 0 {
+		h.Min, h.Max = v, v
+	} else {
+		if v < h.Min {
+			h.Min = v
+		}
+		if v > h.Max {
+			h.Max = v
+		}
+	}
+	h.N++
+	h.Sum += v
+}
+
+// bucket returns the index of the bucket v falls into: the first bound with
+// v <= bound, or the overflow bucket.
+func (h *Histogram) bucket(v int64) int {
+	lo, hi := 0, len(h.Bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.Bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Mean returns the arithmetic mean of observed values, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Merge folds other into h. The two histograms must share identical bounds.
+func (h *Histogram) Merge(other *Histogram) error {
+	if len(h.Bounds) != len(other.Bounds) {
+		return fmt.Errorf("trace: merge: bound count mismatch: %d vs %d", len(h.Bounds), len(other.Bounds))
+	}
+	for i, b := range h.Bounds {
+		if other.Bounds[i] != b {
+			return fmt.Errorf("trace: merge: bound %d mismatch: %d vs %d", i, b, other.Bounds[i])
+		}
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	if other.N > 0 {
+		if h.N == 0 {
+			h.Min, h.Max = other.Min, other.Max
+		} else {
+			if other.Min < h.Min {
+				h.Min = other.Min
+			}
+			if other.Max > h.Max {
+				h.Max = other.Max
+			}
+		}
+	}
+	h.N += other.N
+	h.Sum += other.Sum
+	return nil
+}
+
+// String renders the non-empty buckets compactly:
+// "n=12 sum=4096 min=1 max=1024 [<=4:3 <=64:5 >1073741824:4]".
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d sum=%d min=%d max=%d [", h.N, h.Sum, h.Min, h.Max)
+	first := true
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteByte(' ')
+		}
+		first = false
+		if i < len(h.Bounds) {
+			fmt.Fprintf(&b, "<=%d:%d", h.Bounds[i], c)
+		} else {
+			fmt.Fprintf(&b, ">%d:%d", h.Bounds[len(h.Bounds)-1], c)
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}

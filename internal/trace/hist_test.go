@@ -1,0 +1,120 @@
+package trace
+
+import "testing"
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	// Inclusive upper bounds: value == bound lands in that bucket.
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0},  // negatives fold into bucket 0
+		{0, 0},   // at-or-below first bound
+		{10, 0},  // exactly on first bound: inclusive
+		{11, 1},  // just above first bound
+		{100, 1}, // exactly on second bound
+		{101, 2},
+		{1000, 2},
+		{1001, 3}, // overflow bucket
+	}
+	for _, c := range cases {
+		if got := h.bucket(c.v); got != c.bucket {
+			t.Errorf("bucket(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+	}
+}
+
+func TestHistogramObserveClosedForm(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	for _, v := range []int64{-1, 5, 10, 50, 100, 500, 1000} {
+		h.Observe(v)
+	}
+	wantCounts := []int64{3, 2, 2} // {-1,5,10}, {50,100}, {500,1000}
+	for i, w := range wantCounts {
+		if h.Counts[i] != w {
+			t.Errorf("Counts[%d] = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.N != 7 {
+		t.Errorf("N = %d, want 7", h.N)
+	}
+	if h.Sum != 1664 {
+		t.Errorf("Sum = %d, want 1664", h.Sum)
+	}
+	if h.Min != -1 || h.Max != 1000 {
+		t.Errorf("Min/Max = %d/%d, want -1/1000", h.Min, h.Max)
+	}
+	if mean := h.Mean(); mean != 1664.0/7.0 {
+		t.Errorf("Mean = %v, want %v", mean, 1664.0/7.0)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]int64{10, 100})
+	b := NewHistogram([]int64{10, 100})
+	a.Observe(5)
+	a.Observe(50)
+	b.Observe(200)
+	b.Observe(3)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.N != 4 || a.Sum != 258 {
+		t.Errorf("after merge N=%d Sum=%d, want 4/258", a.N, a.Sum)
+	}
+	if a.Min != 3 || a.Max != 200 {
+		t.Errorf("after merge Min/Max = %d/%d, want 3/200", a.Min, a.Max)
+	}
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if a.Counts[i] != w {
+			t.Errorf("after merge Counts[%d] = %d, want %d", i, a.Counts[i], w)
+		}
+	}
+}
+
+func TestHistogramMergeIntoEmpty(t *testing.T) {
+	a := NewHistogram([]int64{10})
+	b := NewHistogram([]int64{10})
+	b.Observe(7)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Min != 7 || a.Max != 7 || a.N != 1 {
+		t.Errorf("merge into empty: Min=%d Max=%d N=%d, want 7/7/1", a.Min, a.Max, a.N)
+	}
+}
+
+func TestHistogramMergeBoundMismatch(t *testing.T) {
+	a := NewHistogram([]int64{10, 100})
+	if err := a.Merge(NewHistogram([]int64{10})); err == nil {
+		t.Error("merge with different bound count succeeded, want error")
+	}
+	if err := a.Merge(NewHistogram([]int64{10, 99})); err == nil {
+		t.Error("merge with different bound values succeeded, want error")
+	}
+}
+
+func TestDefaultBoundsAscending(t *testing.T) {
+	bounds := DefaultBounds()
+	if len(bounds) == 0 || bounds[0] != 4 {
+		t.Fatalf("DefaultBounds = %v, want to start at 4", bounds)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] != bounds[i-1]*4 {
+			t.Errorf("bounds[%d] = %d, want %d", i, bounds[i], bounds[i-1]*4)
+		}
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram([]int64{10, 100})
+	h.Observe(5)
+	h.Observe(500)
+	got := h.String()
+	want := "n=2 sum=505 min=5 max=500 [<=10:1 >100:1]"
+	if got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

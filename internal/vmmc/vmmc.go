@@ -30,6 +30,7 @@ import (
 	"shrimp/internal/kernel"
 	"shrimp/internal/nic"
 	"shrimp/internal/sim"
+	"shrimp/internal/trace"
 )
 
 // SigNotify is the signal number the notification mechanism rides on (the
@@ -53,12 +54,17 @@ type Endpoint struct {
 	D    *daemon.Daemon
 
 	exports []*Export
+
+	// tc/track: the node's observability collector (nil-safe) and this
+	// layer's precomputed track name ("node3/vmmc").
+	tc    *trace.Collector
+	track string
 }
 
 // Attach connects a process to VMMC on its node and installs the
 // notification signal dispatcher.
 func Attach(p *kernel.Process, d *daemon.Daemon) *Endpoint {
-	ep := &Endpoint{Proc: p, D: d}
+	ep := &Endpoint{Proc: p, D: d, tc: p.M.Trace, track: p.M.TraceNode + "/vmmc"}
 	p.OnSignal(SigNotify, func(_ *kernel.Process, s kernel.Signal) {
 		n := s.Data.(Notification)
 		n.Export.dispatch(n)
@@ -130,6 +136,7 @@ func (e *Export) NotifyArrival(srcNode int) {
 	if e.dead || e.discard {
 		return
 	}
+	e.ep.tc.Count(e.ep.track, "notify.signal", 1)
 	e.ep.Proc.Deliver(kernel.Signal{Num: SigNotify, Data: Notification{Export: e, SrcNode: srcNode}})
 }
 
@@ -140,6 +147,7 @@ func (e *Export) FastArrival(srcNode int) {
 	if e.dead || e.discard {
 		return
 	}
+	e.ep.tc.Count(e.ep.track, "notify.fast", 1)
 	e.ep.Proc.P.Interrupt(func(sp *sim.Proc) {
 		sp.Sleep(hw.FastNotifyDispatch)
 		e.dispatch(Notification{Export: e, SrcNode: srcNode})
@@ -284,14 +292,18 @@ func (ep *Endpoint) SendAsync(imp *Import, dstOff int, srcVA kernel.VA, n int) (
 		return nil, ErrRange
 	}
 	p := ep.Proc
+	init := ep.tc.Begin(ep.track, "du.init")
 	for i := 0; i < 2; i++ {
 		_, end := ep.D.NIC.EISA().Reserve(hw.DUInitAccess)
 		p.P.Sleep(end.Sub(p.P.Now()))
 	}
+	init.End()
 	chunks, err := ep.duChunks(imp, dstOff, srcVA, n, false)
 	if err != nil {
 		return nil, err
 	}
+	ep.tc.Count(ep.track, "du.async.sends", 1)
+	ep.tc.Count(ep.track, "du.bytes", int64(n))
 	return &AsyncSend{job: ep.D.NIC.SubmitDU(chunks), ep: ep}, nil
 }
 
@@ -309,20 +321,26 @@ func (ep *Endpoint) send(imp *Import, dstOff int, srcVA kernel.VA, n int, notify
 		return nil
 	}
 	p := ep.Proc
+	span := ep.tc.Begin(ep.track, "du.send")
 
 	// The two-access transfer initiation sequence: user-level programmed
 	// I/O to addresses decoded by the NIC on the EISA bus.
+	init := ep.tc.Begin(ep.track, "du.init")
 	for i := 0; i < 2; i++ {
 		_, end := ep.D.NIC.EISA().Reserve(hw.DUInitAccess)
 		p.P.Sleep(end.Sub(p.P.Now()))
 	}
+	init.End()
 
 	chunks, err := ep.duChunks(imp, dstOff, srcVA, n, notify)
 	if err != nil {
 		return err
 	}
+	ep.tc.Count(ep.track, "du.sends", 1)
+	ep.tc.Count(ep.track, "du.bytes", int64(n))
 	job := ep.D.NIC.SubmitDU(chunks)
 	job.Wait(p.P)
+	span.End()
 	return nil
 }
 
@@ -394,6 +412,7 @@ func (ep *Endpoint) BindAU(localVA kernel.VA, imp *Import, dstPage, pages int, o
 	if err != nil {
 		return nil, err
 	}
+	ep.tc.Count(ep.track, "au.bindings", 1)
 	return &Binding{ep: ep, imp: imp, LocalVA: localVA, Pages: pages}, nil
 }
 
