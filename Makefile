@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke check clean
+.PHONY: all build test race vet lint fuzz trace-smoke chaos check clean
 
 all: build
 
@@ -24,12 +24,13 @@ vet:
 lint:
 	$(GO) run ./cmd/shrimplint ./...
 
-# fuzz gives the XDR round-trip and raw-decode targets a brief shake; the
-# corpus accumulates in the Go build cache across runs.
+# fuzz gives the XDR round-trip, raw-decode, trace, and mesh packet-codec
+# targets a brief shake; the corpus accumulates in the Go build cache.
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) ./internal/xdr
 	$(GO) test -run NONE -fuzz FuzzDecodeRaw -fuzztime $(FUZZTIME) ./internal/xdr
 	$(GO) test -run NONE -fuzz FuzzChromeTrace -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run NONE -fuzz FuzzPacketCodec -fuzztime $(FUZZTIME) ./internal/mesh
 
 # trace-smoke exercises the observability layer end to end: run the same
 # traced scenario twice and require byte-identical Chrome trace files —
@@ -40,8 +41,17 @@ trace-smoke:
 	cmp /tmp/shrimp-trace-a.json /tmp/shrimp-trace-b.json
 	@echo "trace-smoke: traces byte-identical"
 
-# check is the full gate CI runs: build, vet, lint, race-enabled tests.
-check: build vet lint race trace-smoke
+# chaos runs the fault-injection soak: every figure scenario under the
+# standard fault plans (lossy links with retransmission, NIC freeze
+# storms, a mid-transfer node crash), checking termination, acknowledged-
+# data integrity, and replay-stable digests, plus the degraded-mode Fig 5
+# table. Exits nonzero if any cell fails.
+chaos:
+	$(GO) run ./cmd/shrimpbench -faults
+
+# check is the full gate CI runs: build, vet, lint, race-enabled tests,
+# trace determinism, and the chaos soak.
+check: build vet lint race trace-smoke chaos
 
 clean:
 	$(GO) clean ./...

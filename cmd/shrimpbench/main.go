@@ -17,6 +17,13 @@
 //	shrimpbench [-fig all|fig3|fig4|fig5|fig7|fig8|peak|ttcp|rpcbase]
 //	            [-iters N] [-csv dir]
 //	shrimpbench -fig fig3 [-trace out.json] [-stats]
+//	shrimpbench -faults [-faultseed N]
+//
+// -faults runs the chaos soak matrix instead: every figure scenario under a
+// set of seeded fault plans (lossy links with the retransmission sublayer
+// on, NIC fault storms, a mid-transfer node crash), checking termination,
+// data integrity, and replay-stable digests, plus the degraded-mode Fig 5
+// throughput table. Exits non-zero if any cell fails.
 //
 // With -trace or -stats, shrimpbench runs ONE representative scenario of the
 // selected figure with the observability layer attached: -trace writes a
@@ -41,7 +48,22 @@ func main() {
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	tracePath := flag.String("trace", "", "write a Chrome trace of one representative -fig scenario to this file")
 	stats := flag.Bool("stats", false, "print the trace summary of one representative -fig scenario")
+	faults := flag.Bool("faults", false, "run the chaos soak matrix (figure scenarios x fault plans)")
+	faultSeed := flag.Int64("faultseed", 1, "fault injector seed for -faults")
 	flag.Parse()
+
+	if *faults {
+		results := bench.RunChaos(*faultSeed)
+		fmt.Print(bench.ChaosTable(results))
+		fmt.Println()
+		points := bench.DegradedFig5(1024, 32, *faultSeed, []float64{0, 0.001, 0.01})
+		fmt.Print(bench.DegradedTable(points, 1024))
+		if !bench.ChaosOK(results) {
+			fmt.Fprintln(os.Stderr, "shrimpbench: chaos soak FAILED")
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *tracePath != "" || *stats {
 		tc := trace.New()

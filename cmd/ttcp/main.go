@@ -8,10 +8,14 @@
 // Usage:
 //
 //	ttcp [-l buflen] [-n numbufs] [-m AU-2copy|DU-1copy|DU-2copy] [-raw]
-//	     [-trace out.json] [-stats]
+//	     [-drop P] [-faultseed N] [-trace out.json] [-stats]
 //
 // -raw disables the ttcp application-overhead model and reports the pure
-// library streaming rate (the paper's "our own microbenchmark"). -trace
+// library streaming rate (the paper's "our own microbenchmark"). -drop runs
+// the stream over a deterministically lossy backplane: each mesh packet is
+// dropped with probability P (e.g. 0.01 = 1%), the link-level retransmit
+// sublayer is enabled to recover, and the report adds the retransmit count
+// — degraded-mode ttcp. -faultseed picks the fault stream. -trace
 // writes a Chrome trace-event JSON of the run and -stats prints the
 // span/counter summary; both observe the same run that produced the
 // reported bandwidth.
@@ -33,6 +37,8 @@ func main() {
 	numbufs := flag.Int("n", 64, "number of buffers to send")
 	modeStr := flag.String("m", "DU-1copy", "socket protocol variant")
 	raw := flag.Bool("raw", false, "library microbenchmark (no ttcp app overhead)")
+	drop := flag.Float64("drop", 0, "per-packet drop probability; >0 enables the lossy backplane + retransmit sublayer")
+	faultSeed := flag.Int64("faultseed", 1, "fault injector seed for -drop")
 	tracePath := flag.String("trace", "", "write a Chrome trace of the run to this file")
 	stats := flag.Bool("stats", false, "print the run's trace summary")
 	flag.Parse()
@@ -62,14 +68,29 @@ func main() {
 		tc = trace.New()
 	}
 
+	if *drop < 0 || *drop >= 1 {
+		fmt.Fprintf(os.Stderr, "ttcp: -drop %v outside [0, 1)\n", *drop)
+		os.Exit(2)
+	}
+
 	total := *buflen * *numbufs
-	mbps := bench.SocketStreamTraced(mode, *buflen, *numbufs, perWrite, perByte, tc)
+	var mbps float64
+	var retrans int64
+	if *drop > 0 {
+		mbps, retrans = bench.SocketStreamDegraded(mode, *buflen, *numbufs, perWrite, perByte, tc, *drop, *faultSeed)
+	} else {
+		mbps = bench.SocketStreamTraced(mode, *buflen, *numbufs, perWrite, perByte, tc)
+	}
 	secs := float64(total) / (mbps * 1e6)
 
 	fmt.Printf("ttcp-t: buflen=%d, nbuf=%d, port=5001 (%s, SHRIMP sockets)\n", *buflen, *numbufs, mode)
 	fmt.Printf("ttcp-t: %d bytes in %.3f real seconds = %.2f MB/sec (%s)\n",
 		total, secs, mbps, label)
 	fmt.Printf("ttcp-r: %d bytes received OK\n", total)
+	if *drop > 0 {
+		fmt.Printf("ttcp-t: lossy backplane: drop=%.3g%%, seed=%d, %d link-level retransmits\n",
+			*drop*100, *faultSeed, retrans)
+	}
 
 	if *tracePath != "" {
 		if err := tc.WriteChromeTrace(*tracePath); err != nil {

@@ -1,0 +1,425 @@
+// Chaos soak harness: every figure scenario run under a matrix of seeded
+// fault plans, asserting that the run terminates (no parked procs left
+// behind), that acknowledged data arrived byte-intact, and that the
+// determinism digest is stable per (seed, plan) — fault injection must not
+// break replay. Surfaced via `shrimpbench -faults` and `make chaos`.
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/fault"
+	"shrimp/internal/hw"
+	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
+	"shrimp/internal/socket"
+	"shrimp/internal/sunrpc"
+	"shrimp/internal/trace"
+	"shrimp/internal/vmmc"
+)
+
+// clusterMod, when non-nil, rewrites the configuration every benchmark
+// driver builds its cluster from; the chaos harness uses it to slip a fault
+// plan (and the reliability sublayer) under an unmodified figure scenario.
+// lastCluster records the most recent cluster a driver built, so the
+// harness can inspect its watchdog and fault counters after the run.
+var (
+	clusterMod  func(*cluster.Config)
+	lastCluster *cluster.Cluster
+)
+
+// benchCluster is how every figure driver builds its system: the default
+// 4-node prototype, plus whatever the chaos harness injects.
+func benchCluster(tc *trace.Collector) *cluster.Cluster {
+	cfg := cluster.Config{Trace: tc}
+	if clusterMod != nil {
+		clusterMod(&cfg)
+	}
+	c := cluster.New(cfg)
+	lastCluster = c
+	return c
+}
+
+// StandardChaosPlans is the soak matrix: three lossy-link plans (which the
+// reliability sublayer must absorb) and one NIC-fault plan (freeze storm +
+// outgoing stall, exercised on the raw in-order backplane).
+func StandardChaosPlans() []fault.Plan {
+	return []fault.Plan{
+		{Name: "drop-0.1%", Link: fault.LinkFaults{DropProb: 0.001}},
+		{Name: "drop-1%", Link: fault.LinkFaults{DropProb: 0.01}},
+		{Name: "lossy-link", Link: fault.LinkFaults{
+			DropProb: 0.002, CorruptProb: 0.002, DelayProb: 0.005, ReorderProb: 0.002}},
+		{Name: "nic-storm", NIC: []fault.NICFault{
+			{Node: 1, Kind: fault.FreezeStorm, At: 200 * time.Microsecond, Count: 4, Gap: 10 * time.Microsecond},
+			{Node: 0, Kind: fault.OutStall, At: 400 * time.Microsecond, Dur: 50 * time.Microsecond},
+		}},
+	}
+}
+
+// chaosScenarios are the figure scenarios the soak runs (the same single
+// representative points TraceFigure picks) plus the harness's own
+// byte-verification stream.
+var chaosScenarios = []string{"fig3", "fig4", "fig5", "fig7", "fig8", "ttcp", "integrity"}
+
+// ChaosResult is one (scenario, plan) cell of the soak matrix.
+type ChaosResult struct {
+	Scenario string
+	Plan     string
+	Seed     int64
+	Digest   uint64 // event-stream digest of the first run
+	Stable   bool   // second run with same seed+plan produced same digest
+	Injected int64  // link faults the injector actually delivered
+	Blocked  []string
+	Detail   string // failure description, "" on success
+}
+
+// OK reports whether the cell passed: the scenario ran to completion with
+// no process left parked, no data error, and a replay-stable digest.
+func (r ChaosResult) OK() bool {
+	return r.Detail == "" && r.Stable && len(r.Blocked) == 0
+}
+
+// RunChaos runs the full soak matrix with the given injector seed: every
+// figure scenario under every standard plan, plus the mid-transfer node
+// crash/recovery scenario under its own plan. Lossy-link plans run with the
+// mesh reliability sublayer enabled (the stack under test); the NIC-fault
+// plan runs on the raw backplane.
+func RunChaos(seed int64) []ChaosResult {
+	var out []ChaosResult
+	for _, plan := range StandardChaosPlans() {
+		reliable := plan.Link != (fault.LinkFaults{})
+		for _, sc := range chaosScenarios {
+			out = append(out, chaosCase(sc, plan, seed, reliable, scenarioRunner(sc)))
+		}
+	}
+	// 5 ms lands inside the sender's transfer loop: the two Ethernet import
+	// handshakes alone take over a millisecond of virtual time.
+	crashPlan := fault.Plan{Name: "crash-node2-mid-transfer", Crashes: []fault.Crash{
+		{Node: 2, At: 5 * time.Millisecond},
+	}}
+	out = append(out, chaosCase("crash-recovery", crashPlan, seed, false, chaosCrashRecovery))
+	return out
+}
+
+func scenarioRunner(sc string) func(tc *trace.Collector) error {
+	if sc == "integrity" {
+		return chaosIntegrity
+	}
+	return func(tc *trace.Collector) error {
+		_, err := TraceFigure(sc, tc)
+		return err
+	}
+}
+
+// chaosCase runs one cell twice under the determinism digest and collects
+// the verdict.
+func chaosCase(name string, plan fault.Plan, seed int64, reliable bool, run func(tc *trace.Collector) error) ChaosResult {
+	res := ChaosResult{Scenario: name, Plan: plan.Name, Seed: seed}
+	one := func() (err error, injected int64, blocked []string, digest uint64) {
+		clusterMod = func(cfg *cluster.Config) {
+			p := plan
+			cfg.FaultPlan = &p
+			cfg.FaultSeed = seed
+			cfg.Reliable = reliable
+		}
+		lastCluster = nil
+		digest = sim.Digest(func() { err = run(nil) })
+		clusterMod = nil
+		if lastCluster != nil {
+			injected = lastCluster.Fault.Injected()
+			blocked = lastCluster.Eng.Stalled()
+			lastCluster.Shutdown()
+			lastCluster = nil
+		}
+		return
+	}
+	err1, injected, blocked, d1 := one()
+	err2, _, _, d2 := one()
+	res.Digest = d1
+	res.Stable = d1 == d2
+	res.Injected = injected
+	res.Blocked = blocked
+	switch {
+	case err1 != nil:
+		res.Detail = err1.Error()
+	case err2 != nil:
+		res.Detail = "second run: " + err2.Error()
+	case !res.Stable:
+		res.Detail = fmt.Sprintf("digest unstable: %s vs %s", sim.DigestString(d1), sim.DigestString(d2))
+	case len(blocked) > 0:
+		res.Detail = "blocked procs: " + strings.Join(blocked, ", ")
+	}
+	return res
+}
+
+// ChaosOK reports whether every cell of the matrix passed.
+func ChaosOK(results []ChaosResult) bool {
+	for _, r := range results {
+		if !r.OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// ChaosTable renders the soak matrix for the CLI.
+func ChaosTable(results []ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CHAOS — figure scenarios x fault plans (seed %d)\n", results[0].Seed)
+	fmt.Fprintf(&b, "%-16s %-26s %8s %6s  %-18s %s\n",
+		"scenario", "plan", "faults", "ok", "digest", "detail")
+	for _, r := range results {
+		status := "PASS"
+		if !r.OK() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-16s %-26s %8d %6s  %-18s %s\n",
+			r.Scenario, r.Plan, r.Injected, status, sim.DigestString(r.Digest), r.Detail)
+	}
+	return b.String()
+}
+
+// chaosPattern is the byte the verification stream expects at offset i.
+func chaosPattern(i int) byte { return byte(i*131>>4) ^ byte(i) }
+
+// chaosIntegrity streams a patterned byte sequence through a socket (odd
+// size, so the staging/alignment path is exercised) and verifies every
+// received byte: under a lossy plan with the reliability sublayer on, the
+// acknowledged stream must arrive complete and intact.
+func chaosIntegrity(tc *trace.Collector) error {
+	const size, count = 1531, 24
+	var verr error
+	fail := func(format string, args ...any) {
+		if verr == nil {
+			verr = fmt.Errorf(format, args...)
+		}
+	}
+	socketPair(socket.ModeDU1, tc,
+		func(c *socket.Conn, p *kernel.Process) {
+			buf := p.Alloc(size+8, hw.WordSize)
+			total := size * count
+			got := 0
+			for got < total {
+				n, err := c.Recv(buf, size)
+				if err != nil {
+					fail("recv at offset %d: %v", got, err)
+					return
+				}
+				if n == 0 {
+					fail("stream ended at %d of %d bytes", got, total)
+					return
+				}
+				for i, by := range p.Peek(buf, n) {
+					if want := chaosPattern(got + i); by != want {
+						fail("byte %d corrupt: got %#x want %#x", got+i, by, want)
+						return
+					}
+				}
+				got += n
+			}
+		},
+		func(c *socket.Conn, p *kernel.Process) {
+			buf := p.Alloc(size+8, hw.WordSize)
+			chunk := make([]byte, size)
+			for i := 0; i < count; i++ {
+				for j := range chunk {
+					chunk[j] = chaosPattern(i*size + j)
+				}
+				p.Poke(buf, chunk)
+				if _, err := c.Send(buf, size); err != nil {
+					fail("send %d: %v", i, err)
+					break
+				}
+			}
+			c.Close()
+		})
+	return verr
+}
+
+// chaosCrashRecovery is the acceptance scenario for node death: a sender
+// streams to two exporters; one exporter's node is crashed mid-transfer by
+// the plan. The survivors' daemons must reclaim the dead node's mappings
+// (sends to it turn into vmmc.ErrPeerDead instead of silent writes through
+// freed page-table entries), transfers to the surviving node must keep
+// working, and fresh imports must still succeed — the cluster stays usable.
+func chaosCrashRecovery(tc *trace.Collector) error {
+	cl := benchCluster(tc)
+	var verr error
+	fail := func(format string, args ...any) {
+		if verr == nil {
+			verr = fmt.Errorf(format, args...)
+		}
+	}
+	const doneFlag = 0xD00E
+	ready := 0
+	readyCond := sim.NewCond(cl.Eng)
+	exporter := func(node int) {
+		cl.Spawn(node, "rx", func(p *kernel.Process) {
+			ep := vmmc.Attach(p, cl.Node(node).Daemon)
+			va := p.MapPages(1, 0)
+			if _, err := ep.Export(va, 1, vmmc.ExportOpts{Name: "rx"}); err != nil {
+				fail("export on node %d: %v", node, err)
+				return
+			}
+			ready++
+			readyCond.Broadcast()
+			p.WaitWord(va, func(v uint32) bool { return v == doneFlag })
+		})
+	}
+	exporter(1)
+	exporter(2)
+	cl.Spawn(0, "tx", func(p *kernel.Process) {
+		for ready < 2 {
+			readyCond.Wait(p.P)
+		}
+		ep := vmmc.Attach(p, cl.Node(0).Daemon)
+		imp1, err := ep.Import(1, "rx")
+		if err != nil {
+			fail("import from node 1: %v", err)
+			return
+		}
+		imp2, err := ep.Import(2, "rx")
+		if err != nil {
+			fail("import from node 2: %v", err)
+			return
+		}
+		src := p.Alloc(256+8, hw.WordSize)
+		body := make([]byte, 256)
+		for i := range body {
+			body[i] = chaosPattern(i)
+		}
+		p.Poke(src, body)
+		sawDead := false
+		for i := 0; i < 150; i++ {
+			if err := ep.Send(imp1, 64, src, 256); err != nil {
+				fail("send to survivor failed at iter %d: %v", i, err)
+				return
+			}
+			switch err := ep.Send(imp2, 64, src, 256); {
+			case err == nil:
+				// Before the crash, or in the window before the death
+				// announcement lands (the mesh silently drops then).
+			case errors.Is(err, vmmc.ErrPeerDead):
+				sawDead = true
+			default:
+				fail("unexpected error sending to crashed peer: %v", err)
+				return
+			}
+			p.P.Sleep(50 * time.Microsecond)
+		}
+		if !sawDead {
+			fail("never observed ErrPeerDead after the crash")
+			return
+		}
+		// The cluster is still usable: a fresh import from the survivor
+		// works and carries data.
+		imp1b, err := ep.Import(1, "rx")
+		if err != nil {
+			fail("re-import from survivor: %v", err)
+			return
+		}
+		if err := ep.Send(imp1b, 64, src, 256); err != nil {
+			fail("post-crash transfer to survivor: %v", err)
+			return
+		}
+		// And the dead node is cleanly unreachable, not a hang.
+		if _, err := ep.Import(2, "rx"); err == nil {
+			fail("import from dead node unexpectedly succeeded")
+			return
+		}
+		// Release the survivor's receiver.
+		flag := p.Alloc(8, hw.WordSize)
+		p.WriteWord(flag, doneFlag)
+		if err := ep.Send(imp1b, 0, flag, 4); err != nil {
+			fail("final flag send: %v", err)
+		}
+	})
+	cl.Run()
+	if verr != nil {
+		return verr
+	}
+	if cl.Node(0).Daemon.ReapedImports == 0 {
+		return fmt.Errorf("survivor daemon reaped no imports from the dead node")
+	}
+	return nil
+}
+
+// DegradedPoint is one row of the degraded-mode throughput table.
+type DegradedPoint struct {
+	DropPct     float64
+	RTripUS     float64
+	MBPerSec    float64
+	Retransmits int64
+}
+
+// DegradedFig5 measures the Figure 5 AU-mode RPC echo at the given link
+// drop rates with the reliability sublayer enabled — the EXPERIMENTS.md
+// degraded-mode table. At 0% drop the numbers must match the calibrated
+// figure (the sublayer's acks ride a sideband, so an idle injector costs
+// nothing on the data path).
+func DegradedFig5(size, iters int, seed int64, drops []float64) []DegradedPoint {
+	var out []DegradedPoint
+	for _, d := range drops {
+		plan := fault.Plan{
+			Name: fmt.Sprintf("drop-%g%%", d*100),
+			Link: fault.LinkFaults{DropProb: d},
+		}
+		clusterMod = func(cfg *cluster.Config) {
+			cfg.FaultPlan = &plan
+			cfg.FaultSeed = seed
+			cfg.Reliable = true
+		}
+		lastCluster = nil
+		rt, bw := vrpcPingPong(sunrpc.ModeAU, size, iters, nil)
+		clusterMod = nil
+		var retrans int64
+		if lastCluster != nil {
+			retrans = lastCluster.Mesh.RelStats().Retransmits
+			lastCluster.Shutdown()
+			lastCluster = nil
+		}
+		out = append(out, DegradedPoint{DropPct: d * 100, RTripUS: rt, MBPerSec: bw, Retransmits: retrans})
+	}
+	return out
+}
+
+// SocketStreamDegraded is SocketStreamTraced over a lossy backplane: the
+// link drops packets with probability drop, the retransmit sublayer is
+// enabled, and the sublayer's retransmit count comes back alongside the
+// bandwidth (cmd/ttcp's -drop flag).
+func SocketStreamDegraded(mode socket.Mode, size, count int, perWrite, perByte time.Duration, tc *trace.Collector, drop float64, seed int64) (float64, int64) {
+	plan := fault.Plan{
+		Name: fmt.Sprintf("drop-%g%%", drop*100),
+		Link: fault.LinkFaults{DropProb: drop},
+	}
+	clusterMod = func(cfg *cluster.Config) {
+		cfg.FaultPlan = &plan
+		cfg.FaultSeed = seed
+		cfg.Reliable = true
+	}
+	lastCluster = nil
+	mbps := socketStream(mode, size, count, perWrite, perByte, tc)
+	clusterMod = nil
+	var retrans int64
+	if lastCluster != nil {
+		retrans = lastCluster.Mesh.RelStats().Retransmits
+		lastCluster.Shutdown()
+		lastCluster = nil
+	}
+	return mbps, retrans
+}
+
+// DegradedTable renders the degraded-mode measurements.
+func DegradedTable(points []DegradedPoint, size int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DEGRADED — Fig 5 VRPC AU-1copy echo, %d B, retransmit sublayer ON\n", size)
+	fmt.Fprintf(&b, "%10s %14s %12s %12s\n", "drop(%)", "roundtrip(us)", "bw(MB/s)", "retransmits")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%10.2f %14.2f %12.2f %12d\n", p.DropPct, p.RTripUS, p.MBPerSec, p.Retransmits)
+	}
+	return b.String()
+}

@@ -1,0 +1,65 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"shrimp/internal/fault"
+)
+
+// A fast subset of the chaos soak for tier-1 CI: one lossy cell with the
+// sublayer on, the NIC-storm cell raw, and the crash-recovery acceptance
+// scenario. `make chaos` runs the full matrix.
+
+func TestChaosIntegrityLossy(t *testing.T) {
+	plan := fault.Plan{Name: "lossy", Link: fault.LinkFaults{
+		DropProb: 0.005, CorruptProb: 0.005, ReorderProb: 0.005,
+	}}
+	res := chaosCase("integrity", plan, 1, true, chaosIntegrity)
+	if !res.OK() {
+		t.Fatalf("cell failed: %+v", res)
+	}
+	if res.Injected == 0 {
+		t.Fatal("plan injected nothing")
+	}
+}
+
+func TestChaosNICStorm(t *testing.T) {
+	plan := fault.Plan{Name: "storm", NIC: []fault.NICFault{
+		{Node: 1, Kind: fault.FreezeStorm, At: 200 * time.Microsecond, Count: 3, Gap: 15 * time.Microsecond},
+	}}
+	res := chaosCase("integrity", plan, 1, false, chaosIntegrity)
+	if !res.OK() {
+		t.Fatalf("cell failed: %+v", res)
+	}
+}
+
+func TestChaosCrashRecovery(t *testing.T) {
+	plan := fault.Plan{Name: "crash", Crashes: []fault.Crash{
+		{Node: 2, At: 5 * time.Millisecond},
+	}}
+	res := chaosCase("crash-recovery", plan, 1, false, chaosCrashRecovery)
+	if !res.OK() {
+		t.Fatalf("cell failed: %+v", res)
+	}
+}
+
+// TestChaosPlansWellFormed keeps the standard plan list honest: every plan
+// named, and link-fault plans distinguishable from scheduled-fault plans
+// (RunChaos keys the Reliable choice off that).
+func TestChaosPlansWellFormed(t *testing.T) {
+	plans := StandardChaosPlans()
+	if len(plans) < 3 {
+		t.Fatalf("only %d standard plans", len(plans))
+	}
+	seen := map[string]bool{}
+	for _, p := range plans {
+		if p.Name == "" {
+			t.Fatalf("unnamed plan: %v", p)
+		}
+		if seen[p.Name] {
+			t.Fatalf("duplicate plan name %q", p.Name)
+		}
+		seen[p.Name] = true
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"time"
 
-	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
@@ -50,7 +49,7 @@ func vmmcPingPong(strategy string, size, iters int, tc *trace.Collector) (float6
 	if size%hw.WordSize != 0 {
 		panic("vmmc ping-pong sizes must be word multiples")
 	}
-	c := cluster.New(cluster.Config{Trace: tc})
+	c := benchCluster(tc)
 	pages := (size+4)/hw.Page + 2
 
 	ready := sim.NewCond(c.Eng)

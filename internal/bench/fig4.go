@@ -3,7 +3,6 @@ package bench
 import (
 	"time"
 
-	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
 	"shrimp/internal/nx"
@@ -27,7 +26,7 @@ func NXPingPong(proto nx.Proto, size, iters int) (float64, float64) {
 }
 
 func nxPingPong(proto nx.Proto, size, iters int, tc *trace.Collector) (float64, float64) {
-	c := cluster.New(cluster.Config{Trace: tc})
+	c := benchCluster(tc)
 	var start, end sim.Time
 	const typPing, typPong = 1, 2
 

@@ -49,7 +49,7 @@ func VRPCPingPong(mode sunrpc.Mode, size, iters int) (float64, float64) {
 }
 
 func vrpcPingPong(mode sunrpc.Mode, size, iters int, tc *trace.Collector) (float64, float64) {
-	c := cluster.New(cluster.Config{Trace: tc})
+	c := benchCluster(tc)
 	up := false
 	ready := sim.NewCond(c.Eng)
 	var start, end sim.Time

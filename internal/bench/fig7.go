@@ -3,7 +3,6 @@ package bench
 import (
 	"time"
 
-	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
@@ -20,7 +19,7 @@ var Fig7Modes = []socket.Mode{socket.ModeAU2, socket.ModeDU1, socket.ModeDU2}
 
 // socketPair runs server/client bodies over one established connection.
 func socketPair(mode socket.Mode, tc *trace.Collector, server, client func(c *socket.Conn, p *kernel.Process)) {
-	cl := cluster.New(cluster.Config{Trace: tc})
+	cl := benchCluster(tc)
 	cl.Spawn(1, "server", func(p *kernel.Process) {
 		ep := vmmc.Attach(p, cl.Node(1).Daemon)
 		lib := socket.New(ep, cl.Ether, 1, mode)

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"shrimp/internal/cluster"
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
 	"shrimp/internal/srpc"
@@ -27,7 +26,7 @@ func SRPCNull(size, iters int) float64 {
 }
 
 func srpcNull(size, iters int, tc *trace.Collector) float64 {
-	c := cluster.New(cluster.Config{Trace: tc})
+	c := benchCluster(tc)
 	up := false
 	ready := sim.NewCond(c.Eng)
 	var start, end sim.Time

@@ -11,6 +11,7 @@ import (
 
 	"shrimp/internal/daemon"
 	"shrimp/internal/ether"
+	"shrimp/internal/fault"
 	"shrimp/internal/kernel"
 	"shrimp/internal/mesh"
 	"shrimp/internal/nic"
@@ -31,6 +32,19 @@ type Config struct {
 	// to every layer (kernel, NIC, mesh, libraries), which then attribute
 	// spans, counters, and histograms to it. Nil costs nothing.
 	Trace *trace.Collector
+
+	// FaultPlan, when non-nil, arms the deterministic fault injector:
+	// link-level faults perturb every mesh packet per the plan's
+	// probabilities, and the plan's scheduled NIC faults and node crashes
+	// fire at their virtual times. Same plan + same FaultSeed = same run.
+	FaultPlan *fault.Plan
+	// FaultSeed seeds the injector's private PRNG (default 1).
+	FaultSeed int64
+	// Reliable enables the mesh link-level retransmission sublayer
+	// (sequence numbers, checksums, go-back-N). Off by default so the
+	// calibrated figure reproductions run on the raw reliable-by-
+	// construction backplane the paper assumes.
+	Reliable bool
 }
 
 // Node is one assembled PC node.
@@ -39,6 +53,8 @@ type Node struct {
 	M      *kernel.Machine
 	NIC    *nic.NIC
 	Daemon *daemon.Daemon
+	// Dead marks a crashed node (see Cluster.CrashNode).
+	Dead bool
 }
 
 // Cluster is a running SHRIMP system.
@@ -47,6 +63,11 @@ type Cluster struct {
 	Mesh  *mesh.Network
 	Ether *ether.Network
 	Nodes []*Node
+	// Fault is the armed injector when Config.FaultPlan was set (nil
+	// otherwise); chaos harnesses read its counters.
+	Fault *fault.Injector
+
+	cfg Config
 }
 
 // New builds and boots a SHRIMP system.
@@ -68,7 +89,13 @@ func New(cfg Config) *Cluster {
 	msh := mesh.New(eng, cfg.MeshX, cfg.MeshY)
 	msh.Trace = cfg.Trace
 	eth := ether.New(eng, cfg.MeshX*cfg.MeshY)
-	c := &Cluster{Eng: eng, Mesh: msh, Ether: eth}
+	if cfg.FaultSeed == 0 {
+		cfg.FaultSeed = 1
+	}
+	c := &Cluster{Eng: eng, Mesh: msh, Ether: eth, cfg: cfg}
+	if cfg.Reliable {
+		msh.EnableReliability(mesh.RelConfig{})
+	}
 	for i := 0; i < cfg.MeshX*cfg.MeshY; i++ {
 		m := kernel.NewMachine(i, eng, cfg.MemBytes)
 		m.Trace = cfg.Trace
@@ -76,7 +103,106 @@ func New(cfg Config) *Cluster {
 		d := daemon.New(i, m, n, msh, eth)
 		c.Nodes = append(c.Nodes, &Node{ID: i, M: m, NIC: n, Daemon: d})
 	}
+	if cfg.FaultPlan != nil {
+		c.Fault = fault.NewInjector(cfg.FaultSeed, *cfg.FaultPlan)
+		msh.SetInjector(c.Fault)
+		c.scheduleFaults(cfg.FaultPlan)
+	}
 	return c
+}
+
+// scheduleFaults arms the plan's scheduled NIC faults and node crashes at
+// their virtual times. Targets are resolved at fire time so a fault aimed at
+// a restarted node hits the fresh hardware, and anything addressed to a node
+// that is dead when it fires is dropped.
+func (c *Cluster) scheduleFaults(plan *fault.Plan) {
+	for _, nf := range plan.NIC {
+		nf := nf
+		switch nf.Kind {
+		case fault.FreezeStorm:
+			count := nf.Count
+			if count == 0 {
+				count = 3
+			}
+			gap := nf.Gap
+			if gap == 0 {
+				gap = 5 * time.Microsecond
+			}
+			src := mesh.NodeID((nf.Node + 1) % len(c.Nodes))
+			for i := 0; i < count; i++ {
+				c.Eng.At(sim.Time(0).Add(nf.At+time.Duration(i)*gap), func() {
+					if n := c.Nodes[nf.Node]; !n.Dead {
+						n.NIC.ForceFault(src)
+					}
+				})
+			}
+		case fault.OutStall:
+			dur := nf.Dur
+			if dur == 0 {
+				dur = 20 * time.Microsecond
+			}
+			c.Eng.At(sim.Time(0).Add(nf.At), func() {
+				if n := c.Nodes[nf.Node]; !n.Dead {
+					n.NIC.StallOutgoing(dur)
+				}
+			})
+		}
+	}
+	for _, cr := range plan.Crashes {
+		cr := cr
+		c.Eng.At(sim.Time(0).Add(cr.At), func() {
+			if !c.Nodes[cr.Node].Dead {
+				c.CrashNode(cr.Node)
+			}
+		})
+		if cr.RestartAfter > 0 {
+			c.Eng.At(sim.Time(0).Add(cr.At+cr.RestartAfter), func() {
+				if c.Nodes[cr.Node].Dead {
+					c.RestartNode(cr.Node)
+				}
+			})
+		}
+	}
+}
+
+// CrashNode kills node i at the current virtual time: its NIC goes dark,
+// the mesh drops everything addressed to it, its processes are killed, its
+// daemon port closes, and the fabric announces the death to every surviving
+// daemon (which garbage-collects the mappings it shared with the corpse).
+func (c *Cluster) CrashNode(i int) {
+	n := c.Node(i)
+	if n.Dead {
+		return
+	}
+	n.Dead = true
+	n.NIC.Crash()
+	c.Mesh.Detach(mesh.NodeID(i))
+	n.Daemon.Crash()
+	n.M.Crash()
+	for j := 0; j < len(c.Nodes); j++ {
+		if j == i || c.Nodes[j].Dead {
+			continue
+		}
+		c.Ether.Inject(ether.Addr{Node: j, Port: daemon.Port}, 32, daemon.DeadNode{Node: i})
+	}
+}
+
+// RestartNode boots fresh hardware in a crashed node's slot: new machine,
+// new NIC (reattached to the mesh), new daemon. State is not recovered —
+// the paper's cluster has no stable storage story — so the node rejoins
+// empty, like a rebooted PC. Exports and imports must be re-established.
+func (c *Cluster) RestartNode(i int) *Node {
+	old := c.Node(i)
+	if !old.Dead {
+		panic(fmt.Sprintf("cluster: restart of live node %d", i))
+	}
+	m := kernel.NewMachine(i, c.Eng, c.cfg.MemBytes)
+	m.Trace = c.cfg.Trace
+	n := nic.New(m, c.Mesh, mesh.NodeID(i), c.cfg.OPTEntries)
+	d := daemon.New(i, m, n, c.Mesh, c.Ether)
+	fresh := &Node{ID: i, M: m, NIC: n, Daemon: d}
+	c.Nodes[i] = fresh
+	return fresh
 }
 
 // Default returns the 4-node prototype configuration.
@@ -102,6 +228,14 @@ func (c *Cluster) Run() sim.Time { return c.Eng.RunAll() }
 // RunFor drives the simulation for at most d of virtual time.
 func (c *Cluster) RunFor(d time.Duration) sim.Time {
 	return c.Eng.Run(c.Eng.Now().Add(d))
+}
+
+// RunChecked drives the simulation until it drains or the virtual-time
+// budget expires, then asks the engine's watchdog for a verdict: a run that
+// ran out of budget or drained with non-service processes still parked
+// returns a *sim.DeadlockError naming the blocked processes.
+func (c *Cluster) RunChecked(budget time.Duration) (sim.Time, error) {
+	return c.Eng.RunChecked(c.Eng.Now().Add(budget))
 }
 
 // Shutdown releases every parked process goroutine (daemons, servers,

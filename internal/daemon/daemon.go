@@ -12,6 +12,7 @@
 package daemon
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -26,6 +27,21 @@ import (
 
 // Port is the well-known Ethernet port the daemon listens on.
 const Port = 1
+
+// rpcTimeout bounds every daemon-to-daemon Ethernet RPC. A dead peer can
+// never answer; rather than parking the caller forever, the call gives up
+// and the operation reports the peer unreachable (Import) or proceeds
+// best-effort (release/revoke — the peer that would act on it is gone).
+const rpcTimeout = 5 * time.Millisecond
+
+// ErrReleased reports an Unimport of a mapping that was already released —
+// by an earlier Unimport, by the exporter's revocation, or by dead-node
+// garbage collection. Teardown code may see it on any of those races and
+// should treat it as "already done".
+var ErrReleased = errors.New("daemon: import mapping already released")
+
+// ErrRevoked reports an Unexport of an export that was already revoked.
+var ErrRevoked = errors.New("daemon: export already revoked")
 
 // LocalIPCCost approximates one request/response exchange with the local
 // daemon over a Unix-domain socket (export/import bookkeeping is off the
@@ -69,7 +85,19 @@ type ImportRec struct {
 	OPTBase  int
 	Pages    int
 	released bool
+	reaped   bool
 }
+
+// Released reports whether the mapping has been torn down — by Unimport, by
+// the exporter's revocation, or by dead-node garbage collection. The VMMC
+// layer checks it to fail sends instead of writing through freed OPT
+// entries.
+func (rec *ImportRec) Released() bool { return rec.released }
+
+// Reaped reports whether the mapping was torn down specifically because the
+// exporting node crashed (dead-node garbage collection), letting callers
+// distinguish a dead peer from an orderly revocation.
+func (rec *ImportRec) Reaped() bool { return rec.reaped }
 
 // Daemon is one node's SHRIMP daemon.
 type Daemon struct {
@@ -93,6 +121,11 @@ type Daemon struct {
 	// of the default panic (tests use this; a healthy system never
 	// faults).
 	FaultHook func(f nic.ProtectionFault)
+
+	// ReapedImports and ReapedExportRefs count mappings garbage-collected
+	// by dead-node announcements (for tests and chaos reports).
+	ReapedImports    int
+	ReapedExportRefs int
 }
 
 // --- Ethernet message types ---
@@ -122,6 +155,14 @@ type revokeReq struct {
 
 type revokeResp struct{}
 
+// DeadNode announces that a node has crashed. It is injected by the fabric
+// (cluster fault machinery) to every surviving daemon, which garbage-collects
+// the mappings it shared with the dead node. No reply is sent — the sender
+// is the network itself.
+type DeadNode struct {
+	Node int
+}
+
 // New creates the daemon for a node and starts its service process.
 func New(nodeID int, m *kernel.Machine, n *nic.NIC, msh *mesh.Network, eth *ether.Network) *Daemon {
 	d := &Daemon{
@@ -136,6 +177,9 @@ func New(nodeID int, m *kernel.Machine, n *nic.NIC, msh *mesh.Network, eth *ethe
 	}
 	d.port = eth.Bind(ether.Addr{Node: nodeID, Port: Port})
 	d.proc = m.Spawn("shrimpd", d.serve)
+	// The daemon parks on its port forever by design; the deadlock watchdog
+	// must not count it among the blocked.
+	d.proc.P.MarkService()
 	m.RegisterIRQ(nic.VecProtection, d.onFault)
 	m.RegisterIRQ(nic.VecNotify, d.onNotify)
 	n.FastNotifyHook = func(tag any, src mesh.NodeID) {
@@ -150,6 +194,12 @@ func (d *Daemon) onFault(data any) {
 	f := data.(nic.ProtectionFault)
 	if d.FaultHook != nil {
 		d.FaultHook(f)
+		return
+	}
+	if f.Forced {
+		// Injected fault: the frozen head packet is innocent, so retry it
+		// rather than dropping (nic.ProtectionFault.Forced).
+		d.NIC.Unfreeze(false)
 		return
 	}
 	panic(fmt.Sprintf("shrimpd%d: receive-path protection fault: frame %d from node %d",
@@ -181,6 +231,9 @@ func (d *Daemon) serve(p *kernel.Process) {
 		case revokeReq:
 			d.handleRevoke(p, req)
 			d.port.Send(p.P, m.From, 16, revokeResp{})
+		case DeadNode:
+			// Fabric-originated announcement; no reply (there is no sender).
+			d.reapDeadNode(p, req.Node)
 		default:
 			panic(fmt.Sprintf("shrimpd%d: unknown request %T", d.NodeID, m.Payload))
 		}
@@ -240,6 +293,43 @@ func (d *Daemon) handleRevoke(p *kernel.Process, req revokeReq) {
 	d.imports = kept
 }
 
+// reapDeadNode garbage-collects every mapping shared with a crashed node:
+// imports of its exports are quiesced and their OPT entries freed (the pages
+// they pointed at no longer exist), and its references on local exports are
+// dropped so Unexport never tries to contact it.
+func (d *Daemon) reapDeadNode(p *kernel.Process, node int) {
+	kept := d.imports[:0]
+	for _, rec := range d.imports {
+		if rec.Exporter == node && !rec.released {
+			d.NIC.Quiesce(p.P)
+			d.Mesh.WaitDrained(p.P, mesh.NodeID(d.NodeID), mesh.NodeID(node))
+			d.NIC.FreeOPT(rec.OPTBase, rec.Pages)
+			rec.released = true
+			rec.reaped = true
+			d.ReapedImports++
+			continue
+		}
+		kept = append(kept, rec)
+	}
+	d.imports = kept
+	// Export bookkeeping only — no order-sensitive calls, so plain map
+	// iteration is fine.
+	for _, rec := range d.exports {
+		if rec.importers[node] > 0 {
+			d.ReapedExportRefs += rec.importers[node]
+			delete(rec.importers, node)
+		}
+	}
+}
+
+// Crash simulates the node dying from the daemon's point of view: its port
+// closes (the serve loop exits) so peers' RPCs to it time out instead of
+// queueing forever. Called by the cluster fault machinery alongside
+// Machine.Crash and NIC.Crash.
+func (d *Daemon) Crash() {
+	d.port.Close()
+}
+
 // removeImport drops rec from the import list, preserving order.
 func (d *Daemon) removeImport(rec *ImportRec) {
 	for i, r := range d.imports {
@@ -296,7 +386,7 @@ func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec
 	proc.Compute(LocalIPCCost)
 	port := d.ephemeralPort()
 	defer port.Close()
-	reply := port.Call(proc.P, ether.Addr{Node: node, Port: Port}, 64, importReq{Name: name, From: d.NodeID})
+	reply := port.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 64, importReq{Name: name, From: d.NodeID}, rpcTimeout)
 	if reply == nil {
 		return nil, fmt.Errorf("import: daemon on node %d unreachable", node)
 	}
@@ -308,7 +398,7 @@ func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec
 	if err != nil {
 		// Give the reference back.
 		port2 := d.ephemeralPort()
-		port2.Call(proc.P, ether.Addr{Node: node, Port: Port}, 16, releaseReq{ExportID: resp.ExportID, From: d.NodeID})
+		port2.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 16, releaseReq{ExportID: resp.ExportID, From: d.NodeID}, rpcTimeout)
 		port2.Close()
 		return nil, err
 	}
@@ -325,7 +415,7 @@ func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec
 func (d *Daemon) Unimport(proc *kernel.Process, rec *ImportRec) error {
 	proc.Compute(LocalIPCCost)
 	if rec.released {
-		return fmt.Errorf("unimport: mapping already released")
+		return ErrReleased
 	}
 	d.NIC.Quiesce(proc.P)
 	d.Mesh.WaitDrained(proc.P, mesh.NodeID(d.NodeID), mesh.NodeID(rec.Exporter))
@@ -334,7 +424,9 @@ func (d *Daemon) Unimport(proc *kernel.Process, rec *ImportRec) error {
 	d.removeImport(rec)
 	port := d.ephemeralPort()
 	defer port.Close()
-	port.Call(proc.P, ether.Addr{Node: rec.Exporter, Port: Port}, 16, releaseReq{ExportID: rec.ExportID, From: d.NodeID})
+	// Best-effort: if the exporter died, nobody is left to care about the
+	// reference count.
+	port.CallTimeout(proc.P, ether.Addr{Node: rec.Exporter, Port: Port}, 16, releaseReq{ExportID: rec.ExportID, From: d.NodeID}, rpcTimeout)
 	return nil
 }
 
@@ -344,7 +436,7 @@ func (d *Daemon) Unimport(proc *kernel.Process, rec *ImportRec) error {
 func (d *Daemon) Unexport(proc *kernel.Process, rec *ExportRec) error {
 	proc.Compute(LocalIPCCost)
 	if rec.revoked {
-		return fmt.Errorf("unexport: already revoked")
+		return ErrRevoked
 	}
 	rec.revoked = true
 	// Notify importing daemons in node order: revocation traffic and the
@@ -361,7 +453,8 @@ func (d *Daemon) Unexport(proc *kernel.Process, rec *ExportRec) error {
 			continue
 		}
 		port := d.ephemeralPort()
-		port.Call(proc.P, ether.Addr{Node: node, Port: Port}, 16, revokeReq{Exporter: d.NodeID, ExportID: rec.ID})
+		// Best-effort: a dead importer's mappings are already gone.
+		port.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 16, revokeReq{Exporter: d.NodeID, ExportID: rec.ID}, rpcTimeout)
 		port.Close()
 	}
 	d.NIC.QuiesceIncoming(proc.P)

@@ -1,0 +1,135 @@
+package daemon
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
+)
+
+// Doubled-teardown semantics: Unimport and Unexport are idempotent in the
+// sense that a second call fails with a typed sentinel (errors.Is), never
+// a panic or a string to match on. Teardown races — a revocation crossing
+// an unimport, a crash reaping mappings an app later tears down — make
+// double teardown a normal event, not a bug.
+
+func TestDoubleUnimportIsSentinel(t *testing.T) {
+	r := newRig(t)
+	var expRec *ExportRec
+	exported := sim.NewCond(r.eng)
+	r.m[1].Spawn("exporter", func(p *kernel.Process) {
+		va := p.MapPages(1, 0)
+		var err error
+		expRec, err = r.d[1].Export(p, "buf", va, 1, false, false, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		exported.Broadcast()
+	})
+	done := false
+	r.m[0].Spawn("importer", func(p *kernel.Process) {
+		for expRec == nil {
+			exported.Wait(p.P)
+		}
+		imp, err := r.d[0].Import(p, 1, "buf")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.d[0].Unimport(p, imp); err != nil {
+			t.Errorf("first unimport: %v", err)
+		}
+		err = r.d[0].Unimport(p, imp)
+		if !errors.Is(err, ErrReleased) {
+			t.Errorf("second unimport = %v, want ErrReleased", err)
+		}
+		// Third time is the same sentinel — stable, not state-dependent.
+		if err := r.d[0].Unimport(p, imp); !errors.Is(err, ErrReleased) {
+			t.Errorf("third unimport = %v, want ErrReleased", err)
+		}
+		done = true
+	})
+	r.eng.RunAll()
+	if !done {
+		t.Fatal("importer never finished")
+	}
+}
+
+func TestDoubleUnexportIsSentinel(t *testing.T) {
+	r := newRig(t)
+	done := false
+	r.m[1].Spawn("exporter", func(p *kernel.Process) {
+		va := p.MapPages(1, 0)
+		rec, err := r.d[1].Export(p, "buf", va, 1, false, false, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := r.d[1].Unexport(p, rec); err != nil {
+			t.Errorf("first unexport: %v", err)
+		}
+		err = r.d[1].Unexport(p, rec)
+		if !errors.Is(err, ErrRevoked) {
+			t.Errorf("second unexport = %v, want ErrRevoked", err)
+		}
+		done = true
+	})
+	r.eng.RunAll()
+	if !done {
+		t.Fatal("exporter never finished")
+	}
+}
+
+// TestUnimportAfterRevocation: the exporter revokes first; the importer's
+// own teardown afterwards must report the mapping already released.
+func TestUnimportAfterRevocation(t *testing.T) {
+	r := newRig(t)
+	var expRec *ExportRec
+	exported := sim.NewCond(r.eng)
+	imported := sim.NewCond(r.eng)
+	var importedFlag bool
+	r.m[1].Spawn("exporter", func(p *kernel.Process) {
+		va := p.MapPages(1, 0)
+		var err error
+		expRec, err = r.d[1].Export(p, "buf", va, 1, false, false, nil, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		exported.Broadcast()
+		for !importedFlag {
+			imported.Wait(p.P)
+		}
+		if err := r.d[1].Unexport(p, expRec); err != nil {
+			t.Errorf("unexport: %v", err)
+		}
+	})
+	done := false
+	r.m[0].Spawn("importer", func(p *kernel.Process) {
+		for expRec == nil {
+			exported.Wait(p.P)
+		}
+		imp, err := r.d[0].Import(p, 1, "buf")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		importedFlag = true
+		imported.Broadcast()
+		// Let the revocation land.
+		for !imp.Released() {
+			p.P.Sleep(100 * time.Microsecond)
+		}
+		if err := r.d[0].Unimport(p, imp); !errors.Is(err, ErrReleased) {
+			t.Errorf("unimport after revocation = %v, want ErrReleased", err)
+		}
+		done = true
+	})
+	r.eng.RunAll()
+	if !done {
+		t.Fatal("importer never finished")
+	}
+}

@@ -104,6 +104,15 @@ func (p *Port) Send(proc *sim.Proc, to Addr, size int, payload any) {
 	p.net.transmit(&Message{From: p.addr, To: to, Size: size, Payload: payload})
 }
 
+// Inject delivers a control datagram originating from the network fabric
+// itself rather than a bound port — the switch's link-down notification
+// when a node crashes. It charges medium occupancy and the receive-side
+// interrupt cost like any datagram, but no sender process exists to
+// charge a syscall to. The From address carries Node -1 (no node).
+func (n *Network) Inject(to Addr, size int, payload any) {
+	n.transmit(&Message{From: Addr{Node: -1, Port: 0}, To: to, Size: size, Payload: payload})
+}
+
 func (n *Network) transmit(m *Message) {
 	frames := (m.Size + hw.EtherMTU - 1) / hw.EtherMTU
 	if frames == 0 {

@@ -1,0 +1,249 @@
+// Package fault is the deterministic fault injector for the SHRIMP
+// simulation. A Plan describes what goes wrong — per-packet link faults
+// (drop, corrupt, delay, reorder), scheduled NIC faults (receive-freeze
+// storms, outgoing-FIFO stalls), and whole-node crashes with optional
+// restart — and an Injector draws every per-packet decision from its own
+// seeded rand source. The injector never reads the wall clock and consumes
+// randomness in engine event order, so a given (seed, plan) pair replays
+// bit-for-bit: sim.CheckDeterminism holds with fault injection enabled.
+//
+// The package is a leaf: it imports nothing from the simulation so that
+// mesh, nic, and cluster can all depend on it without cycles. Virtual
+// times in a Plan are time.Durations measured from simulation start.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// LinkFaults gives the per-packet fault probabilities applied to every
+// packet crossing the mesh backplane. Probabilities are evaluated in the
+// order drop, corrupt, delay, reorder; at most one fault hits a packet.
+type LinkFaults struct {
+	// DropProb is the probability a packet vanishes on a link.
+	DropProb float64
+	// CorruptProb is the probability a packet has wire bytes flipped.
+	// With the reliability sublayer on, the receiver's checksum catches
+	// it and go-back-N recovers; without it the packet is lost.
+	CorruptProb float64
+	// DelayProb adds extra latency (uniform in (0, DelayMax]) that still
+	// preserves per-pair FIFO order: later packets queue behind it.
+	DelayProb float64
+	// ReorderProb adds the same extra latency but lets later packets
+	// overtake — the only way the mesh ever violates FIFO delivery.
+	ReorderProb float64
+	// DelayMax bounds the extra latency for Delay and Reorder faults.
+	// Zero means 10us.
+	DelayMax time.Duration
+}
+
+// NICFaultKind selects what a scheduled NIC fault does.
+type NICFaultKind int
+
+const (
+	// FreezeStorm forces Count spurious receive protection faults, Gap
+	// apart, starting at At. Each one freezes the incoming path and
+	// raises the protection interrupt; arriving packets queue behind the
+	// freeze until the daemon unfreezes.
+	FreezeStorm NICFaultKind = iota
+	// OutStall blocks the outgoing-FIFO arbiter for Dur starting at At,
+	// so packetized data piles up in the outgoing FIFO (overflow
+	// pressure) before draining when the stall lifts.
+	OutStall
+)
+
+// String names the kind for reports.
+func (k NICFaultKind) String() string {
+	switch k {
+	case FreezeStorm:
+		return "freeze-storm"
+	case OutStall:
+		return "out-stall"
+	}
+	return fmt.Sprintf("NICFaultKind(%d)", int(k))
+}
+
+// NICFault schedules one NIC-level fault on one node.
+type NICFault struct {
+	Node  int
+	Kind  NICFaultKind
+	At    time.Duration // virtual time of the first event
+	Count int           // FreezeStorm: number of forced faults (min 1)
+	Gap   time.Duration // FreezeStorm: spacing between faults
+	Dur   time.Duration // OutStall: how long the arbiter is blocked
+}
+
+// Crash schedules a whole-node crash at a virtual time, with an optional
+// restart RestartAfter later (zero means the node stays dead).
+type Crash struct {
+	Node         int
+	At           time.Duration
+	RestartAfter time.Duration
+}
+
+// Plan is a pluggable fault plan: everything that will go wrong in a run.
+// The zero Plan injects nothing.
+type Plan struct {
+	Name    string
+	Link    LinkFaults
+	NIC     []NICFault
+	Crashes []Crash
+}
+
+// String renders a compact description for logs and chaos reports.
+func (p Plan) String() string {
+	var b strings.Builder
+	name := p.Name
+	if name == "" {
+		name = "unnamed"
+	}
+	fmt.Fprintf(&b, "%s: link(drop=%.3g corrupt=%.3g delay=%.3g reorder=%.3g)",
+		name, p.Link.DropProb, p.Link.CorruptProb, p.Link.DelayProb, p.Link.ReorderProb)
+	for _, f := range p.NIC {
+		fmt.Fprintf(&b, " nic(n%d %s)", f.Node, f.Kind)
+	}
+	for _, c := range p.Crashes {
+		fmt.Fprintf(&b, " crash(n%d@%v)", c.Node, c.At)
+	}
+	return b.String()
+}
+
+// Action is the fate the injector assigns to one packet.
+type Action int
+
+const (
+	// Pass delivers the packet untouched.
+	Pass Action = iota
+	// Drop loses the packet on a link.
+	Drop
+	// Corrupt flips wire bytes; delivery depends on the checksum.
+	Corrupt
+	// Delay adds latency but preserves FIFO order.
+	Delay
+	// Reorder adds latency and lets later packets overtake.
+	Reorder
+)
+
+// String names the action for counters and reports.
+func (a Action) String() string {
+	switch a {
+	case Pass:
+		return "pass"
+	case Drop:
+		return "drop"
+	case Corrupt:
+		return "corrupt"
+	case Delay:
+		return "delay"
+	case Reorder:
+		return "reorder"
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Injector draws fault decisions for one run from a seeded source. All
+// methods must be called from simulation context (engine goroutine), in
+// event order; the consumed randomness is then replay-stable.
+type Injector struct {
+	plan Plan
+	rng  *rand.Rand
+
+	// Tallies of what was injected, for reports and tests.
+	Dropped   int64
+	Corrupted int64
+	Delayed   int64
+	Reordered int64
+	AcksLost  int64
+}
+
+// NewInjector builds an injector for the plan with its own rand stream.
+func NewInjector(seed int64, plan Plan) *Injector {
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Plan returns the plan this injector executes.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// delayMax returns the configured extra-latency bound.
+func (in *Injector) delayMax() time.Duration {
+	if in.plan.Link.DelayMax > 0 {
+		return in.plan.Link.DelayMax
+	}
+	return 10 * time.Microsecond
+}
+
+// LinkAction draws the fate of one data packet crossing the backplane and
+// the extra latency for Delay/Reorder actions. Exactly one rand draw per
+// packet for the fate keeps the stream compact and replay-stable.
+func (in *Injector) LinkAction() (Action, time.Duration) {
+	l := in.plan.Link
+	if l.DropProb == 0 && l.CorruptProb == 0 && l.DelayProb == 0 && l.ReorderProb == 0 {
+		return Pass, 0
+	}
+	v := in.rng.Float64()
+	switch {
+	case v < l.DropProb:
+		in.Dropped++
+		return Drop, 0
+	case v < l.DropProb+l.CorruptProb:
+		in.Corrupted++
+		return Corrupt, 0
+	case v < l.DropProb+l.CorruptProb+l.DelayProb:
+		in.Delayed++
+		return Delay, in.extraDelay()
+	case v < l.DropProb+l.CorruptProb+l.DelayProb+l.ReorderProb:
+		in.Reordered++
+		return Reorder, in.extraDelay()
+	}
+	return Pass, 0
+}
+
+// AckLost reports whether a link-level ack packet is lost. Acks travel the
+// reliability sublayer's sideband, where drop is the only failure mode.
+func (in *Injector) AckLost() bool {
+	if in.plan.Link.DropProb == 0 {
+		return false
+	}
+	if in.rng.Float64() < in.plan.Link.DropProb {
+		in.AcksLost++
+		return true
+	}
+	return false
+}
+
+// extraDelay draws the added latency for a Delay/Reorder fault: uniform in
+// (0, DelayMax], never zero so the fault is observable.
+func (in *Injector) extraDelay() time.Duration {
+	d := time.Duration(in.rng.Int63n(int64(in.delayMax()))) + 1
+	return d
+}
+
+// CorruptBytes flips one to four bytes of an encoded packet in place.
+// XORing with a non-zero mask guarantees the wire image really changed,
+// so the receiver's checksum (or, rarely, a garbled-but-valid decode)
+// decides its fate.
+func (in *Injector) CorruptBytes(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	n := 1 + in.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		pos := in.rng.Intn(len(b))
+		mask := byte(1 + in.rng.Intn(255))
+		b[pos] ^= mask
+	}
+}
+
+// Injected reports whether the injector actually did anything this run.
+func (in *Injector) Injected() int64 {
+	return in.Dropped + in.Corrupted + in.Delayed + in.Reordered + in.AcksLost
+}
+
+// Summary renders the tallies for chaos reports.
+func (in *Injector) Summary() string {
+	return fmt.Sprintf("dropped=%d corrupted=%d delayed=%d reordered=%d acks-lost=%d",
+		in.Dropped, in.Corrupted, in.Delayed, in.Reordered, in.AcksLost)
+}

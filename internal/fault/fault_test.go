@@ -1,0 +1,148 @@
+package fault
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestReplayStable is the injector's core contract: two injectors built
+// from the same (seed, plan) produce identical decision streams, so a
+// faulted run replays bit-for-bit.
+func TestReplayStable(t *testing.T) {
+	plan := Plan{Link: LinkFaults{
+		DropProb: 0.05, CorruptProb: 0.05, DelayProb: 0.1, ReorderProb: 0.1,
+	}}
+	a := NewInjector(42, plan)
+	b := NewInjector(42, plan)
+	for i := 0; i < 10000; i++ {
+		actA, dA := a.LinkAction()
+		actB, dB := b.LinkAction()
+		if actA != actB || dA != dB {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, actA, dA, actB, dB)
+		}
+		if a.AckLost() != b.AckLost() {
+			t.Fatalf("ack draw %d diverged", i)
+		}
+		imgA := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		imgB := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+		a.CorruptBytes(imgA)
+		b.CorruptBytes(imgB)
+		if !bytes.Equal(imgA, imgB) {
+			t.Fatalf("corruption %d diverged: %x vs %x", i, imgA, imgB)
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("tallies diverged: %q vs %q", a.Summary(), b.Summary())
+	}
+}
+
+// TestSeedsDiffer guards against the injector ignoring its seed.
+func TestSeedsDiffer(t *testing.T) {
+	plan := Plan{Link: LinkFaults{DropProb: 0.5}}
+	a, b := NewInjector(1, plan), NewInjector(2, plan)
+	same := true
+	for i := 0; i < 64; i++ {
+		actA, _ := a.LinkAction()
+		actB, _ := b.LinkAction()
+		if actA != actB {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("64 draws identical across different seeds")
+	}
+}
+
+// TestZeroPlanInjectsNothing: the zero plan must be a true no-op — every
+// packet passes and no randomness is consumed (so arming a nil-effect plan
+// cannot perturb a run's digest).
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := NewInjector(1, Plan{})
+	for i := 0; i < 1000; i++ {
+		if act, d := in.LinkAction(); act != Pass || d != 0 {
+			t.Fatalf("zero plan produced %v/%v", act, d)
+		}
+		if in.AckLost() {
+			t.Fatal("zero plan lost an ack")
+		}
+	}
+	if in.Injected() != 0 {
+		t.Fatalf("Injected() = %d", in.Injected())
+	}
+}
+
+// TestProbabilityBands: certain probabilities yield certain actions, and
+// each action increments its tally.
+func TestProbabilityBands(t *testing.T) {
+	cases := []struct {
+		link  LinkFaults
+		want  Action
+		tally func(in *Injector) int64
+	}{
+		{LinkFaults{DropProb: 1}, Drop, func(in *Injector) int64 { return in.Dropped }},
+		{LinkFaults{CorruptProb: 1}, Corrupt, func(in *Injector) int64 { return in.Corrupted }},
+		{LinkFaults{DelayProb: 1}, Delay, func(in *Injector) int64 { return in.Delayed }},
+		{LinkFaults{ReorderProb: 1}, Reorder, func(in *Injector) int64 { return in.Reordered }},
+	}
+	for _, c := range cases {
+		in := NewInjector(3, Plan{Link: c.link})
+		for i := 0; i < 100; i++ {
+			act, d := in.LinkAction()
+			if act != c.want {
+				t.Fatalf("p=1 %v draw gave %v", c.want, act)
+			}
+			if (c.want == Delay || c.want == Reorder) && (d <= 0 || d > 10*time.Microsecond) {
+				t.Fatalf("%v extra latency %v outside (0, 10us]", c.want, d)
+			}
+		}
+		if c.tally(in) != 100 || in.Injected() != 100 {
+			t.Fatalf("%v tally = %d, Injected = %d", c.want, c.tally(in), in.Injected())
+		}
+	}
+}
+
+// TestDelayMaxBoundsLatency: the configured bound is honored.
+func TestDelayMaxBoundsLatency(t *testing.T) {
+	in := NewInjector(9, Plan{Link: LinkFaults{DelayProb: 1, DelayMax: 2 * time.Microsecond}})
+	for i := 0; i < 200; i++ {
+		if _, d := in.LinkAction(); d <= 0 || d > 2*time.Microsecond {
+			t.Fatalf("delay %v outside (0, 2us]", d)
+		}
+	}
+}
+
+// TestCorruptBytesAlwaysChanges: a corrupted image must differ from the
+// original, or the fault would be invisible to the checksum.
+func TestCorruptBytesAlwaysChanges(t *testing.T) {
+	in := NewInjector(5, Plan{})
+	orig := make([]byte, 64)
+	for i := range orig {
+		orig[i] = byte(i)
+	}
+	for i := 0; i < 500; i++ {
+		img := append([]byte(nil), orig...)
+		in.CorruptBytes(img)
+		if bytes.Equal(img, orig) {
+			t.Fatalf("iteration %d: corruption left the image intact", i)
+		}
+	}
+	in.CorruptBytes(nil) // must not panic
+}
+
+// TestPlanString smoke-checks the report rendering.
+func TestPlanString(t *testing.T) {
+	p := Plan{
+		Name:    "soak",
+		Link:    LinkFaults{DropProb: 0.01},
+		NIC:     []NICFault{{Node: 1, Kind: FreezeStorm}, {Node: 0, Kind: OutStall}},
+		Crashes: []Crash{{Node: 2, At: time.Millisecond}},
+	}
+	s := p.String()
+	for _, want := range []string{"soak", "drop=0.01", "n1 freeze-storm", "n0 out-stall", "crash(n2@1ms)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Plan.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -68,6 +68,8 @@ type Machine struct {
 	freeFrames []mem.PFN
 	nextPID    int
 	irq        map[int]func(data any)
+	procs      []*Process // every process spawned, for Crash
+	dead       bool       // node crashed: interrupts are dropped
 
 	// IRQRaised counts interrupts delivered to this node's CPU — the
 	// libraries' interrupt-avoidance claims are tested against it.
@@ -117,8 +119,12 @@ func (m *Machine) FreeFrame(f mem.PFN) { m.freeFrames = append(m.freeFrames, f) 
 // these). The handler runs in event context after InterruptCost.
 func (m *Machine) RegisterIRQ(vector int, fn func(data any)) { m.irq[vector] = fn }
 
-// RaiseIRQ dispatches an interrupt to the node CPU.
+// RaiseIRQ dispatches an interrupt to the node CPU. A crashed machine
+// drops interrupts on the floor.
 func (m *Machine) RaiseIRQ(vector int, data any) {
+	if m.dead {
+		return
+	}
 	fn, ok := m.irq[vector]
 	if !ok {
 		panic(fmt.Sprintf("kernel: node %d spurious interrupt %d", m.ID, vector))
@@ -181,8 +187,29 @@ func (m *Machine) Spawn(name string, body func(p *Process)) *Process {
 		body(pr)
 		pr.exited = true
 	})
+	m.procs = append(m.procs, pr)
 	return pr
 }
+
+// Crash kills the node: every process is unwound at its next scheduling
+// point and interrupts are dropped from now on. Must be called from event
+// context or from a proc on a different node. The machine's memory and
+// device state remain readable (for post-mortem inspection) but nothing
+// on the node will ever run again; restarting a node means building a
+// fresh Machine.
+func (m *Machine) Crash() {
+	if m.dead {
+		return
+	}
+	m.dead = true
+	for _, pr := range m.procs {
+		pr.P.Kill()
+		pr.exited = true
+	}
+}
+
+// Dead reports whether the machine has crashed.
+func (m *Machine) Dead() bool { return m.dead }
 
 // --- Address space management ---
 
@@ -540,6 +567,39 @@ func (p *Process) WaitPred(vas []VA, extra []*sim.Cond, pred func() bool) {
 			return
 		}
 		sim.WaitAny(p.P, conds...)
+	}
+}
+
+// WaitPredTimeout is WaitPred with a deadline: it reports whether pred
+// held (true) or the deadline passed first (false). The survivable
+// blocking paths (socket space/recv waits) are built on it.
+func (p *Process) WaitPredTimeout(vas []VA, extra []*sim.Cond, pred func() bool, d time.Duration) bool {
+	conds := make([]*sim.Cond, 0, len(vas)+len(extra))
+	seen := make(map[mem.PFN]bool)
+	for _, va := range vas {
+		pa := p.mustPA(va)
+		f := mem.PageOf(pa)
+		if !seen[f] {
+			seen[f] = true
+			conds = append(conds, p.M.Mem.PageCond(f))
+		}
+	}
+	conds = append(conds, extra...)
+	deadline := p.P.Now().Add(d)
+	for {
+		p.P.Sleep(hw.PollCheckCost)
+		if pred() {
+			return true
+		}
+		remain := deadline.Sub(p.P.Now())
+		if remain <= 0 {
+			return false
+		}
+		if sim.WaitAnyTimeout(p.P, remain, conds...) {
+			// Deadline hit while parked; one final check decides.
+			p.P.Sleep(hw.PollCheckCost)
+			return pred()
+		}
 	}
 }
 

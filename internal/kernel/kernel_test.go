@@ -302,9 +302,12 @@ func TestWaitSignal(t *testing.T) {
 func TestDataRoundtripProperty(t *testing.T) {
 	e, m := newM(t)
 	m.Spawn("p", func(p *Process) {
-		base := p.Alloc(64*1024, 1)
+		// A full 64K of offsets plus a page of slack: quick may pick an
+		// offset near 0xFFFF with a multi-byte payload, and the write
+		// must still land inside the allocation.
+		base := p.Alloc(64*1024+4096, 1)
 		f := func(off uint16, data []byte) bool {
-			if len(data) == 0 {
+			if len(data) == 0 || len(data) > 4096 {
 				return true
 			}
 			va := base + VA(off)

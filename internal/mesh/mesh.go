@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"time"
 
+	"shrimp/internal/fault"
 	"shrimp/internal/hw"
 	"shrimp/internal/sim"
 	"shrimp/internal/trace"
@@ -42,6 +43,12 @@ type Packet struct {
 	DstOff uint32
 	// Notify is the sender-specified interrupt flag in the packet header.
 	Notify bool
+	// Seq is the reliability sublayer's per-(src,dst) sequence number
+	// (data) or cumulative ack number (control); zero when the sublayer
+	// is off.
+	Seq uint32
+	// Ack marks a reliability-sublayer acknowledgement control packet.
+	Ack bool
 	// Payload is the packet body. The slice is owned by the packet.
 	Payload []byte
 }
@@ -80,6 +87,18 @@ type Network struct {
 
 	handlers []Handler
 
+	// dead marks detached (crashed) nodes: packets toward them vanish at
+	// the dead router port instead of invoking a handler.
+	dead []bool
+
+	// inj, when non-nil, draws per-packet fault decisions (drop, corrupt,
+	// delay, reorder) for every data packet crossing the backplane.
+	inj *fault.Injector
+
+	// rel, when non-nil, is the link-level retransmit sublayer
+	// (reliability.go). Off by default.
+	rel *reliability
+
 	// lastArrival enforces exact per-(src,dst) FIFO delivery on top of
 	// the timing approximation.
 	lastArrival map[[2]NodeID]sim.Time
@@ -94,6 +113,11 @@ type Network struct {
 	PacketsDelivered int64
 	// BytesDelivered counts total payload bytes delivered.
 	BytesDelivered int64
+	// PacketsDropped counts packets lost on a link (injected drops,
+	// aborted reliability flows, and arrivals at dead nodes).
+	PacketsDropped int64
+	// PacketsCorrupted counts arrivals discarded by the wire checksum.
+	PacketsCorrupted int64
 }
 
 // New builds an x-by-y mesh backplane.
@@ -109,6 +133,7 @@ func New(eng *sim.Engine, x, y int) *Network {
 		inject:      make([]*channel, x*y),
 		eject:       make([]*channel, x*y),
 		handlers:    make([]Handler, x*y),
+		dead:        make([]bool, x*y),
 		lastArrival: make(map[[2]NodeID]sim.Time),
 		inFlight:    make(map[[2]NodeID]int),
 		drained:     sim.NewCond(eng),
@@ -136,7 +161,27 @@ func (n *Network) Attach(id NodeID, h Handler) {
 		panic(fmt.Sprintf("mesh: node %d attached twice", id))
 	}
 	n.handlers[id] = h
+	n.dead[id] = false
 }
+
+// Detach removes node id from the backplane — its router port goes dark,
+// as when the node crashes. Packets already heading there vanish at
+// arrival; new sends toward it are dropped at injection. Reliability
+// state touching the node is reset so a restarted node (re-Attach)
+// negotiates fresh sequence numbers.
+func (n *Network) Detach(id NodeID) {
+	if int(id) < 0 || int(id) >= n.Nodes() {
+		panic(fmt.Sprintf("mesh: detach of invalid node %d", id))
+	}
+	n.handlers[id] = nil
+	n.dead[id] = true
+	if n.rel != nil {
+		n.rel.resetNode(id)
+	}
+}
+
+// SetInjector arms the fault injector for every subsequent data packet.
+func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
 
 func (n *Network) coord(id NodeID) (x, y int) { return int(id) % n.X, int(id) / n.X }
 
@@ -179,8 +224,26 @@ func (n *Network) link(from, to int) *channel {
 // Send injects pkt into the backplane at the current time. Delivery is
 // scheduled per the wormhole model; the handler at pkt.Dst runs when the
 // tail flit is ejected. Send never blocks the caller (the NIC's outgoing
-// FIFO provides the backpressure in the layer above).
+// FIFO provides the backpressure in the layer above). With the
+// reliability sublayer enabled, the packet is sequenced and retransmitted
+// until acknowledged.
 func (n *Network) Send(pkt *Packet) {
+	if n.rel != nil && !pkt.Ack {
+		n.rel.send(pkt)
+		return
+	}
+	n.transmit(pkt)
+}
+
+// transmit runs the wormhole timing model and the fault injector for one
+// packet — first transmission and retransmission alike.
+func (n *Network) transmit(pkt *Packet) {
+	if n.dead[pkt.Dst] {
+		// The destination's router port is dark (node crashed): the
+		// flits fall on the floor.
+		n.PacketsDropped++
+		return
+	}
 	if n.handlers[pkt.Dst] == nil {
 		panic(fmt.Sprintf("mesh: send to unattached node %d", pkt.Dst))
 	}
@@ -216,28 +279,96 @@ func (n *Network) Send(pkt *Packet) {
 	reserve(n.eject[pkt.Dst])
 	arrival := tailDone
 
+	// The injector draws this packet's fate after the channels were
+	// occupied: a dropped or corrupted packet still burned link time.
+	var act fault.Action
+	var extra time.Duration
+	if n.inj != nil {
+		act, extra = n.inj.LinkAction()
+	}
+	if act == fault.Drop {
+		// Lost on a link: nothing arrives. With the reliability
+		// sublayer on, the sender's retransmit timer recovers.
+		n.PacketsDropped++
+		return
+	}
+
 	// Enforce exact per-pair FIFO: never deliver earlier than a
-	// previously-sent packet on the same (src,dst) pair.
+	// previously-sent packet on the same (src,dst) pair. A Delay fault
+	// pushes this packet AND the FIFO horizon (later packets queue
+	// behind it); a Reorder fault pushes only this packet, so later
+	// packets may overtake — the one injected violation of the
+	// backplane's ordering guarantee.
 	key := [2]NodeID{pkt.Src, pkt.Dst}
 	if last := n.lastArrival[key]; arrival < last {
 		arrival = last
 	}
-	n.lastArrival[key] = arrival
+	switch act {
+	case fault.Delay:
+		arrival = arrival.Add(extra)
+		n.lastArrival[key] = arrival
+	case fault.Reorder:
+		n.lastArrival[key] = arrival
+		arrival = arrival.Add(extra)
+	default:
+		n.lastArrival[key] = arrival
+	}
+
+	// A Corrupt fault flips bytes of the wire image. Almost always the
+	// checksum catches it at the receiver; if the flips cancelled out,
+	// the decode round-trips and the packet survives.
+	arrived := pkt
+	corrupted := false
+	if act == fault.Corrupt {
+		wire := pkt.Encode()
+		n.inj.CorruptBytes(wire)
+		if dec, err := DecodePacket(wire); err != nil {
+			corrupted = true
+		} else {
+			arrived = dec
+		}
+	}
 
 	n.inFlight[key]++
 	n.eng.At(arrival, func() {
-		n.PacketsDelivered++
-		n.BytesDelivered += int64(len(pkt.Payload))
-		n.Trace.Count(traceTrack, "delivered", 1)
 		n.inFlight[key]--
-		n.handlers[pkt.Dst](pkt)
+		switch {
+		case n.dead[pkt.Dst]:
+			// The node crashed while the packet was in flight.
+			n.PacketsDropped++
+		case corrupted:
+			n.PacketsCorrupted++
+			if n.rel != nil && !pkt.Ack {
+				n.rel.onCorrupt(pkt.Src, pkt.Dst)
+			}
+		case n.rel != nil && !arrived.Ack && arrived.Seq != 0:
+			n.rel.onData(arrived)
+		default:
+			n.deliver(arrived)
+		}
 		n.drained.Broadcast()
 	})
 }
 
+// deliver hands an arrived packet to the destination handler.
+func (n *Network) deliver(pkt *Packet) {
+	n.PacketsDelivered++
+	n.BytesDelivered += int64(len(pkt.Payload))
+	n.Trace.Count(traceTrack, "delivered", 1)
+	n.handlers[pkt.Dst](pkt)
+}
+
 // InFlight reports the number of packets injected from src toward dst that
-// have not yet been delivered.
-func (n *Network) InFlight(src, dst NodeID) int { return n.inFlight[[2]NodeID{src, dst}] }
+// have not yet been delivered. With the reliability sublayer on, sent but
+// not-yet-acknowledged packets count too: they may still be retransmitted
+// into the pipe.
+func (n *Network) InFlight(src, dst NodeID) int {
+	c := n.inFlight[[2]NodeID{src, dst}]
+	if n.rel != nil {
+		c += n.rel.outstanding(src, dst)
+	}
+	return c
+}
 
 // WaitDrained blocks p until no packets from src to dst remain in the
 // backplane.

@@ -42,6 +42,10 @@ const (
 type ProtectionFault struct {
 	Frame mem.PFN
 	Src   mesh.NodeID
+	// Forced marks a spurious fault injected by ForceFault (fault
+	// injection): the held head-of-queue packet, if any, is innocent and
+	// must be retried, not dropped.
+	Forced bool
 }
 
 // Notify is the data handed to the VecNotify IRQ handler.
@@ -146,6 +150,12 @@ type NIC struct {
 	inBusy bool
 	frozen bool
 
+	// Fault-injection state: outStalled blocks the outgoing arbiter (an
+	// injected EISA/port stall); dead means the node crashed and the
+	// board does nothing ever again.
+	outStalled bool
+	dead       bool
+
 	// idleCond is broadcast whenever the outgoing side may have drained;
 	// used by Quiesce (unexport/unimport wait for pending messages).
 	idleCond *sim.Cond
@@ -157,6 +167,11 @@ type NIC struct {
 	// Stats.
 	PacketsOut, PacketsIn int64
 	Faults                int64
+	// ForcedFaults counts injected (spurious) protection faults; OutQPeak
+	// is the outgoing FIFO's high-water mark — overflow pressure under an
+	// injected stall shows up here.
+	ForcedFaults int64
+	OutQPeak     int
 
 	// track is this NIC's observability track name ("node3/nic"),
 	// precomputed so instrumentation never formats strings on the datapath.
@@ -263,6 +278,9 @@ func (n *NIC) UnbindAU(localFrame mem.PFN) {
 // snoop observes one CPU store fragment (mem guarantees page-local
 // fragments on snooped pages).
 func (n *NIC) snoop(pa mem.PA, data []byte) {
+	if n.dead {
+		return
+	}
 	idx, ok := n.auByFrame[mem.PageOf(pa)]
 	if !ok {
 		return
@@ -353,8 +371,14 @@ func (n *NIC) packetize(pkt *outPacket) {
 		tc.Observe(n.track, "payload.bytes", int64(len(pkt.data)))
 	}
 	n.M.Eng.Schedule(hw.PacketizeCost, func() {
+		if n.dead {
+			return
+		}
 		n.packetizing--
 		n.outQ = append(n.outQ, pkt)
+		if len(n.outQ) > n.OutQPeak {
+			n.OutQPeak = len(n.outQ)
+		}
 		n.M.Trace.Gauge(n.track, "outq", int64(len(n.outQ)))
 		n.kickInject()
 	})
@@ -365,7 +389,7 @@ func (n *NIC) packetize(pkt *outPacket) {
 // while the incoming side is moving packets, outgoing injection stalls and
 // resumes when the receive path drains.
 func (n *NIC) kickInject() {
-	if n.injecting || len(n.outQ) == 0 {
+	if n.dead || n.outStalled || n.injecting || len(n.outQ) == 0 {
 		return
 	}
 	if n.inBusy || len(n.inQ) > 0 {
@@ -377,6 +401,9 @@ func (n *NIC) kickInject() {
 	start, end := n.port.Reserve(hw.NICInjectCost)
 	n.M.Trace.Add(n.track, "inject", start, end)
 	n.M.Eng.At(end, func() {
+		if n.dead {
+			return
+		}
 		e := n.opt[pkt.optIdx]
 		if e.Valid {
 			n.PacketsOut++
@@ -405,6 +432,12 @@ func (n *NIC) kickInject() {
 // of main memory (the blocking-send completion point).
 func (n *NIC) SubmitDU(chunks []DUChunk) *DUJob {
 	job := &DUJob{chunks: chunks, done: sim.NewCond(n.M.Eng)}
+	if n.dead {
+		// The board is gone; complete the job vacuously so a caller that
+		// somehow still runs does not park forever.
+		job.readDone = true
+		return job
+	}
 	n.duQ = append(n.duQ, job)
 	n.kickDU()
 	return job
@@ -459,6 +492,9 @@ func (n *NIC) runDUChunk(job *DUJob, i int, first bool) {
 		tc.Observe(n.track, "du.chunk.bytes", int64(c.N))
 	}
 	n.M.Eng.At(end, func() {
+		if n.dead {
+			return
+		}
 		data := n.M.Mem.Read(c.SrcPA, c.N)
 		n.packetize(&outPacket{
 			optIdx: c.OPTIdx,
@@ -473,6 +509,9 @@ func (n *NIC) runDUChunk(job *DUJob, i int, first bool) {
 // --- Incoming path ---
 
 func (n *NIC) incoming(pkt *mesh.Packet) {
+	if n.dead {
+		return
+	}
 	// The arbiter gives incoming transfers absolute priority on the NIC
 	// port; charge the port for the packet's pass-through.
 	n.port.Reserve(hw.NICInjectCost)
@@ -481,7 +520,7 @@ func (n *NIC) incoming(pkt *mesh.Packet) {
 }
 
 func (n *NIC) kickIncoming() {
-	if n.inBusy || n.frozen || len(n.inQ) == 0 {
+	if n.dead || n.inBusy || n.frozen || len(n.inQ) == 0 {
 		return
 	}
 	n.inBusy = true
@@ -511,6 +550,9 @@ func (n *NIC) kickIncoming() {
 	}
 	n.M.Trace.Add(n.track, "in.dma", dmaStart, end)
 	n.M.Eng.At(end, func() {
+		if n.dead {
+			return
+		}
 		entry := n.ipt[frame]
 		n.M.Mem.WriteDMA(frame.Base()+mem.PA(pkt.DstOff), pkt.Payload)
 		n.PacketsIn++
@@ -550,6 +592,73 @@ func (n *NIC) Unfreeze(drop bool) {
 	}
 	n.kickIncoming()
 }
+
+// --- Fault injection and crash ---
+
+// ForceFault injects a spurious receive protection fault: the receive
+// path freezes and the protection interrupt fires with Forced set, as if
+// the IPT lookup had glitched. Arriving packets queue behind the freeze
+// (a storm of these is the "receive-freeze storm" fault plan). The
+// daemon's handler resumes the path with Unfreeze(false) — the held
+// packet is innocent.
+func (n *NIC) ForceFault(src mesh.NodeID) {
+	if n.dead || n.frozen {
+		return
+	}
+	n.frozen = true
+	n.Faults++
+	n.ForcedFaults++
+	n.M.Trace.Count(n.track, "fault.forced", 1)
+	n.M.RaiseIRQ(VecProtection, ProtectionFault{Frame: 0, Src: src, Forced: true})
+}
+
+// StallOutgoing blocks the outgoing arbiter for d: nothing injects, so
+// packetized data piles up in the outgoing FIFO (overflow pressure,
+// observable via OutQPeak) and drains when the stall lifts.
+func (n *NIC) StallOutgoing(d time.Duration) {
+	if n.dead || n.outStalled {
+		return
+	}
+	n.outStalled = true
+	n.M.Eng.Schedule(d, func() {
+		n.outStalled = false
+		if n.dead {
+			return
+		}
+		n.kickInject()
+		n.maybeIdle()
+	})
+}
+
+// Crash kills the board: queues are abandoned, timers stop, and every
+// datapath entry point becomes a no-op. Pending DU jobs complete
+// vacuously so no survivor parks on them.
+func (n *NIC) Crash() {
+	if n.dead {
+		return
+	}
+	n.dead = true
+	if n.combineTime != nil {
+		n.combineTime.Stop()
+		n.combineTime = nil
+	}
+	n.open = nil
+	n.outQ = nil
+	n.inQ = nil
+	n.frozen = false
+	n.inBusy = false
+	n.injecting = false
+	for _, job := range n.duQ {
+		job.readDone = true
+		job.done.Broadcast()
+	}
+	n.duQ = nil
+	n.duBusy = false
+	n.idleCond.Broadcast()
+}
+
+// Dead reports whether the board has crashed.
+func (n *NIC) Dead() bool { return n.dead }
 
 // --- Quiescing (unexport/unimport support) ---
 

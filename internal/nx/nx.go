@@ -94,6 +94,13 @@ type Config struct {
 	Force Proto
 	// SmallMax overrides the small/large protocol threshold (bytes).
 	SmallMax int
+	// CreditDeadline bounds how long a csend may block waiting for the
+	// peer to return packet-buffer credits. Zero (the default) waits
+	// forever, matching the paper's library; a positive deadline turns a
+	// dead or wedged peer into a diagnosable panic instead of a silently
+	// parked process. NX's Intel-compatible API has no error returns, so
+	// a panic is the only honest way out.
+	CreditDeadline time.Duration
 }
 
 // NX is one process's attachment to the NX library.
@@ -392,7 +399,18 @@ func (nx *NX) acquireBuf(cn *conn) int {
 		}
 		slot := cn.in + kernel.VA(creditOff(cn.creditsSeen))
 		want := uint32(cn.creditsSeen+1) << 8
-		p.WaitWord(slot, func(v uint32) bool { return v&^0xff == want })
+		if d := nx.cfg.CreditDeadline; d > 0 {
+			ok := p.WaitPredTimeout([]kernel.VA{slot}, nil, func() bool {
+				return p.PeekWord(slot)&^0xff == want
+			}, d)
+			if !ok {
+				//lint:allow no-panic-on-datapath credit-wait deadline: the peer is dead or wedged and the NX API has no error return
+				panic(fmt.Sprintf("nx: node %d: credit wait to node %d exceeded %v (peer dead or wedged)",
+					nx.node, cn.peer, d))
+			}
+		} else {
+			p.WaitWord(slot, func(v uint32) bool { return v&^0xff == want })
+		}
 	}
 	wait.End()
 	buf := cn.freeBufs[0]

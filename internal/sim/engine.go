@@ -229,3 +229,53 @@ func (e *Engine) Idle() bool {
 	}
 	return true
 }
+
+// Stalled returns the names of processes that are parked with no way to
+// make progress if the event queue is empty: started, not done, and not
+// marked as service procs (daemons legitimately park forever awaiting
+// requests). Spawn order, so the list is deterministic.
+func (e *Engine) Stalled() []string {
+	var out []string
+	for _, p := range e.procs {
+		if p.done || p.dead || p.service {
+			continue
+		}
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// DeadlockError is RunChecked's diagnosis when a simulation fails to run
+// to completion: which processes were blocked, when, and why the run
+// stopped. It turns "the simulation hung" into an actionable report.
+type DeadlockError struct {
+	At      Time
+	Reason  string
+	Blocked []string
+}
+
+// Error implements error.
+func (d *DeadlockError) Error() string {
+	list := "none (event livelock)"
+	if len(d.Blocked) > 0 {
+		list = fmt.Sprintf("%d blocked: %v", len(d.Blocked), d.Blocked)
+	}
+	return fmt.Sprintf("sim: deadlock at %v (%s); procs %s", d.At, d.Reason, list)
+}
+
+// RunChecked is the watchdog run loop: execute events until the queue
+// drains or virtual time reaches budget, then diagnose. A drained queue
+// with non-service procs still parked means those procs can never run
+// again — the classic lost-wakeup deadlock. An exhausted budget with
+// events still pending means the run overran (livelock or runaway
+// retry). Either way the returned DeadlockError names the blocked procs.
+func (e *Engine) RunChecked(budget Time) (Time, error) {
+	t := e.Run(budget)
+	if !e.Idle() {
+		return t, &DeadlockError{At: t, Reason: "time budget exhausted with events still pending", Blocked: e.Stalled()}
+	}
+	if blocked := e.Stalled(); len(blocked) > 0 {
+		return t, &DeadlockError{At: t, Reason: "event queue drained", Blocked: blocked}
+	}
+	return t, nil
+}

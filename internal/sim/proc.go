@@ -25,7 +25,8 @@ type Proc struct {
 
 	wakePending bool    // an unpark event is already scheduled
 	waitingOn   []*Cond // conds this proc is currently enqueued on
-	killed      bool    // Shutdown has asked the goroutine to unwind
+	killed      bool    // Shutdown/Kill has asked the goroutine to unwind
+	service     bool    // daemon-style proc: excluded from deadlock diagnosis
 
 	// Interrupts: handlers that should run in this proc's context at its
 	// next yield point (used by the kernel signal machinery).
@@ -60,6 +61,11 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			p.dead = true
 			p.yield <- struct{}{}
 		}()
+		if p.killed {
+			// Killed before its first instruction ran: unwind without
+			// executing any of the body.
+			panic(killSentinel{})
+		}
 		fn(p)
 	}()
 	e.Schedule(0, func() { e.dispatch(p) })
@@ -105,6 +111,27 @@ func (p *Proc) unpark() {
 		p.eng.dispatch(p)
 	})
 }
+
+// Kill asks the proc to unwind (via the kill sentinel) at its next
+// scheduling point, as when its node crashes mid-run. Pending waits are
+// abandoned; the body never runs another instruction. Idempotent; no-op
+// on a proc that already exited. Must not be called by the proc on
+// itself — return or panic instead.
+func (p *Proc) Kill() {
+	if p.dead || p.killed {
+		return
+	}
+	if p.eng.cur == p {
+		panic(fmt.Sprintf("sim: proc %q cannot Kill itself", p.Name))
+	}
+	p.killed = true
+	p.leaveConds()
+	p.unpark()
+}
+
+// MarkService excludes the proc from Engine.Stalled's deadlock diagnosis:
+// daemon-style procs legitimately park forever waiting for requests.
+func (p *Proc) MarkService() { p.service = true }
 
 // Engine returns the engine this proc belongs to.
 func (p *Proc) Engine() *Engine { return p.eng }
@@ -228,21 +255,31 @@ func WaitAny(p *Proc, conds ...*Cond) {
 // WaitTimeout blocks like Wait but gives up after d. It reports whether the
 // wait timed out (true) rather than being signaled.
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	return WaitAnyTimeout(p, d, c)
+}
+
+// WaitAnyTimeout blocks p until any one of the conds is signaled or d
+// elapses, whichever is first. It reports whether the wait timed out
+// (true) rather than being signaled. Callers re-check predicates after
+// waking, as with WaitAny.
+func WaitAnyTimeout(p *Proc, d time.Duration, conds ...*Cond) bool {
 	p.checkCurrent()
 	if len(p.pendingInterrupts) > 0 && !p.interruptsMasked {
 		p.runPendingInterrupts()
 		return false
 	}
 	timedOut := false
-	timer := c.eng.Schedule(d, func() {
+	timer := p.eng.Schedule(d, func() {
 		if len(p.waitingOn) > 0 {
 			timedOut = true
 			p.leaveConds()
 			p.unpark()
 		}
 	})
-	c.waiters = append(c.waiters, p)
-	p.waitingOn = append(p.waitingOn[:0], c)
+	for _, c := range conds {
+		c.waiters = append(c.waiters, p)
+	}
+	p.waitingOn = append(p.waitingOn[:0], conds...)
 	p.park()
 	p.leaveConds()
 	timer.Stop()

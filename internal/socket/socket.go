@@ -29,6 +29,7 @@ import (
 	"shrimp/internal/ether"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
 	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
@@ -58,8 +59,13 @@ func (m Mode) String() string {
 	}
 }
 
-// ErrClosed is returned for operations on a closed connection.
+// ErrClosed is returned for operations on a closed connection, including to
+// waiters that were parked in Send or Recv when Close ran.
 var ErrClosed = errors.New("socket: connection closed")
+
+// ErrTimeout is returned when a deadline set with SetTimeout expires while
+// blocked for ring space (Send) or data (Recv).
+var ErrTimeout = errors.New("socket: operation timed out")
 
 // Ring geometry: a 32 KB circular buffer per direction plus control words
 // written by the same writer as the data.
@@ -213,7 +219,8 @@ func (l *Lib) newConn(out *vmmc.Import) (*Conn, string, error) {
 
 func (l *Lib) wrapConn(out *vmmc.Import, in kernel.VA) (*Conn, error) {
 	p := l.ep.Proc
-	c := &Conn{lib: l, out: out, in: in, mode: l.mode}
+	c := &Conn{lib: l, out: out, in: in, mode: l.mode,
+		closeCond: sim.NewCond(p.M.Eng)}
 	c.outShadow = p.MapPages(ringPages, 0)
 	if _, err := l.ep.BindAU(c.outShadow, out, 0, ringPages, vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
 		return nil, err
@@ -245,7 +252,23 @@ type Conn struct {
 
 	sendClosed bool
 	recvClosed bool
+
+	// closeCond wakes procs parked in Send/Recv when Close runs; closeGen
+	// distinguishes waiters that were already blocked when the close
+	// happened (they error with ErrClosed) from calls made after it (a
+	// half-closed connection still drains: Recv after our own Close is
+	// legal and returns buffered data, then EOF).
+	closeCond *sim.Cond
+	closeGen  int
+
+	// timeout bounds each blocking wait; zero waits forever.
+	timeout time.Duration
 }
+
+// SetTimeout bounds every subsequent blocking wait (for ring space in Send,
+// for data in Recv) to d; the expiring call returns ErrTimeout. Zero
+// restores indefinite blocking.
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Send writes n bytes from va into the stream, blocking for buffer space as
 // needed. It returns the number of bytes written (always n, unless the
@@ -261,7 +284,10 @@ func (c *Conn) Send(va kernel.VA, n int) (int, error) {
 	c.lib.tc.Count(c.lib.track, "send.bytes", int64(n))
 	written := 0
 	for written < n {
-		chunk := c.waitSpace(n - written)
+		chunk, err := c.waitSpace(n - written)
+		if err != nil {
+			return written, err
+		}
 		pos := c.sent % ringBytes
 		if room := ringBytes - pos; chunk > room {
 			chunk = room
@@ -328,22 +354,45 @@ func (c *Conn) stageAndSend(src kernel.VA, pos, chunk int) error {
 }
 
 // waitSpace blocks until at least one byte of ring space is free, returning
-// how many contiguous-in-count bytes may be written (up to want).
-func (c *Conn) waitSpace(want int) int {
+// how many contiguous-in-count bytes may be written (up to want). The wait
+// ends early — with an error — if the connection closes underneath the
+// blocked sender or the SetTimeout deadline expires.
+func (c *Conn) waitSpace(want int) (int, error) {
 	p := c.lib.ep.Proc
 	free := ringBytes - (c.sent - c.ackSeen)
 	if free <= 0 {
 		wait := c.lib.tc.Begin(c.lib.track, "send.space-wait")
 		ackVA := c.in + kernel.VA(ctlAck)
-		v := p.WaitWord(ackVA, func(v uint32) bool { return ringBytes-(c.sent-int(v)) > 0 })
-		c.ackSeen = int(v)
-		free = ringBytes - (c.sent - c.ackSeen)
+		gen := c.closeGen
+		pred := func() bool {
+			if c.closeGen != gen {
+				return true
+			}
+			v := p.PeekWord(ackVA)
+			if ringBytes-(c.sent-int(v)) > 0 {
+				c.ackSeen = int(v)
+				return true
+			}
+			return false
+		}
+		if c.timeout > 0 {
+			if !p.WaitPredTimeout([]kernel.VA{ackVA}, []*sim.Cond{c.closeCond}, pred, c.timeout) {
+				wait.End()
+				return 0, ErrTimeout
+			}
+		} else {
+			p.WaitPred([]kernel.VA{ackVA}, []*sim.Cond{c.closeCond}, pred)
+		}
 		wait.End()
+		if c.closeGen != gen {
+			return 0, ErrClosed
+		}
+		free = ringBytes - (c.sent - c.ackSeen)
 	}
 	if want > free {
 		want = free
 	}
-	return want
+	return want, nil
 }
 
 // Recv reads up to n bytes into va, blocking until at least one byte is
@@ -359,13 +408,25 @@ func (c *Conn) Recv(va kernel.VA, n int) (int, error) {
 	writtenVA := c.in + kernel.VA(ctlWritten)
 	finVA := c.in + kernel.VA(ctlFin)
 	avail := int(p.PeekWord(writtenVA)) - c.consumed
+	gen := c.closeGen
 	for avail == 0 {
 		if p.PeekWord(finVA) != 0 {
 			return 0, nil // clean EOF
 		}
-		p.WaitAnyChange([]kernel.VA{writtenVA, finVA}, func() bool {
-			return int(p.PeekWord(writtenVA))-c.consumed > 0 || p.PeekWord(finVA) != 0
-		})
+		if c.closeGen != gen {
+			return 0, ErrClosed // Close ran while we were parked here
+		}
+		pred := func() bool {
+			return int(p.PeekWord(writtenVA))-c.consumed > 0 ||
+				p.PeekWord(finVA) != 0 || c.closeGen != gen
+		}
+		if c.timeout > 0 {
+			if !p.WaitPredTimeout([]kernel.VA{writtenVA, finVA}, []*sim.Cond{c.closeCond}, pred, c.timeout) {
+				return 0, ErrTimeout
+			}
+		} else {
+			p.WaitPred([]kernel.VA{writtenVA, finVA}, []*sim.Cond{c.closeCond}, pred)
+		}
 		avail = int(p.PeekWord(writtenVA)) - c.consumed
 	}
 	if avail > n {
@@ -447,13 +508,36 @@ func (c *Conn) Close() error {
 		return ErrClosed
 	}
 	c.sendClosed = true
+	c.closeGen++
 	c.publishAck()
 	p.WriteWord(c.outShadow+kernel.VA(ctlFin), 1)
 	if c.ether != nil {
 		c.ether.Close()
 		c.ether = nil
 	}
+	// Wake anything parked in Send or Recv: waiters blocked at close time
+	// get ErrClosed instead of leaking as parked procs.
+	c.closeCond.Broadcast()
 	return nil
+}
+
+// Abort tears the endpoint down from outside the owning process's context
+// — another process on the node, an interrupt handler, cluster teardown.
+// Unlike Close it cannot touch the ring (kernel writes charge time to the
+// owning process, which may be the very proc parked in Recv), so the peer
+// sees silence rather than FIN; locally, every parked Send/Recv wakes with
+// ErrClosed instead of leaking a parked proc.
+func (c *Conn) Abort() {
+	if c.sendClosed {
+		return
+	}
+	c.sendClosed = true
+	c.closeGen++
+	if c.ether != nil {
+		c.ether.Close()
+		c.ether = nil
+	}
+	c.closeCond.Broadcast()
 }
 
 // RecvAll keeps receiving until exactly n bytes have arrived or the stream

@@ -83,6 +83,10 @@ type bindResp struct {
 	Region string
 }
 
+// bindSeq is process-global; the generated names zero-pad it to a fixed
+// width so that message sizes derived from len(name) — and therefore the
+// virtual-time event stream — do not depend on how many bindings earlier
+// clusters in the same process created.
 var bindSeq int
 
 // Listener accepts SRPC bindings.
@@ -113,7 +117,7 @@ func (ln *Listener) Accept() (*Binding, error) {
 		return nil, err
 	}
 	bindSeq++
-	name := fmt.Sprintf("srpc:%d:%d", ln.node, bindSeq)
+	name := fmt.Sprintf("srpc:%d:%06d", ln.node, bindSeq)
 	in := p.MapPages(regionPages, 0)
 	if _, err := ln.ep.Export(in, regionPages, vmmc.ExportOpts{Name: name}); err != nil {
 		ln.port.Send(p.P, m.From, 64, bindResp{Err: err.Error()})
@@ -132,7 +136,7 @@ func (ln *Listener) Accept() (*Binding, error) {
 func Bind(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int) (*Binding, error) {
 	p := ep.Proc
 	bindSeq++
-	name := fmt.Sprintf("srpc:%d:%d", p.M.ID, bindSeq)
+	name := fmt.Sprintf("srpc:%d:%06d", p.M.ID, bindSeq)
 	in := p.MapPages(regionPages, 0)
 	if _, err := ep.Export(in, regionPages, vmmc.ExportOpts{Name: name}); err != nil {
 		return nil, err

@@ -32,7 +32,7 @@ var clientSeq int
 func Dial(ep *vmmc.Endpoint, eth *ether.Network, serverNode int, prog, vers uint32, mode Mode) (*Client, error) {
 	p := ep.Proc
 	clientSeq++
-	name := fmt.Sprintf("sbl:c%d:%d", p.M.ID, clientSeq)
+	name := fmt.Sprintf("sbl:c%d:%06d", p.M.ID, clientSeq)
 	in := p.MapPages(ringPages, 0)
 	if _, err := ep.Export(in, ringPages, vmmc.ExportOpts{Name: name}); err != nil {
 		return nil, err

@@ -46,6 +46,9 @@ var (
 	ErrRange = errors.New("vmmc: transfer outside imported buffer")
 	// ErrRevoked: the mapping was destroyed.
 	ErrRevoked = errors.New("vmmc: mapping revoked")
+	// ErrPeerDead: the remote node crashed and the daemon reclaimed the
+	// mapping; the import handle is unusable (its OPT entries are freed).
+	ErrPeerDead = errors.New("vmmc: peer node dead, mapping reclaimed")
 )
 
 // Endpoint is a process's attachment to the VMMC layer.
@@ -285,6 +288,12 @@ func (ep *Endpoint) SendAsync(imp *Import, dstOff int, srcVA kernel.VA, n int) (
 	if imp.dead {
 		return nil, ErrRevoked
 	}
+	if imp.rec.Reaped() {
+		return nil, ErrPeerDead
+	}
+	if imp.rec.Released() {
+		return nil, ErrRevoked
+	}
 	if srcVA%hw.WordSize != 0 || dstOff%hw.WordSize != 0 || n%hw.WordSize != 0 {
 		return nil, ErrAlignment
 	}
@@ -309,6 +318,12 @@ func (ep *Endpoint) SendAsync(imp *Import, dstOff int, srcVA kernel.VA, n int) (
 
 func (ep *Endpoint) send(imp *Import, dstOff int, srcVA kernel.VA, n int, notify bool) error {
 	if imp.dead {
+		return ErrRevoked
+	}
+	if imp.rec.Reaped() {
+		return ErrPeerDead
+	}
+	if imp.rec.Released() {
 		return ErrRevoked
 	}
 	if srcVA%hw.WordSize != 0 || dstOff%hw.WordSize != 0 || n%hw.WordSize != 0 {
@@ -406,6 +421,12 @@ type Binding struct {
 // "eliminating the need for an explicit send operation".
 func (ep *Endpoint) BindAU(localVA kernel.VA, imp *Import, dstPage, pages int, opts AUOpts) (*Binding, error) {
 	if imp.dead {
+		return nil, ErrRevoked
+	}
+	if imp.rec.Reaped() {
+		return nil, ErrPeerDead
+	}
+	if imp.rec.Released() {
 		return nil, ErrRevoked
 	}
 	err := ep.D.BindAU(ep.Proc, imp.rec, localVA, pages, dstPage, opts.Combine, opts.Timer, opts.Notify, opts.Uncached)
