@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke chaos check clean
+.PHONY: all build test race vet lint fuzz trace-smoke svm chaos check clean
 
 all: build
 
@@ -40,6 +40,12 @@ trace-smoke:
 	$(GO) run ./cmd/shrimpbench -fig fig3 -trace /tmp/shrimp-trace-b.json
 	cmp /tmp/shrimp-trace-a.json /tmp/shrimp-trace-b.json
 	@echo "trace-smoke: traces byte-identical"
+
+# svm runs the shared-virtual-memory package tests and the SVM-vs-NX
+# Jacobi comparison (the EXPERIMENTS.md table).
+svm:
+	$(GO) test ./internal/svm ./internal/bench -run 'TestSVM|TestJacobi|Test.*Region|TestFetch|TestLock|TestNotices|TestManager|TestDeterminism|TestSurvives|TestEightNodes'
+	$(GO) run ./cmd/shrimpbench -svm
 
 # chaos runs the fault-injection soak: every figure scenario under the
 # standard fault plans (lossy links with retransmission, NIC freeze

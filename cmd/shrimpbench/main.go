@@ -17,7 +17,14 @@
 //	shrimpbench [-fig all|fig3|fig4|fig5|fig7|fig8|peak|ttcp|rpcbase]
 //	            [-iters N] [-csv dir]
 //	shrimpbench -fig fig3 [-trace out.json] [-stats]
+//	shrimpbench -svm [-trace out.json] [-stats]
 //	shrimpbench -faults [-faultseed N]
+//
+// -svm runs the shared-virtual-memory comparison: the same 1-D Jacobi
+// stencil over NX message passing and over internal/svm release-consistent
+// shared memory, at 2, 4, and 8 nodes, reporting per-sweep virtual time
+// side by side. With -trace or -stats it instead runs the representative
+// traced SVM scenario (Jacobi plus a lock-counter phase).
 //
 // -faults runs the chaos soak matrix instead: every figure scenario under a
 // set of seeded fault plans (lossy links with the retransmission sublayer
@@ -50,7 +57,24 @@ func main() {
 	stats := flag.Bool("stats", false, "print the trace summary of one representative -fig scenario")
 	faults := flag.Bool("faults", false, "run the chaos soak matrix (figure scenarios x fault plans)")
 	faultSeed := flag.Int64("faultseed", 1, "fault injector seed for -faults")
+	svmFlag := flag.Bool("svm", false, "run the SVM-vs-NX Jacobi comparison (2/4/8 nodes)")
 	flag.Parse()
+
+	if *svmFlag && *tracePath == "" && !*stats {
+		const cells, sweeps = 256, 40
+		rows := bench.JacobiCompare(cells, sweeps, []int{2, 4, 8})
+		fmt.Print(bench.JacobiTable(rows, cells, sweeps))
+		for _, r := range rows {
+			if !r.Match {
+				fmt.Fprintln(os.Stderr, "shrimpbench: SVM and NX results diverged")
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *svmFlag {
+		*fig = "svm"
+	}
 
 	if *faults {
 		results := bench.RunChaos(*faultSeed)

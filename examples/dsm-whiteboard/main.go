@@ -1,11 +1,14 @@
 // dsm-whiteboard: VMMC as a substrate for shared memory — the fourth usage
 // model the paper names ("message passing, shared memory, RPC, and
-// client-server"). Four nodes share a "whiteboard" page: each node owns a
-// quadrant and has automatic-update bindings to every other node's replica,
-// so plain stores to the local replica propagate everywhere with no explicit
-// communication at all. This is the Pipelined-RAM / SESAME style of
-// page-based eager sharing the paper cites as the origin of automatic
-// update.
+// client-server"). Four nodes share a "whiteboard" page through
+// internal/svm's release-consistent shared virtual memory: each node owns a
+// quadrant and just stores into the shared page; the automatic-update
+// binding streams those stores to the page's home copy, and a barrier per
+// round makes them visible everywhere. Compared to hand-wiring one AU
+// shadow per peer (this example's first life), the SVM layer needs no
+// per-peer plumbing and no manual flag-spinning — acquire/release order is
+// the whole consistency story, and concurrent writers to disjoint bytes of
+// one page merge in the home copy with no diffs.
 package main
 
 import (
@@ -14,7 +17,7 @@ import (
 	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
-	"shrimp/internal/vmmc"
+	"shrimp/internal/svm"
 )
 
 const (
@@ -30,71 +33,29 @@ func main() {
 	for node := 0; node < nodes; node++ {
 		node := node
 		c.Spawn(node, "artist", func(p *kernel.Process) {
-			ep := vmmc.Attach(p, c.Node(node).Daemon)
+			r := svm.Join(c, p, node, nodes, "board", 1, svm.Config{})
 
-			// The local replica of the whiteboard, exported so peers
-			// can bind to it.
-			board := p.MapPages(1, 0)
-			if _, err := ep.Export(board, 1, vmmc.ExportOpts{Name: fmt.Sprintf("board%d", node)}); err != nil {
-				panic(err)
-			}
-
-			// One AU-bound shadow per peer: a store into a shadow is a
-			// store into that peer's replica. Writing our quadrant to
-			// every shadow (and our own replica) IS the share.
-			shadows := make([]kernel.VA, nodes)
-			for peer := 0; peer < nodes; peer++ {
-				if peer == node {
-					continue
-				}
-				var imp *vmmc.Import
-				for {
-					var err error
-					imp, err = ep.Import(peer, fmt.Sprintf("board%d", peer))
-					if err == nil {
-						break
-					}
-					p.P.Sleep(300 * 1000)
-				}
-				sh := p.MapPages(1, 0)
-				if _, err := ep.BindAU(sh, imp, 0, 1, vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
-					panic(err)
-				}
-				shadows[peer] = sh
-			}
-
-			// Draw: each round, scribble a recognizable pattern into
-			// our quadrant, locally and through every binding.
-			for r := 1; r <= rounds; r++ {
+			// Draw: each round, scribble a recognizable pattern into our
+			// quadrant — plain stores into the shared page. The barrier
+			// is the release: our writes reach the home copy and every
+			// peer's next access sees them.
+			for round := 1; round <= rounds; round++ {
 				stroke := make([]byte, quadrant-8)
 				for i := range stroke {
-					stroke[i] = byte(node*16 + r)
+					stroke[i] = byte(node*16 + round)
 				}
 				off := kernel.VA(node * quadrant)
-				p.WriteBytes(board+off, stroke)
-				for peer, sh := range shadows {
-					if peer == node {
-						continue
-					}
-					p.WriteBytes(sh+off, stroke)
-				}
+				p.WriteBytes(r.Base+off, stroke)
 				// Publish our round counter (last word of the quadrant).
-				cnt := off + quadrant - 4
-				p.WriteWord(board+cnt, uint32(r))
-				for peer, sh := range shadows {
-					if peer == node {
-						continue
-					}
-					p.WriteWord(sh+cnt, uint32(r))
-				}
-				// Wait until everyone's counter reaches this round —
-				// reading the *local* replica only: the whole point.
-				for peer := 0; peer < nodes; peer++ {
-					pc := kernel.VA(peer*quadrant + quadrant - 4)
-					p.WaitWord(board+pc, func(v uint32) bool { return v >= uint32(r) })
-				}
+				p.WriteWord(r.Base+off+quadrant-4, uint32(round))
+				r.Barrier()
 			}
-			finalBoards[node] = p.Peek(board, hw.Page)
+
+			// Read the whole board back through the coherence protocol,
+			// then hold the final barrier so the home can serve every
+			// straggler's fetch before anyone exits.
+			finalBoards[node] = p.ReadBytes(r.Base, hw.Page)
+			r.Barrier()
 		})
 	}
 

@@ -63,7 +63,7 @@ func StandardChaosPlans() []fault.Plan {
 // chaosScenarios are the figure scenarios the soak runs (the same single
 // representative points TraceFigure picks) plus the harness's own
 // byte-verification stream.
-var chaosScenarios = []string{"fig3", "fig4", "fig5", "fig7", "fig8", "ttcp", "integrity"}
+var chaosScenarios = []string{"fig3", "fig4", "fig5", "fig7", "fig8", "ttcp", "svm", "integrity"}
 
 // ChaosResult is one (scenario, plan) cell of the soak matrix.
 type ChaosResult struct {

@@ -22,6 +22,8 @@ import (
 //	fig7 — sockets, DU-1copy, 4096-byte ping-pong
 //	fig8 — SRPC null call with a 256-byte INOUT argument
 //	ttcp — ttcp streaming, DU-1copy, 7168-byte buffers
+//	svm  — shared virtual memory: a short Jacobi run plus a lock-counter
+//	       phase, both result-verified (the chaos soak reuses this cell)
 func TraceFigure(figID string, tc *trace.Collector) (string, error) {
 	const iters = 4
 	switch figID {
@@ -49,7 +51,14 @@ func TraceFigure(figID string, tc *trace.Collector) (string, error) {
 		mbps := socketStream(socket.ModeDU1, 7168, 16, TTCPPerWrite, TTCPPerByte, tc)
 		return fmt.Sprintf("ttcp: sockets %s, 7168 B x16 one-way: %.2f MB/s",
 			socket.ModeDU1, mbps), nil
+	case "svm":
+		res, err := svmJacobiVerified(tc)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("svm: %d-node Jacobi on shared memory, %d cells x%d sweeps: %.2f us/sweep, %d fetches; lock counter verified",
+			res.Nodes, res.Cells, res.Sweeps, res.PerSweepUS, res.Fetches), nil
 	default:
-		return "", fmt.Errorf("no traced scenario for %q; pick one of fig3,fig4,fig5,fig7,fig8,ttcp", figID)
+		return "", fmt.Errorf("no traced scenario for %q; pick one of fig3,fig4,fig5,fig7,fig8,ttcp,svm", figID)
 	}
 }

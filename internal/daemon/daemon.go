@@ -494,9 +494,12 @@ func (d *Daemon) BindAU(proc *kernel.Process, rec *ImportRec, localVA kernel.VA,
 		e.NotifyOnArrival = notify
 		d.NIC.SetOPT(idx, e)
 		d.NIC.BindAU(pte.Frame, idx)
-		flags := kernel.FlagWriteThrough
+		// Preserve the pinned bit: SVM pages are both exported (pinned
+		// receive buffers) and AU-bound (the local copy streams to the
+		// home), so the bind must not unpin them.
+		flags := pte.Flags&kernel.FlagPinned | kernel.FlagWriteThrough
 		if uncached {
-			flags = kernel.FlagUncached
+			flags = pte.Flags&kernel.FlagPinned | kernel.FlagUncached
 		}
 		proc.SetFlags(vpn, flags)
 		proc.SetAUPage(vpn, true)
@@ -509,11 +512,13 @@ func (d *Daemon) UnbindAU(proc *kernel.Process, rec *ImportRec, localVA kernel.V
 	proc.Compute(LocalIPCCost)
 	for i := 0; i < pages; i++ {
 		vpn := kernel.PageOf(localVA) + kernel.VPN(i)
+		var keep kernel.PTEFlags
 		if pte, ok := proc.PTEOf(localVA + kernel.VA(i*hw.Page)); ok {
 			d.NIC.UnbindAU(pte.Frame)
+			keep = pte.Flags & kernel.FlagPinned
 		}
 		proc.SetAUPage(vpn, false)
-		proc.SetFlags(vpn, 0)
+		proc.SetFlags(vpn, keep)
 	}
 }
 

@@ -175,6 +175,23 @@ const (
 	// up and run its handler at the receiver's next poll or yield point.
 	FastNotifyDispatch = 800 * time.Nanosecond
 
+	// --- Virtual-memory protection (user-level page management) ---
+
+	// MprotectCost is one mprotect-style protection-change system call:
+	// trap into the kernel, page-table update, local TLB flush. Charged
+	// per call, not per page — the kernel walks a contiguous PTE run under
+	// a single trap.
+	MprotectCost = 5 * time.Microsecond
+
+	// PageFaultUpcall is the cost from a protection violation trapping in
+	// the MMU to a user-level fault handler running: trap entry, fault
+	// decoding, signal-frame setup, and the sigreturn-style resume that
+	// retries the faulting access when the handler returns. It sits in the
+	// same price class as the signal path the paper calls expensive, which
+	// is why page-based shared memory amortizes each fault over a whole
+	// page of subsequent accesses.
+	PageFaultUpcall = 35 * time.Microsecond
+
 	// --- CPU costs for library-level code ---
 
 	// CallCost is a procedure call plus a handful of instructions at

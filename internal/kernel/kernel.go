@@ -50,6 +50,41 @@ type PTE struct {
 	Flags PTEFlags
 }
 
+// Prot is a page's access-protection level. The zero value is full access,
+// so pages are read-write unless a user-level memory manager (the SVM layer)
+// explicitly restricts them and ordinary code never pays for protection.
+type Prot uint8
+
+const (
+	// ProtRW allows loads and stores (the default for mapped pages).
+	ProtRW Prot = iota
+	// ProtRead allows loads; stores fault.
+	ProtRead
+	// ProtNone faults on any access.
+	ProtNone
+)
+
+func (pr Prot) String() string {
+	switch pr {
+	case ProtRW:
+		return "rw"
+	case ProtRead:
+		return "r"
+	case ProtNone:
+		return "none"
+	}
+	return "?"
+}
+
+// PageFault describes one protection violation being upcalled to the
+// process's fault handler.
+type PageFault struct {
+	VA    VA   // faulting address
+	Write bool // store (true) or load (false)
+	Prot  Prot // protection in force when the access faulted
+	Depth int  // 1 for a top-level fault, >1 when nested inside a handler
+}
+
 // Machine is one node's kernel state: CPU, memory, interrupt vectors.
 type Machine struct {
 	ID  int
@@ -160,6 +195,17 @@ type Process struct {
 	// physical bus; the hook lives here so cost accounting can pick the
 	// right store rate per page.)
 	auPages map[VPN]bool
+
+	// prot holds per-page protection overrides; absent pages are ProtRW,
+	// so the map stays empty (and access checks free) unless a user-level
+	// memory manager is active.
+	prot       map[VPN]Prot
+	faultFn    func(*Process, PageFault)
+	faultDepth int
+
+	// PageFaults counts protection-violation upcalls delivered to this
+	// process; the SVM coherence accounting reads it.
+	PageFaults int64
 
 	exited bool
 }
@@ -311,6 +357,90 @@ func (p *Process) SetFlags(vpn VPN, flags PTEFlags) {
 	p.pt[vpn] = pte
 }
 
+// --- Per-page protection and the user-level fault upcall ---
+//
+// The paper's follow-on SVM work depends on user-level page management:
+// a protocol library restricts pages with Mprotect, and the kernel upcalls
+// protection violations into a user handler, then retries the faulting
+// access — the software analogue of the NIC's freeze-with-retry receive
+// path (hold the offending operation, let software fix the mapping, retry).
+// Only the costed access paths (ReadBytes/WriteBytes/ReadWord/WriteWord/
+// CopyVA sources) check protection; Peek/Poke/WaitWord are simulation
+// bookkeeping and bypass it, like a debugger reading through /proc.
+
+// maxFaultRetries bounds how often one access may fault without the
+// handler changing the outcome before the kernel declares the process
+// wedged — a real kernel would kill it with SIGSEGV storming.
+const maxFaultRetries = 100
+
+// Mprotect sets the protection of n pages starting at the page containing
+// base. Pages must be mapped. Charged as one protection-change syscall.
+func (p *Process) Mprotect(base VA, n int, pr Prot) {
+	if p.prot == nil {
+		p.prot = make(map[VPN]Prot)
+	}
+	for i := 0; i < n; i++ {
+		vpn := PageOf(base) + VPN(i)
+		if _, ok := p.pt[vpn]; !ok {
+			panic(fmt.Sprintf("kernel: %s mprotect of unmapped page va %#x", p.Name, base))
+		}
+		if pr == ProtRW {
+			delete(p.prot, vpn)
+		} else {
+			p.prot[vpn] = pr
+		}
+	}
+	p.Compute(hw.MprotectCost)
+}
+
+// ProtOf returns the protection of va's page.
+func (p *Process) ProtOf(va VA) Prot { return p.prot[PageOf(va)] }
+
+// OnPageFault installs the process's protection-fault handler. The handler
+// runs in process context (it may sleep, send messages, and call Mprotect);
+// when it returns, the faulting access retries. There is one handler per
+// process — a library layering over another should save and chain the
+// previous handler (see PageFaultHandler).
+func (p *Process) OnPageFault(fn func(*Process, PageFault)) { p.faultFn = fn }
+
+// PageFaultHandler returns the currently installed fault handler (nil if
+// none), so stacked memory managers can chain.
+func (p *Process) PageFaultHandler() func(*Process, PageFault) { return p.faultFn }
+
+// checkAccess enforces page protection for one access, upcalling the fault
+// handler and retrying until the access is permitted.
+func (p *Process) checkAccess(va VA, write bool) {
+	vpn := PageOf(va)
+	for tries := 0; ; tries++ {
+		pr := p.prot[vpn]
+		if pr == ProtRW || (pr == ProtRead && !write) {
+			return
+		}
+		if p.faultFn == nil {
+			panic(fmt.Sprintf("kernel: %s protection fault va %#x (write=%v prot=%v), no fault handler", p.Name, va, write, pr))
+		}
+		if tries == maxFaultRetries {
+			panic(fmt.Sprintf("kernel: %s fault handler made no progress on va %#x after %d retries", p.Name, va, tries))
+		}
+		p.PageFaults++
+		if p.M.Trace != nil {
+			p.M.Trace.Count(p.M.TraceNode+"/kernel", "pagefault", 1)
+		}
+		p.faultDepth++
+		p.Compute(hw.PageFaultUpcall)
+		p.faultFn(p, PageFault{VA: va, Write: write, Prot: pr, Depth: p.faultDepth})
+		p.faultDepth--
+	}
+}
+
+// checkRange runs the access check across every page the range touches.
+func (p *Process) checkRange(va VA, n int, write bool) {
+	for off := 0; off < n; {
+		p.checkAccess(va+VA(off), write)
+		off += hw.Page - int((va+VA(off))%hw.Page)
+	}
+}
+
 func (p *Process) mustPA(va VA) mem.PA {
 	pa, err := p.Translate(va)
 	if err != nil {
@@ -368,6 +498,7 @@ func (p *Process) WriteBytes(va VA, b []byte) {
 		if frag > room {
 			frag = room
 		}
+		p.checkAccess(va+VA(off), true)
 		vpn := PageOf(va + VA(off))
 		pte, ok := p.pt[vpn]
 		if !ok {
@@ -425,6 +556,7 @@ func (p *Process) ReadBytes(va VA, n int) []byte {
 		if frag > room {
 			frag = room
 		}
+		p.checkAccess(va+VA(off), false)
 		pa := p.mustPA(va + VA(off))
 		var cost time.Duration
 		if frag <= 2*hw.WordSize {
@@ -449,6 +581,7 @@ func (p *Process) CopyVA(dstVA, srcVA VA, n int) {
 		if c > chunk {
 			c = chunk
 		}
+		p.checkRange(srcVA, c, false)
 		b := p.peek(srcVA, c)
 		p.WriteBytes(dstVA, b)
 		srcVA += VA(c)
@@ -505,6 +638,7 @@ func (p *Process) WriteWord(va VA, v uint32) {
 
 // ReadWord loads a 32-bit word, charging one poll-check cost.
 func (p *Process) ReadWord(va VA) uint32 {
+	p.checkAccess(va, false)
 	p.P.Sleep(hw.PollCheckCost)
 	return p.M.Mem.U32(p.mustPA(va))
 }

@@ -18,6 +18,7 @@ var datapathSuffixes = []string{
 	"/internal/vmmc",
 	"/internal/socket",
 	"/internal/sunrpc",
+	"/internal/svm",
 }
 
 func isDatapathPackage(path string) bool {
@@ -35,7 +36,7 @@ func isDatapathPackage(path string) bool {
 func PanicPathAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "no-panic-on-datapath",
-		Doc:  "flag panics reachable from exported entry points of nx/vmmc/socket/sunrpc",
+		Doc:  "flag panics reachable from exported entry points of nx/vmmc/socket/sunrpc/svm",
 		Run: func(p *Package, report func(pos token.Pos, msg string)) {
 			if !isDatapathPackage(p.Path) {
 				return
