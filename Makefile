@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke svm chaos check clean
+.PHONY: all build test race vet lint fuzz trace-smoke svm chaos bench bench-json check clean
 
 all: build
 
@@ -54,6 +54,20 @@ svm:
 # table. Exits nonzero if any cell fails.
 chaos:
 	$(GO) run ./cmd/shrimpbench -faults
+
+# bench runs every Go microbenchmark with allocation stats: the event-core
+# hot paths (churn, timer arm/cancel, proc ping-pong), the memory bulk
+# moves, and the end-to-end figure/chaos drivers.
+bench:
+	$(GO) test -run NONE -bench . -benchmem ./internal/sim ./internal/mem ./internal/bench .
+
+# bench-json runs the reproducible wall-clock suite and refreshes the
+# committed BENCH_5.json baseline (ns/op, allocs/op, events/sec, wall-clock
+# per figure sweep and chaos cell). The compare against the previous
+# baseline is advisory: it warns, never fails.
+bench-json:
+	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_5.json
+	cp /tmp/BENCH_new.json BENCH_5.json
 
 # check is the full gate CI runs: build, vet, lint, race-enabled tests,
 # trace determinism, and the chaos soak.

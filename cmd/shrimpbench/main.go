@@ -15,10 +15,21 @@
 // Usage:
 //
 //	shrimpbench [-fig all|fig3|fig4|fig5|fig7|fig8|peak|ttcp|rpcbase]
-//	            [-iters N] [-csv dir]
+//	            [-iters N] [-csv dir] [-parallel N]
 //	shrimpbench -fig fig3 [-trace out.json] [-stats]
 //	shrimpbench -svm [-trace out.json] [-stats]
-//	shrimpbench -faults [-faultseed N]
+//	shrimpbench -faults [-faultseed N] [-parallel N]
+//	shrimpbench -benchjson BENCH_5.json [-benchbase old.json]
+//
+// -parallel N runs the independent figure sweeps (or chaos cells) on N
+// worker threads. Every simulation still executes single-threaded on its
+// own engine; tables, CSVs, and replay digests are byte-identical to a
+// sequential run — only the wall-clock changes.
+//
+// -benchjson runs the wall-clock benchmark suite (event-core
+// microbenchmarks, memory bulk moves, end-to-end figure sweeps, chaos
+// cells) and writes a JSON report with ns/op, allocs/op, and events/sec.
+// -benchbase compares against a committed baseline report, warn-only.
 //
 // -svm runs the shared-virtual-memory comparison: the same 1-D Jacobi
 // stencil over NX message passing and over internal/svm release-consistent
@@ -40,6 +51,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -58,7 +70,29 @@ func main() {
 	faults := flag.Bool("faults", false, "run the chaos soak matrix (figure scenarios x fault plans)")
 	faultSeed := flag.Int64("faultseed", 1, "fault injector seed for -faults")
 	svmFlag := flag.Bool("svm", false, "run the SVM-vs-NX Jacobi comparison (2/4/8 nodes)")
+	parallel := flag.Int("parallel", 0, "run independent figure/chaos scenarios on N workers (0 = sequential; results are byte-identical either way)")
+	benchJSON := flag.String("benchjson", "", "run the wall-clock benchmark suite and write the JSON report to this file")
+	benchBase := flag.String("benchbase", "", "baseline JSON report to compare -benchjson results against (warn-only)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		rep := bench.RunPerfSuite(*iters)
+		fmt.Print(bench.BenchTable(rep))
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *benchJSON)
+		if *benchBase != "" {
+			warnBenchBaseline(*benchBase, rep)
+		}
+		return
+	}
 
 	if *svmFlag && *tracePath == "" && !*stats {
 		const cells, sweeps = 256, 40
@@ -77,7 +111,12 @@ func main() {
 	}
 
 	if *faults {
-		results := bench.RunChaos(*faultSeed)
+		var results []bench.ChaosResult
+		if *parallel > 0 {
+			results = bench.RunChaosParallel(*faultSeed, *parallel)
+		} else {
+			results = bench.RunChaos(*faultSeed)
+		}
 		fmt.Print(bench.ChaosTable(results))
 		fmt.Println()
 		points := bench.DegradedFig5(1024, 32, *faultSeed, []float64{0, 0.001, 0.01})
@@ -126,20 +165,30 @@ func main() {
 		fmt.Printf("  %-44s %8s %6.1fMB/s\n", "AU-1copy bandwidth at 10KB", "<DU", r.AU1copyMBs)
 		fmt.Println()
 	}
-	if run("fig3") {
-		figures = append(figures, bench.Fig3(*iters))
-	}
-	if run("fig4") {
-		figures = append(figures, bench.Fig4(*iters))
-	}
-	if run("fig5") {
-		figures = append(figures, bench.Fig5(*iters))
-	}
-	if run("fig7") {
-		figures = append(figures, bench.Fig7(*iters))
-	}
-	if run("fig8") {
-		figures = append(figures, bench.Fig8(*iters))
+	if *parallel > 0 {
+		// The pool runs all five figures; output stays in fixed order and
+		// every table/CSV byte matches the sequential path.
+		for _, f := range bench.RunFiguresParallel(*iters, *parallel) {
+			if run(f.ID) {
+				figures = append(figures, f)
+			}
+		}
+	} else {
+		if run("fig3") {
+			figures = append(figures, bench.Fig3(*iters))
+		}
+		if run("fig4") {
+			figures = append(figures, bench.Fig4(*iters))
+		}
+		if run("fig5") {
+			figures = append(figures, bench.Fig5(*iters))
+		}
+		if run("fig7") {
+			figures = append(figures, bench.Fig7(*iters))
+		}
+		if run("fig8") {
+			figures = append(figures, bench.Fig8(*iters))
+		}
 	}
 
 	for _, f := range figures {
@@ -198,6 +247,31 @@ func main() {
 	if !anyRan(*fig) {
 		fmt.Fprintf(os.Stderr, "unknown figure %q; want one of all,fig3,fig4,fig5,fig7,fig8,peak,ttcp,rpcbase,ablate\n", *fig)
 		os.Exit(2)
+	}
+}
+
+// warnBenchBaseline compares rep against a committed baseline report and
+// prints advisory warnings; it never exits non-zero, because wall-clock on
+// shared CI runners is too noisy for a hard gate.
+func warnBenchBaseline(path string, rep bench.BenchReport) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpbench: baseline %s unreadable (%v); skipping compare\n", path, err)
+		return
+	}
+	var base bench.BenchReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "shrimpbench: baseline %s unparsable (%v); skipping compare\n", path, err)
+		return
+	}
+	warnings := bench.CompareBenchReports(base, rep, 0.25)
+	if len(warnings) == 0 {
+		fmt.Printf("baseline compare vs %s: no regressions beyond 25%%\n", path)
+		return
+	}
+	fmt.Printf("baseline compare vs %s — WARNINGS (advisory only):\n", path)
+	for _, w := range warnings {
+		fmt.Printf("  %s\n", w)
 	}
 }
 

@@ -36,6 +36,16 @@ var (
 // 4-node prototype, plus whatever the chaos harness injects.
 func benchCluster(tc *trace.Collector) *cluster.Cluster {
 	cfg := cluster.Config{Trace: tc}
+	// A worker registered by the parallel runner gets its own hook and
+	// cluster slot; only the sequential path touches the package globals.
+	if env := currentEnv(); env != nil {
+		if env.mod != nil {
+			env.mod(&cfg)
+		}
+		c := cluster.New(cfg)
+		env.last = c
+		return c
+	}
 	if clusterMod != nil {
 		clusterMod(&cfg)
 	}

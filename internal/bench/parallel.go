@@ -1,0 +1,232 @@
+// Worker-pool scenario runner: every figure and chaos cell is an
+// independent, self-contained simulation (its own engine, cluster, and
+// tracers), so wall-clock throughput scales by running cells on OS threads
+// in parallel. Determinism is untouched — each simulation still executes
+// single-threaded on its own engine, workers share no simulation state, and
+// results land in preassigned slots so output order never depends on
+// scheduling. The parallel-vs-sequential byte-identity test in
+// parallel_test.go is the proof.
+//
+// This file is the one sanctioned island of host concurrency outside
+// internal/sim, hence the per-line shrimplint suppressions.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	//lint:allow no-stray-concurrency worker-pool scenario runner: workers share no simulation state
+	"sync"
+	//lint:allow no-stray-concurrency worker-pool scenario runner: atomic job cursor and env counter
+	"sync/atomic"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/fault"
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// scenarioEnv carries one worker's cluster-construction hooks: the config
+// rewriter (fault plans, per-engine digest attachment) and the most recent
+// cluster built, exactly the roles the package-global clusterMod/lastCluster
+// play for sequential runs. benchCluster/jacobiCluster consult the calling
+// goroutine's env first, so parallel workers never touch the globals.
+type scenarioEnv struct {
+	mod  func(*cluster.Config)
+	last *cluster.Cluster
+}
+
+var (
+	//lint:allow no-stray-concurrency guards the goroutine-id -> env registry
+	envMu sync.Mutex
+	envs  map[int64]*scenarioEnv
+	// envCount lets the sequential fast path skip the goroutine-id lookup
+	// entirely when no parallel run is active.
+	envCount int64
+)
+
+// goid parses the calling goroutine's id from its stack header
+// ("goroutine 123 [running]:"). Only used while a parallel run is active.
+func goid() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	var id int64
+	for _, c := range buf[len("goroutine "):n] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}
+
+// currentEnv returns the calling goroutine's scenario env, or nil when the
+// goroutine is not a registered worker (the sequential path).
+func currentEnv() *scenarioEnv {
+	//lint:allow no-stray-concurrency cheap active-run check on the sequential fast path
+	if atomic.LoadInt64(&envCount) == 0 {
+		return nil
+	}
+	id := goid()
+	envMu.Lock()
+	env := envs[id]
+	envMu.Unlock()
+	return env
+}
+
+// withEnv runs fn with a scenario env registered for the calling goroutine
+// and returns the env for inspection (fault counters, watchdog state).
+func withEnv(mod func(*cluster.Config), fn func()) *scenarioEnv {
+	env := &scenarioEnv{mod: mod}
+	id := goid()
+	envMu.Lock()
+	if envs == nil {
+		envs = make(map[int64]*scenarioEnv)
+	}
+	envs[id] = env
+	envMu.Unlock()
+	//lint:allow no-stray-concurrency env registry bookkeeping
+	atomic.AddInt64(&envCount, 1)
+	defer func() {
+		envMu.Lock()
+		delete(envs, id)
+		envMu.Unlock()
+		//lint:allow no-stray-concurrency env registry bookkeeping
+		atomic.AddInt64(&envCount, -1)
+	}()
+	fn()
+	return env
+}
+
+// runPool executes job(0..n-1) on up to workers OS threads and waits for
+// all of them. Jobs must be independent; they communicate results through
+// their preassigned slots, never through shared simulation state.
+func runPool(workers, n int, job func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next int64 = -1
+	//lint:allow no-stray-concurrency worker-pool join
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//lint:allow no-stray-concurrency worker-pool scenario runner
+		go func() {
+			defer wg.Done()
+			for {
+				//lint:allow no-stray-concurrency atomic job cursor
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Workers returns the default worker count for parallel runs.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// RunFiguresParallel produces the five standard figures like running
+// Fig3..Fig8 back to back, but on a worker pool. The returned slice is
+// always ordered fig3, fig4, fig5, fig7, fig8, and every figure's tables
+// and CSV are byte-identical to its sequential counterpart.
+func RunFiguresParallel(iters, workers int) []*Figure {
+	jobs := []func() *Figure{
+		func() *Figure { return Fig3(iters) },
+		func() *Figure { return Fig4(iters) },
+		func() *Figure { return Fig5(iters) },
+		func() *Figure { return Fig7(iters) },
+		func() *Figure { return Fig8(iters) },
+	}
+	out := make([]*Figure, len(jobs))
+	runPool(workers, len(jobs), func(i int) {
+		// Register an env (even with no config rewrite) so the drivers'
+		// cluster bookkeeping stays worker-local.
+		withEnv(nil, func() { out[i] = jobs[i]() })
+	})
+	return out
+}
+
+// RunChaosParallel runs the same soak matrix as RunChaos — same cells, same
+// result order, same digests — with the cells distributed over a worker
+// pool. Each cell attaches a per-engine digest tracer through the cluster
+// config instead of sim's process-global hook; the fold is identical, so
+// the digests match RunChaos bit for bit.
+func RunChaosParallel(seed int64, workers int) []ChaosResult {
+	type cell struct {
+		name     string
+		plan     fault.Plan
+		reliable bool
+		run      func(tc *trace.Collector) error
+	}
+	var cells []cell
+	for _, plan := range StandardChaosPlans() {
+		reliable := plan.Link != (fault.LinkFaults{})
+		for _, sc := range chaosScenarios {
+			cells = append(cells, cell{sc, plan, reliable, scenarioRunner(sc)})
+		}
+	}
+	crashPlan := fault.Plan{Name: "crash-node2-mid-transfer", Crashes: []fault.Crash{
+		{Node: 2, At: 5 * time.Millisecond},
+	}}
+	cells = append(cells, cell{"crash-recovery", crashPlan, false, chaosCrashRecovery})
+
+	out := make([]ChaosResult, len(cells))
+	runPool(workers, len(cells), func(i int) {
+		c := cells[i]
+		out[i] = chaosCaseEnv(c.name, c.plan, seed, c.reliable, c.run)
+	})
+	return out
+}
+
+// chaosCaseEnv is chaosCase run through a worker-local env: the digest
+// tracer rides the cluster config (cluster.Config.Auto) instead of the
+// process-global sim.Digest hook, so concurrent cells never share state.
+func chaosCaseEnv(name string, plan fault.Plan, seed int64, reliable bool, run func(tc *trace.Collector) error) ChaosResult {
+	res := ChaosResult{Scenario: name, Plan: plan.Name, Seed: seed}
+	one := func() (err error, injected int64, blocked []string, digest uint64) {
+		dt := sim.NewDigestTracer()
+		env := withEnv(func(cfg *cluster.Config) {
+			p := plan
+			cfg.FaultPlan = &p
+			cfg.FaultSeed = seed
+			cfg.Reliable = reliable
+			cfg.Auto = dt
+		}, func() { err = run(nil) })
+		digest = dt.Sum()
+		if env.last != nil {
+			injected = env.last.Fault.Injected()
+			blocked = env.last.Eng.Stalled()
+			env.last.Shutdown()
+			env.last = nil
+		}
+		return
+	}
+	err1, injected, blocked, d1 := one()
+	err2, _, _, d2 := one()
+	res.Digest = d1
+	res.Stable = d1 == d2
+	res.Injected = injected
+	res.Blocked = blocked
+	switch {
+	case err1 != nil:
+		res.Detail = err1.Error()
+	case err2 != nil:
+		res.Detail = "second run: " + err2.Error()
+	case !res.Stable:
+		res.Detail = fmt.Sprintf("digest unstable: %s vs %s", sim.DigestString(d1), sim.DigestString(d2))
+	case len(blocked) > 0:
+		res.Detail = "blocked procs: " + strings.Join(blocked, ", ")
+	}
+	return res
+}

@@ -40,6 +40,14 @@ func meshFor(n int) (int, int) {
 func jacobiCluster(n int, tc *trace.Collector) *cluster.Cluster {
 	x, y := meshFor(n)
 	cfg := cluster.Config{MeshX: x, MeshY: y, Trace: tc}
+	if env := currentEnv(); env != nil {
+		if env.mod != nil {
+			env.mod(&cfg)
+		}
+		c := cluster.New(cfg)
+		env.last = c
+		return c
+	}
 	if clusterMod != nil {
 		clusterMod(&cfg)
 	}

@@ -45,6 +45,12 @@ type Config struct {
 	// calibrated figure reproductions run on the raw reliable-by-
 	// construction backplane the paper assumes.
 	Reliable bool
+
+	// Auto, when non-nil, is composed into the engine's automatic tracer
+	// exactly as a sim.Digest-installed tracer would be. Parallel scenario
+	// runners use it to attach a per-engine replay digest without going
+	// through sim's process-global hook.
+	Auto sim.Tracer
 }
 
 // Node is one assembled PC node.
@@ -85,6 +91,9 @@ func New(cfg Config) *Cluster {
 		cfg.OPTEntries = 4096
 	}
 	eng := sim.NewEngine()
+	if cfg.Auto != nil {
+		eng.AttachDigest(cfg.Auto)
+	}
 	cfg.Trace.Bind(eng)
 	msh := mesh.New(eng, cfg.MeshX, cfg.MeshY)
 	msh.Trace = cfg.Trace

@@ -42,8 +42,22 @@ type Network struct {
 	ports  map[Addr]*Port
 	nodes  int
 
+	// nameSeq backs NameSeq. Per-network rather than process-global so
+	// that independent clusters — possibly simulated concurrently on
+	// different engines — never share mutable state.
+	nameSeq int
+
 	// MessagesDelivered counts deliveries for tests.
 	MessagesDelivered int64
+}
+
+// NameSeq returns the next per-network sequence number. The RPC libraries
+// use it for binding names and ephemeral port numbers; consumers must embed
+// it fixed-width in names so message sizes never depend on how many
+// bindings came before.
+func (n *Network) NameSeq() int {
+	n.nameSeq++
+	return n.nameSeq
 }
 
 // New returns an Ethernet segment serving the given number of nodes.

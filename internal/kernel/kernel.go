@@ -100,8 +100,18 @@ type Machine struct {
 	// caps the 2-copy protocols in the paper's Figure 3.
 	MemBus *sim.Server
 
-	freeFrames []mem.PFN
-	nextPID    int
+	// Frame allocator: fresh frames come from the ascending nextFrame
+	// cursor (frame 0 stays reserved); freed frames are reused LIFO from
+	// freedFrames first. Equivalent to popping a prebuilt [max..1] stack,
+	// without materializing ten thousand entries per node up front.
+	freedFrames []mem.PFN
+	nextFrame   mem.PFN
+	nextPID     int
+
+	// segPool recycles the AU store-capture segments (writeAUFragment):
+	// each segment lives only until its delayed PresentToSnoop runs, so a
+	// small free list absorbs the entire per-store allocation churn.
+	segPool [][]byte
 	irq        map[int]func(data any)
 	procs      []*Process // every process spawned, for Crash
 	dead       bool       // node crashed: interrupts are dropped
@@ -130,25 +140,34 @@ func NewMachine(id int, eng *sim.Engine, memBytes int) *Machine {
 		MemBus:    sim.NewServer(eng),
 		irq:       make(map[int]func(any)),
 		TraceNode: fmt.Sprintf("node%d", id),
-	}
-	for f := m.Mem.Pages() - 1; f >= 1; f-- {
-		m.freeFrames = append(m.freeFrames, mem.PFN(f))
+		nextFrame: 1,
 	}
 	return m
 }
 
-// AllocFrame takes a free physical frame.
+// AllocFrame takes a free physical frame: the most recently freed one if
+// any, else the next never-used frame.
 func (m *Machine) AllocFrame() mem.PFN {
-	if len(m.freeFrames) == 0 {
+	if n := len(m.freedFrames); n > 0 {
+		f := m.freedFrames[n-1]
+		m.freedFrames = m.freedFrames[:n-1]
+		return f
+	}
+	if int(m.nextFrame) >= m.Mem.Pages() {
 		panic(fmt.Sprintf("kernel: node %d out of physical memory", m.ID))
 	}
-	f := m.freeFrames[len(m.freeFrames)-1]
-	m.freeFrames = m.freeFrames[:len(m.freeFrames)-1]
+	f := m.nextFrame
+	m.nextFrame++
 	return f
 }
 
 // FreeFrame returns a frame to the allocator.
-func (m *Machine) FreeFrame(f mem.PFN) { m.freeFrames = append(m.freeFrames, f) }
+func (m *Machine) FreeFrame(f mem.PFN) { m.freedFrames = append(m.freedFrames, f) }
+
+// FreeFrames reports how many physical frames remain allocatable.
+func (m *Machine) FreeFrames() int {
+	return len(m.freedFrames) + m.Mem.Pages() - int(m.nextFrame)
+}
 
 // RegisterIRQ installs a handler for an interrupt vector (the NIC raises
 // these). The handler runs in event context after InterruptCost.
@@ -536,12 +555,35 @@ func (p *Process) writeAUFragment(pa mem.PA, b []byte, delay time.Duration) {
 			seg = hw.AUSegment
 		}
 		p.busyUntil(time.Duration(seg) * hw.AUStorePerByte)
-		captured := append([]byte(nil), b[:seg]...)
+		captured := append(p.M.getSeg(), b[:seg]...)
 		segPA := pa
 		p.M.Mem.WriteNoSnoop(segPA, captured)
-		p.M.Eng.Schedule(delay, func() { p.M.Mem.PresentToSnoop(segPA, captured) })
+		p.M.Eng.Post(delay, func() {
+			// The snoop copies what it keeps, so the capture buffer is
+			// free again once presented.
+			p.M.Mem.PresentToSnoop(segPA, captured)
+			p.M.putSeg(captured)
+		})
 		pa += mem.PA(seg)
 		b = b[seg:]
+	}
+}
+
+// getSeg takes an empty AU capture buffer from the pool.
+func (m *Machine) getSeg() []byte {
+	if l := len(m.segPool); l > 0 {
+		b := m.segPool[l-1]
+		m.segPool[l-1] = nil
+		m.segPool = m.segPool[:l-1]
+		return b[:0]
+	}
+	return make([]byte, 0, hw.AUSegment)
+}
+
+// putSeg returns an AU capture buffer to the pool.
+func (m *Machine) putSeg(b []byte) {
+	if cap(b) >= hw.AUSegment {
+		m.segPool = append(m.segPool, b)
 	}
 }
 

@@ -48,11 +48,11 @@ func TestMapTranslate(t *testing.T) {
 func TestUnmapFreesFrames(t *testing.T) {
 	e, m := newM(t)
 	m.Spawn("p", func(p *Process) {
-		before := len(p.M.freeFrames)
+		before := p.M.FreeFrames()
 		va := p.MapPages(4, 0)
 		p.UnmapPages(va, 4)
-		if len(p.M.freeFrames) != before {
-			t.Errorf("frames leaked: %d -> %d", before, len(p.M.freeFrames))
+		if p.M.FreeFrames() != before {
+			t.Errorf("frames leaked: %d -> %d", before, p.M.FreeFrames())
 		}
 		if _, err := p.Translate(va); err == nil {
 			t.Error("unmapped page still translates")

@@ -10,6 +10,12 @@
 //
 // Timing is charged by the callers (CPU model, DMA engines); this package
 // only moves bytes and fires hooks.
+//
+// DRAM is demand-allocated page by page: a page that has never been written
+// reads as zeros from a shared page and costs no memory. A simulated node
+// with 40MB of DRAM therefore costs only what the workload actually touches,
+// which is what makes building dozens of clusters per figure sweep cheap in
+// wall-clock terms.
 package mem
 
 import (
@@ -35,11 +41,27 @@ func (f PFN) Base() PA { return PA(f) * hw.Page }
 // SnoopFunc observes a store of data at pa as it appears on the memory bus.
 type SnoopFunc func(pa PA, data []byte)
 
+// zeroPage backs every never-written frame. Read-only by contract: all
+// accessors copy out of it and no writer ever targets it.
+var zeroPage = make([]byte, hw.Page)
+
+// pageChunkShift sizes the second level of the frame table (256 frames,
+// 1MB of simulated DRAM per chunk).
+const pageChunkShift = 8
+
+type pageChunk [1 << pageChunkShift][]byte
+
 // Memory is one node's DRAM.
 type Memory struct {
 	eng   *sim.Engine
-	data  []byte
-	conds map[PFN]*sim.Cond // page write watchers
+	size  int
+	npage int
+	// frames is a two-level table of per-frame backing slices, filled in
+	// on first write; a nil chunk or nil frame still reads as zeros. The
+	// root is a few dozen pointers, so constructing a 40MB memory costs
+	// nearly nothing.
+	frames []*pageChunk
+	conds  map[PFN]*sim.Cond // page write watchers
 
 	// Snoop, when set, sees every CPU store (not DMA writes — the real
 	// snoop logic sits on the Xpress bus and watches processor writes;
@@ -51,41 +73,98 @@ type Memory struct {
 	snoopPages map[PFN]bool
 }
 
-// New returns a memory of size bytes (rounded up to a whole page).
+// New returns a memory of size bytes (rounded up to a whole page). No DRAM
+// is allocated up front; frames materialize on first write.
 func New(eng *sim.Engine, size int) *Memory {
 	pages := (size + hw.Page - 1) / hw.Page
 	return &Memory{
 		eng:        eng,
-		data:       make([]byte, pages*hw.Page),
+		size:       pages * hw.Page,
+		npage:      pages,
+		frames:     make([]*pageChunk, (pages+1<<pageChunkShift-1)>>pageChunkShift),
 		conds:      make(map[PFN]*sim.Cond),
 		snoopPages: make(map[PFN]bool),
 	}
 }
 
 // Size returns the memory size in bytes.
-func (m *Memory) Size() int { return len(m.data) }
+func (m *Memory) Size() int { return m.size }
 
 // Pages returns the number of page frames.
-func (m *Memory) Pages() int { return len(m.data) / hw.Page }
+func (m *Memory) Pages() int { return m.npage }
 
 func (m *Memory) check(pa PA, n int) {
-	if int(pa)+n > len(m.data) || n < 0 {
-		panic(fmt.Sprintf("mem: access [%#x,+%d) outside %d-byte memory", pa, n, len(m.data)))
+	// Overflow-safe: a huge pa must not wrap the sum past the size check.
+	if n < 0 || uint64(pa) > uint64(m.size) || uint64(n) > uint64(m.size)-uint64(pa) {
+		panic(fmt.Sprintf("mem: access out of range: pa=%#x n=%d size=%d", pa, n, m.size))
 	}
 }
 
-// Read copies n bytes at pa into a fresh slice.
+// page returns the frame's backing bytes for reading (the shared zero page
+// if it was never written).
+func (m *Memory) page(f PFN) []byte {
+	if c := m.frames[f>>pageChunkShift]; c != nil {
+		if p := c[f&(1<<pageChunkShift-1)]; p != nil {
+			return p
+		}
+	}
+	return zeroPage
+}
+
+// pageW returns the frame's backing bytes for writing, materializing it.
+func (m *Memory) pageW(f PFN) []byte {
+	c := m.frames[f>>pageChunkShift]
+	if c == nil {
+		c = new(pageChunk)
+		m.frames[f>>pageChunkShift] = c
+	}
+	p := c[f&(1<<pageChunkShift-1)]
+	if p == nil {
+		p = make([]byte, hw.Page)
+		c[f&(1<<pageChunkShift-1)] = p
+	}
+	return p
+}
+
+// Read copies n bytes at pa into a fresh slice. The slice is the caller's
+// own: it never aliases simulated RAM, so mutating it cannot corrupt memory
+// contents.
 func (m *Memory) Read(pa PA, n int) []byte {
 	m.check(pa, n)
 	out := make([]byte, n)
-	copy(out, m.data[pa:])
+	m.ReadInto(pa, out)
 	return out
 }
 
-// ReadInto copies len(b) bytes at pa into b.
+// ReadInto copies len(b) bytes at pa into b. b never aliases simulated RAM.
 func (m *Memory) ReadInto(pa PA, b []byte) {
 	m.check(pa, len(b))
-	copy(b, m.data[pa:])
+	off := 0
+	for off < len(b) {
+		a := pa + PA(off)
+		po := int(a % hw.Page)
+		frag := len(b) - off
+		if frag > hw.Page-po {
+			frag = hw.Page - po
+		}
+		copy(b[off:off+frag], m.page(PageOf(a))[po:])
+		off += frag
+	}
+}
+
+// write stores b at pa, materializing frames as needed.
+func (m *Memory) write(pa PA, b []byte) {
+	off := 0
+	for off < len(b) {
+		a := pa + PA(off)
+		po := int(a % hw.Page)
+		frag := len(b) - off
+		if frag > hw.Page-po {
+			frag = hw.Page - po
+		}
+		copy(m.pageW(PageOf(a))[po:], b[off:off+frag])
+		off += frag
+	}
 }
 
 // WriteDMA stores b at pa as a DMA master would: watchers fire, but the
@@ -93,7 +172,7 @@ func (m *Memory) ReadInto(pa PA, b []byte) {
 // outgoing path; the caches only invalidate).
 func (m *Memory) WriteDMA(pa PA, b []byte) {
 	m.check(pa, len(b))
-	copy(m.data[pa:], b)
+	m.write(pa, b)
 	m.wake(pa, len(b))
 }
 
@@ -102,7 +181,7 @@ func (m *Memory) WriteDMA(pa PA, b []byte) {
 // with a delayed PresentToSnoop to model the cache-to-bus visibility delay.
 func (m *Memory) WriteNoSnoop(pa PA, b []byte) {
 	m.check(pa, len(b))
-	copy(m.data[pa:], b)
+	m.write(pa, b)
 	m.wake(pa, len(b))
 }
 
@@ -129,10 +208,13 @@ func (m *Memory) PresentToSnoop(pa PA, b []byte) {
 }
 
 // WriteCPU stores b at pa as the processor would: watchers fire and, if the
-// page is snooped, the store is presented to the snoop logic.
+// page is snooped, the store is presented to the snoop logic. The snoop is
+// handed page-local fragments of b itself — the store values as they appear
+// on the bus — never a slice of the memory's own backing array, so a snoop
+// implementation cannot mutate simulated RAM through its argument.
 func (m *Memory) WriteCPU(pa PA, b []byte) {
 	m.check(pa, len(b))
-	copy(m.data[pa:], b)
+	m.write(pa, b)
 	if m.snoop != nil {
 		// A store burst may cross a page boundary; present per-page
 		// fragments so the snoop sees page-local addresses.
@@ -145,7 +227,7 @@ func (m *Memory) WriteCPU(pa PA, b []byte) {
 				frag = room
 			}
 			if m.snoopPages[PageOf(a)] {
-				m.snoop(a, m.data[a:int(a)+frag])
+				m.snoop(a, b[off:off+frag])
 			}
 			off += frag
 		}
@@ -217,16 +299,23 @@ func (m *Memory) cond(f PFN) *sim.Cond {
 // U32 reads a little-endian 32-bit word at pa.
 func (m *Memory) U32(pa PA) uint32 {
 	m.check(pa, 4)
-	b := m.data[pa:]
+	if po := int(pa % hw.Page); po <= hw.Page-4 {
+		b := m.page(PageOf(pa))[po:]
+		return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	}
+	var b [4]byte
+	m.ReadInto(pa, b[:])
 	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
 }
 
 // PutU32DMA stores a little-endian 32-bit word at pa via the DMA path.
 func (m *Memory) PutU32DMA(pa PA, v uint32) {
-	m.WriteDMA(pa, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	m.WriteDMA(pa, b[:])
 }
 
 // PutU32CPU stores a little-endian 32-bit word at pa via the CPU path.
 func (m *Memory) PutU32CPU(pa PA, v uint32) {
-	m.WriteCPU(pa, []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)})
+	b := [4]byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+	m.WriteCPU(pa, b[:])
 }

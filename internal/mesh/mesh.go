@@ -51,6 +51,11 @@ type Packet struct {
 	Ack bool
 	// Payload is the packet body. The slice is owned by the packet.
 	Payload []byte
+	// Pooled marks a payload drawn from the network's buffer pool: the
+	// receiver returns it via PutBuf once the bytes are in DRAM. The
+	// reliability sublayer clears it on packets it retains for
+	// retransmission, which must outlive first delivery.
+	Pooled bool
 }
 
 // Size returns the number of bytes the packet occupies on a link.
@@ -109,6 +114,10 @@ type Network struct {
 	inFlight map[[2]NodeID]int
 	drained  *sim.Cond
 
+	// bufs is the payload free list backing GetBuf/PutBuf. Single
+	// simulation thread, so a plain stack suffices.
+	bufs [][]byte
+
 	// PacketsDelivered counts total deliveries, for tests and stats.
 	PacketsDelivered int64
 	// BytesDelivered counts total payload bytes delivered.
@@ -151,6 +160,28 @@ func newChannel(eng *sim.Engine, span string) *channel {
 
 // Nodes returns the number of attachment points.
 func (n *Network) Nodes() int { return n.X * n.Y }
+
+// GetBuf returns an empty payload buffer with room for a maximum-size
+// packet body, drawn from the free list when possible. Mark packets built
+// on one as Pooled so the receive path recycles it.
+func (n *Network) GetBuf() []byte {
+	if l := len(n.bufs); l > 0 {
+		b := n.bufs[l-1]
+		n.bufs[l-1] = nil
+		n.bufs = n.bufs[:l-1]
+		return b[:0]
+	}
+	return make([]byte, 0, hw.MaxPacketPayload)
+}
+
+// PutBuf returns a payload buffer to the free list. Only buffers that came
+// from GetBuf belong here; the caller must not touch b afterwards.
+func (n *Network) PutBuf(b []byte) {
+	if cap(b) < hw.MaxPacketPayload {
+		return
+	}
+	n.bufs = append(n.bufs, b)
+}
 
 // Attach registers the packet handler for node id (its NIC's incoming path).
 func (n *Network) Attach(id NodeID, h Handler) {
@@ -229,6 +260,10 @@ func (n *Network) link(from, to int) *channel {
 // until acknowledged.
 func (n *Network) Send(pkt *Packet) {
 	if n.rel != nil && !pkt.Ack {
+		// The sublayer keeps the packet for retransmission; its payload
+		// must survive past first delivery, so it leaves the pool's
+		// ownership here.
+		pkt.Pooled = false
 		n.rel.send(pkt)
 		return
 	}
@@ -242,6 +277,7 @@ func (n *Network) transmit(pkt *Packet) {
 		// The destination's router port is dark (node crashed): the
 		// flits fall on the floor.
 		n.PacketsDropped++
+		n.reclaim(pkt)
 		return
 	}
 	if n.handlers[pkt.Dst] == nil {
@@ -290,6 +326,7 @@ func (n *Network) transmit(pkt *Packet) {
 		// Lost on a link: nothing arrives. With the reliability
 		// sublayer on, the sender's retransmit timer recovers.
 		n.PacketsDropped++
+		n.reclaim(pkt)
 		return
 	}
 
@@ -330,24 +367,41 @@ func (n *Network) transmit(pkt *Packet) {
 	}
 
 	n.inFlight[key]++
-	n.eng.At(arrival, func() {
+	n.eng.PostAt(arrival, func() {
 		n.inFlight[key]--
 		switch {
 		case n.dead[pkt.Dst]:
 			// The node crashed while the packet was in flight.
 			n.PacketsDropped++
+			n.reclaim(pkt)
 		case corrupted:
 			n.PacketsCorrupted++
+			n.reclaim(pkt)
 			if n.rel != nil && !pkt.Ack {
 				n.rel.onCorrupt(pkt.Src, pkt.Dst)
 			}
 		case n.rel != nil && !arrived.Ack && arrived.Seq != 0:
 			n.rel.onData(arrived)
 		default:
+			if arrived != pkt {
+				// A corrupt-but-decodable packet arrives as a fresh
+				// copy; the original's buffer is done.
+				n.reclaim(pkt)
+			}
 			n.deliver(arrived)
 		}
 		n.drained.Broadcast()
 	})
+}
+
+// reclaim returns a packet's pooled payload to the free list when the
+// packet dies inside the backplane (dropped, corrupted, or superseded).
+func (n *Network) reclaim(pkt *Packet) {
+	if pkt.Pooled {
+		pkt.Pooled = false
+		n.PutBuf(pkt.Payload)
+		pkt.Payload = nil
+	}
 }
 
 // deliver hands an arrived packet to the destination handler.

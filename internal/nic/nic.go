@@ -119,7 +119,12 @@ type NIC struct {
 
 	opt     []OPTEntry
 	optFree []bool // true = available
-	ipt     []IPTEntry
+	// ipt is the incoming page table, chunked and demand-allocated: a nil
+	// chunk reads as all-disabled entries. One entry per local frame would
+	// be a 10k-entry pointer-bearing slab per NIC; real workloads program
+	// only a handful of pages.
+	ipt      []*iptChunk
+	iptPages int // total local frames the table covers
 
 	auByFrame map[mem.PFN]int // local frame -> OPT index (AU binding)
 
@@ -187,7 +192,8 @@ func New(m *kernel.Machine, net *mesh.Network, id mesh.NodeID, optEntries int) *
 		ID:        id,
 		opt:       make([]OPTEntry, optEntries),
 		optFree:   make([]bool, optEntries),
-		ipt:       make([]IPTEntry, m.Mem.Pages()),
+		ipt:       make([]*iptChunk, (m.Mem.Pages()+1<<iptChunkShift-1)>>iptChunkShift),
+		iptPages:  m.Mem.Pages(),
 		auByFrame: make(map[mem.PFN]int),
 		port:      sim.NewServer(m.Eng),
 		eisa:      sim.NewServer(m.Eng),
@@ -245,11 +251,28 @@ func (n *NIC) OPTSize() int { return len(n.opt) }
 
 // --- IPT management ---
 
+// iptChunkShift sizes IPT chunks (256 entries, one page of entries or so).
+const iptChunkShift = 8
+
+type iptChunk [1 << iptChunkShift]IPTEntry
+
 // SetIPT programs the incoming page-table entry for a local frame.
-func (n *NIC) SetIPT(f mem.PFN, e IPTEntry) { n.ipt[f] = e }
+func (n *NIC) SetIPT(f mem.PFN, e IPTEntry) {
+	c := n.ipt[f>>iptChunkShift]
+	if c == nil {
+		c = new(iptChunk)
+		n.ipt[f>>iptChunkShift] = c
+	}
+	c[f&(1<<iptChunkShift-1)] = e
+}
 
 // GetIPT reads the entry for a frame.
-func (n *NIC) GetIPT(f mem.PFN) IPTEntry { return n.ipt[f] }
+func (n *NIC) GetIPT(f mem.PFN) IPTEntry {
+	if c := n.ipt[f>>iptChunkShift]; c != nil {
+		return c[f&(1<<iptChunkShift-1)]
+	}
+	return IPTEntry{}
+}
 
 // --- Automatic update bindings ---
 
@@ -312,7 +335,7 @@ func (n *NIC) snoop(pa mem.PA, data []byte) {
 		n.open = &outPacket{
 			optIdx: idx,
 			dstOff: uint32(pa % hw.Page),
-			data:   append([]byte(nil), data[:take]...),
+			data:   append(n.Net.GetBuf(), data[:take]...),
 			notify: e.NotifyOnArrival,
 		}
 		n.openLastPA = pa + mem.PA(take)
@@ -328,14 +351,20 @@ func (n *NIC) snoop(pa mem.PA, data []byte) {
 }
 
 func (n *NIC) armCombineTimer(e OPTEntry) {
-	if n.combineTime != nil {
-		n.combineTime.Stop()
-		n.combineTime = nil
-	}
 	if !e.CombineTimer {
 		// No timer: the packet waits for a non-consecutive write or an
 		// explicit flush. (Libraries using combining always enable the
 		// timer; this mode exists for testing the hardware behaviour.)
+		if n.combineTime != nil {
+			n.combineTime.Stop()
+			n.combineTime = nil
+		}
+		return
+	}
+	if n.combineTime != nil {
+		// Still pending (fired and stopped timers clear the field):
+		// push the deadline out without building a new callback.
+		n.combineTime.Reset(hw.CombineTimeout)
 		return
 	}
 	n.combineTime = n.M.Eng.Schedule(hw.CombineTimeout, func() {
@@ -415,10 +444,14 @@ func (n *NIC) kickInject() {
 				DstOff:  pkt.dstOff,
 				Notify:  pkt.notify,
 				Payload: pkt.data,
+				Pooled:  true,
 			})
+		} else {
+			// Packets to entries invalidated while queued are dropped
+			// (the daemon quiesces before invalidating, so this is
+			// defensive); their buffer goes back to the pool.
+			n.Net.PutBuf(pkt.data)
 		}
-		// Packets to entries invalidated while queued are dropped (the
-		// daemon quiesces before invalidating, so this is defensive).
 		n.injecting = false
 		n.kickInject()
 		n.maybeIdle()
@@ -495,7 +528,8 @@ func (n *NIC) runDUChunk(job *DUJob, i int, first bool) {
 		if n.dead {
 			return
 		}
-		data := n.M.Mem.Read(c.SrcPA, c.N)
+		data := n.Net.GetBuf()[:c.N]
+		n.M.Mem.ReadInto(c.SrcPA, data)
 		n.packetize(&outPacket{
 			optIdx: c.OPTIdx,
 			dstOff: c.DstOff,
@@ -528,7 +562,7 @@ func (n *NIC) kickIncoming() {
 	n.inQ = n.inQ[1:]
 
 	frame := mem.PFN(pkt.DstPFN)
-	if int(frame) >= len(n.ipt) || !n.ipt[frame].Enable {
+	if int(frame) >= n.iptPages || !n.GetIPT(frame).Enable {
 		// Protection violation: freeze the receive datapath and
 		// interrupt the node CPU (paper Section 3.2). The offending
 		// packet is held at the head; Unfreeze retries it.
@@ -553,8 +587,15 @@ func (n *NIC) kickIncoming() {
 		if n.dead {
 			return
 		}
-		entry := n.ipt[frame]
+		entry := n.GetIPT(frame)
 		n.M.Mem.WriteDMA(frame.Base()+mem.PA(pkt.DstOff), pkt.Payload)
+		if pkt.Pooled {
+			// The bytes are in DRAM; the wire buffer goes back to the
+			// pool for the next outgoing packet.
+			pkt.Pooled = false
+			n.Net.PutBuf(pkt.Payload)
+			pkt.Payload = nil
+		}
 		n.PacketsIn++
 		n.M.Trace.Count(n.track, "packets.in", 1)
 		if pkt.Notify && entry.Interrupt {

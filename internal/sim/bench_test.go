@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// The event core's hot paths: schedule/fire churn through the heap and the
+// same-time FIFO fast path, timer arm/cancel (the canceled-timer leak's
+// stomping ground), and the proc handoff that every blocking primitive
+// rides. Run with -benchmem; allocs/op should be ~0 for all of these once
+// the free list warms up.
+
+func BenchmarkEventChurn(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Post(time.Microsecond, fn)
+		if i%1024 == 1023 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkEventChurnFIFO(b *testing.B) {
+	// Fire-immediately events take the nowQ fast path: no heap at all.
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Post(0, fn)
+		if i%1024 == 1023 {
+			e.RunAll()
+		}
+	}
+	e.RunAll()
+}
+
+func BenchmarkTimerArmCancel(b *testing.B) {
+	e := NewEngine()
+	fn := func() {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := e.Schedule(time.Millisecond, fn)
+		t.Stop()
+	}
+	if got := e.QueueLen(); got != 0 {
+		b.Fatalf("canceled timers left %d events queued", got)
+	}
+}
+
+func BenchmarkTimerReset(b *testing.B) {
+	e := NewEngine()
+	t := e.Schedule(time.Millisecond, func() {})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Reset(time.Millisecond)
+	}
+	t.Stop()
+}
+
+func BenchmarkProcPingPong(b *testing.B) {
+	// Turn-taking through a shared flag: signals are only sent while the
+	// peer is provably waiting, so none are lost.
+	e := NewEngine()
+	c := NewCond(e)
+	n := b.N
+	ball := 0 // 0: ping's turn, 1: pong's turn
+	rallies := 0
+	e.Spawn("ping", func(p *Proc) {
+		for i := 0; i < n; i++ {
+			for ball != 0 {
+				c.Wait(p)
+			}
+			ball = 1
+			c.Broadcast()
+		}
+	})
+	e.Spawn("pong", func(p *Proc) {
+		for rallies < n {
+			for ball != 1 {
+				c.Wait(p)
+			}
+			ball = 0
+			rallies++
+			c.Broadcast()
+		}
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.RunAll()
+	b.StopTimer()
+	if rallies != n {
+		b.Fatalf("completed %d rallies, want %d", rallies, n)
+	}
+	e.Shutdown()
+}

@@ -98,3 +98,20 @@ func CheckDeterminism(t TB, scenario func()) {
 
 // DigestString formats a digest the way failure messages render it.
 func DigestString(d uint64) string { return fmt.Sprintf("%#016x", d) }
+
+// DigestTracer is the exported form of the replay-digest fold, for runners
+// that attach it to specific engines (via Engine.AttachDigest or
+// cluster.Config.Auto) instead of installing the process-global hook that
+// Digest uses. Folding is identical, so a scenario digested through either
+// route produces the same sum.
+type DigestTracer struct {
+	digestTracer
+}
+
+// NewDigestTracer returns an empty digest fold.
+func NewDigestTracer() *DigestTracer {
+	return &DigestTracer{digestTracer{sum: fnvOffset64}}
+}
+
+// Sum returns the FNV-1a digest of everything observed so far.
+func (d *DigestTracer) Sum() uint64 { return d.sum }

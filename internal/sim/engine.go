@@ -8,13 +8,22 @@
 //
 // Two execution styles coexist:
 //
-//   - Plain events: funcs scheduled with Engine.Schedule/At, used by hardware
-//     models (NIC engines, mesh links, timers).
+//   - Plain events: funcs scheduled with Engine.Schedule/At (or the
+//     fire-and-forget Post/PostAt fast path), used by hardware models
+//     (NIC engines, mesh links, timers).
 //   - Processes: goroutine-backed coroutines (Proc) for code that reads
 //     naturally as sequential — application programs, library protocol code,
 //     daemons. Exactly one goroutine (the engine or a single Proc) runs at a
 //     time, so no locking is needed anywhere in the simulation and execution
 //     order is fully deterministic.
+//
+// The event core is performance-engineered for wall-clock speed without
+// giving up one bit of determinism (see DESIGN.md "Wall-clock performance"):
+// events are recycled on a free list instead of allocated per Schedule,
+// canceled timers are removed from the heap eagerly rather than riding to
+// their deadline, and events scheduled for the current instant bypass the
+// heap on a FIFO that preserves the exact (time, seq) firing order the heap
+// would have produced.
 package sim
 
 import (
@@ -41,41 +50,82 @@ func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
 // event is a scheduled callback. Events with equal deadlines fire in the
 // order they were scheduled (seq breaks ties), which makes the simulation
 // deterministic.
+//
+// Events are pooled: after firing or cancellation they return to the
+// engine's free list and their generation counter is bumped, so a stale
+// Timer handle can never cancel an unrelated recycled event.
 type event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	canceled bool
-	index    int // heap index, -1 when popped
+	at  Time
+	seq uint64
+	fn  func()
+	// index is the event's heap position, or one of the sentinels below.
+	index int
+	// gen increments every time the event is recycled; Timer handles
+	// remember the generation they were issued against.
+	gen uint64
 }
 
+// index sentinels for events that are not in the heap.
+const (
+	indexFired = -1 // popped for execution (or freshly recycled)
+	indexNowQ  = -2 // waiting in the current-instant FIFO
+)
+
 // Timer is a handle to a scheduled event that can be canceled or re-armed.
+// The zero Timer is inert: Stop and Pending report false, Reset is a no-op.
 type Timer struct {
 	eng *Engine
 	ev  *event
+	gen uint64
+	// fn is the callback captured at Schedule time, kept on the handle so
+	// Reset can re-arm after the underlying event was recycled.
+	fn func()
 }
 
-// Stop cancels the timer if it has not fired. It reports whether the timer
-// was still pending.
+// Stop cancels the timer if it has not fired, removing the event from the
+// queue immediately — a canceled timer costs nothing from this point on.
+// It reports whether the timer was still pending.
 func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.canceled || t.ev.index < 0 {
+	if t == nil || t.ev == nil || t.ev.gen != t.gen {
 		return false
 	}
-	t.ev.canceled = true
-	return true
+	ev := t.ev
+	t.ev = nil
+	switch {
+	case ev.index >= 0:
+		heap.Remove(&t.eng.queue, ev.index)
+		t.eng.recycle(ev)
+		return true
+	case ev.index == indexNowQ:
+		// In the current-instant FIFO: mark canceled (the run loop
+		// recycles it when it reaches the head).
+		ev.index = indexFired
+		ev.fn = nil
+		t.eng.nowLive--
+		return true
+	default:
+		return false
+	}
 }
 
 // Pending reports whether the timer is still scheduled to fire.
 func (t *Timer) Pending() bool {
-	return t != nil && t.ev != nil && !t.ev.canceled && t.ev.index >= 0
+	return t != nil && t.ev != nil && t.ev.gen == t.gen &&
+		(t.ev.index >= 0 || t.ev.index == indexNowQ)
 }
 
 // Reset re-arms the timer to fire d from now with its original callback,
 // whether it is pending, stopped, or has already fired. It reports whether
 // the timer was still pending (and was therefore canceled) before re-arming.
+// Resetting a zero or spent handle (no engine or callback) is a no-op that
+// reports false rather than a panic.
 func (t *Timer) Reset(d time.Duration) bool {
+	if t == nil || t.eng == nil || t.fn == nil {
+		return false
+	}
 	wasPending := t.Stop()
-	t.ev = t.eng.Schedule(d, t.ev.fn).ev
+	ev := t.eng.post(t.eng.now.Add(d), t.fn)
+	t.ev, t.gen = ev, ev.gen
 	return wasPending
 }
 
@@ -103,16 +153,30 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	ev := old[n-1]
 	old[n-1] = nil
-	ev.index = -1
+	ev.index = indexFired
 	*h = old[:n-1]
 	return ev
 }
 
 // Engine is a discrete-event simulator instance.
 type Engine struct {
-	now    Time
-	seq    uint64
-	queue  eventHeap
+	now   Time
+	seq   uint64
+	queue eventHeap
+	// nowQ is the current-instant FIFO: events scheduled for exactly the
+	// current time skip the heap. Everything in nowQ carries a seq larger
+	// than any same-instant event still in the heap (heap entries for the
+	// current instant were necessarily scheduled before time advanced to
+	// it), so draining heap-first at equal times reproduces the exact
+	// (at, seq) order a pure heap would give. nowHead indexes the next
+	// entry; the slice is reset when it drains.
+	nowQ    []*event
+	nowHead int
+	// nowLive counts non-canceled nowQ entries, for O(1) Idle.
+	nowLive int
+	// free is the event free list. Events are recycled after firing or
+	// cancellation; their gen counter invalidates outstanding Timers.
+	free   []*event
 	procs  []*Proc
 	cur    *Proc // proc currently holding execution, nil in event context
 	halted bool
@@ -142,58 +206,162 @@ func (e *Engine) retrace() {
 	e.tracer = NewTeeTracer(e.user, e.auto)
 }
 
+// AttachDigest composes an additional auto tracer into the engine (used by
+// the parallel scenario runner, which cannot go through the process-global
+// sim.Digest hook). It observes execution exactly as a Digest-installed
+// tracer would.
+func (e *Engine) AttachDigest(t Tracer) {
+	e.auto = NewTeeTracer(e.auto, t)
+	e.retrace()
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
+// QueueLen reports the number of live (non-canceled) events currently
+// queued, for tests and diagnostics — with eager timer removal this stays
+// bounded by the true amount of pending work, not by cancellation history.
+func (e *Engine) QueueLen() int { return len(e.queue) + e.nowLive }
+
+// alloc takes an event from the free list or the allocator.
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+// recycle returns a dead event to the free list, invalidating Timers.
+func (e *Engine) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.index = indexFired
+	e.free = append(e.free, ev)
+}
+
+// post is the common scheduling path: assign the next seq and enqueue.
+// Events for the current instant go to the FIFO, everything else into the
+// heap.
+func (e *Engine) post(t Time, fn func()) *event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	}
+	e.seq++
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	if t == e.now {
+		ev.index = indexNowQ
+		e.nowQ = append(e.nowQ, ev)
+		e.nowLive++
+	} else {
+		heap.Push(&e.queue, ev)
+	}
+	return ev
+}
+
 // Schedule arranges for fn to run d from now. d must be non-negative.
-// The returned Timer may be used to cancel the event.
+// The returned Timer may be used to cancel or re-arm the event; callers
+// that never cancel should prefer Post, which allocates no handle.
 func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	return e.At(e.now.Add(d), fn)
+	ev := e.post(e.now.Add(d), fn)
+	return &Timer{eng: e, ev: ev, gen: ev.gen, fn: fn}
 }
 
 // At arranges for fn to run at absolute virtual time t, which must not be in
 // the past.
 func (e *Engine) At(t Time, fn func()) *Timer {
-	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+	ev := e.post(t, fn)
+	return &Timer{eng: e, ev: ev, gen: ev.gen, fn: fn}
+}
+
+// Post arranges for fn to run d from now, without a cancellation handle —
+// the allocation-free fast path for fire-and-forget events (process
+// wakeups, DMA completions, packet arrivals).
+func (e *Engine) Post(d time.Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative delay")
 	}
-	e.seq++
-	ev := &event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
-	return &Timer{eng: e, ev: ev}
+	e.post(e.now.Add(d), fn)
+}
+
+// PostAt is Post at an absolute virtual time.
+func (e *Engine) PostAt(t Time, fn func()) {
+	e.post(t, fn)
 }
 
 // Halt stops the run loop after the current event completes. Pending events
 // remain queued; Run may be called again to continue.
 func (e *Engine) Halt() { e.halted = true }
 
+// next dequeues the earliest live event, honoring the heap-before-FIFO
+// rule at equal times, or returns nil when no events remain.
+func (e *Engine) next() *event {
+	for {
+		if e.nowHead < len(e.nowQ) {
+			// FIFO entries are at the current instant; heap entries for
+			// the same instant carry smaller seqs and must fire first.
+			if len(e.queue) > 0 && e.queue[0].at <= e.now {
+				return heap.Pop(&e.queue).(*event)
+			}
+			ev := e.nowQ[e.nowHead]
+			e.nowQ[e.nowHead] = nil
+			e.nowHead++
+			if e.nowHead == len(e.nowQ) {
+				e.nowQ = e.nowQ[:0]
+				e.nowHead = 0
+			}
+			if ev.index != indexNowQ {
+				// Canceled while queued; reclaim and keep scanning.
+				e.recycle(ev)
+				continue
+			}
+			e.nowLive--
+			ev.index = indexFired
+			return ev
+		}
+		if len(e.queue) > 0 {
+			return heap.Pop(&e.queue).(*event)
+		}
+		return nil
+	}
+}
+
 // Run executes events until the queue drains, the engine is halted, or every
 // remaining event is beyond limit (limit <= 0 means no limit). It returns the
 // virtual time at which it stopped.
 func (e *Engine) Run(limit Time) Time {
 	e.halted = false
-	for len(e.queue) > 0 && !e.halted {
-		next := e.queue[0]
-		if limit > 0 && next.at > limit {
-			e.now = limit
+	for !e.halted {
+		next := e.next()
+		if next == nil {
 			break
 		}
-		heap.Pop(&e.queue)
-		if next.canceled {
-			continue
+		if limit > 0 && next.at > limit {
+			// Put it back where it came from; only heap events can be
+			// beyond the current instant.
+			heap.Push(&e.queue, next)
+			e.now = limit
+			break
 		}
 		if next.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = next.at
 		e.EventsRun++
+		fn := next.fn
 		if e.tracer != nil {
 			e.tracer.Event(next.at, next.seq)
 		}
-		next.fn()
+		e.recycle(next)
+		fn()
 	}
 	return e.now
 }
@@ -215,19 +383,14 @@ func (e *Engine) Shutdown() {
 			continue
 		}
 		p.killed = true
-		p.resume <- struct{}{} // wake inside park(); it panics killSentinel
-		<-p.yield              // goroutine unwinds and reports dead
+		p.ch <- struct{}{} // wake inside park(); it panics killSentinel
+		<-p.ch             // goroutine unwinds and reports dead
 	}
 }
 
 // Idle reports whether no events are pending.
 func (e *Engine) Idle() bool {
-	for _, ev := range e.queue {
-		if !ev.canceled {
-			return false
-		}
-	}
-	return true
+	return len(e.queue) == 0 && e.nowLive == 0
 }
 
 // Stalled returns the names of processes that are parked with no way to

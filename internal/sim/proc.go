@@ -17,16 +17,25 @@ import (
 type Proc struct {
 	Name string
 
-	eng    *Engine
-	resume chan struct{}
-	yield  chan struct{}
-	done   bool
-	dead   bool // goroutine exited
+	eng *Engine
+	// ch is the bidirectional handoff channel. Control alternates strictly
+	// (engine sends to resume the proc, the proc sends to yield back), so a
+	// single unbuffered channel suffices and each switch costs one handoff
+	// instead of two.
+	ch   chan struct{}
+	done bool
+	dead bool // goroutine exited
 
 	wakePending bool    // an unpark event is already scheduled
 	waitingOn   []*Cond // conds this proc is currently enqueued on
 	killed      bool    // Shutdown/Kill has asked the goroutine to unwind
 	service     bool    // daemon-style proc: excluded from deadlock diagnosis
+
+	// wake and redispatch are the proc's two wakeup callbacks, built once
+	// at Spawn so the hot paths (unpark, Sleep, YieldOnce) schedule them
+	// without allocating a closure per call.
+	wake       func() // clears wakePending, then dispatches
+	redispatch func() // dispatches unconditionally (sleep timers)
 
 	// Interrupts: handlers that should run in this proc's context at its
 	// next yield point (used by the kernel signal machinery).
@@ -43,14 +52,23 @@ type killSentinel struct{}
 // unrecoverable); only the Shutdown sentinel is absorbed.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
-		Name:   name,
-		eng:    e,
-		resume: make(chan struct{}),
-		yield:  make(chan struct{}),
+		Name: name,
+		eng:  e,
+		ch:   make(chan struct{}),
+	}
+	p.wake = func() {
+		p.wakePending = false
+		e.dispatch(p)
+	}
+	p.redispatch = func() {
+		if p.dead {
+			return
+		}
+		e.dispatch(p)
 	}
 	e.procs = append(e.procs, p)
 	go func() {
-		<-p.resume
+		<-p.ch
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killSentinel); !ok {
@@ -59,7 +77,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 			}
 			p.done = true
 			p.dead = true
-			p.yield <- struct{}{}
+			p.ch <- struct{}{}
 		}()
 		if p.killed {
 			// Killed before its first instruction ran: unwind without
@@ -68,7 +86,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}
 		fn(p)
 	}()
-	e.Schedule(0, func() { e.dispatch(p) })
+	e.Post(0, p.redispatch)
 	return p
 }
 
@@ -82,16 +100,16 @@ func (e *Engine) dispatch(p *Proc) {
 	}
 	prev := e.cur
 	e.cur = p
-	p.resume <- struct{}{}
-	<-p.yield
+	p.ch <- struct{}{}
+	<-p.ch
 	e.cur = prev
 }
 
 // park yields control back to the engine. Must be called from p's goroutine.
 // The proc will not run again until something schedules an unpark.
 func (p *Proc) park() {
-	p.yield <- struct{}{}
-	<-p.resume
+	p.ch <- struct{}{}
+	<-p.ch
 	if p.killed {
 		panic(killSentinel{})
 	}
@@ -106,10 +124,7 @@ func (p *Proc) unpark() {
 		return
 	}
 	p.wakePending = true
-	p.eng.Schedule(0, func() {
-		p.wakePending = false
-		p.eng.dispatch(p)
-	})
+	p.eng.Post(0, p.wake)
 }
 
 // Kill asks the proc to unwind (via the kill sentinel) at its next
@@ -153,24 +168,15 @@ func (p *Proc) Sleep(d time.Duration) {
 	if d == 0 {
 		return
 	}
-	p.eng.Schedule(d, p.unparkEvent)
+	p.eng.Post(d, p.redispatch)
 	p.park()
-}
-
-// unparkEvent is used for wakeups that must not be coalesced with the
-// wakePending flag (a sleep's own timer).
-func (p *Proc) unparkEvent() {
-	if p.dead {
-		return
-	}
-	p.eng.dispatch(p)
 }
 
 // YieldOnce lets all other events scheduled at the current instant run, then
 // resumes. Useful in tests to establish ordering.
 func (p *Proc) YieldOnce() {
 	p.checkCurrent()
-	p.eng.Schedule(0, p.unparkEvent)
+	p.eng.Post(0, p.redispatch)
 	p.park()
 }
 

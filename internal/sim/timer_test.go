@@ -74,9 +74,8 @@ func TestTimerStopPeerInsideCallback(t *testing.T) {
 func TestTimerResetWhilePending(t *testing.T) {
 	e := NewEngine()
 	var firedAt []Time
-	tm := e.Schedule(100*time.Microsecond, nil)
-	// Capture the fire time; the callback is shared across re-arms.
-	tm.ev.fn = func() { firedAt = append(firedAt, e.Now()) }
+	// The callback is shared across re-arms.
+	tm := e.Schedule(100*time.Microsecond, func() { firedAt = append(firedAt, e.Now()) })
 	if !tm.Reset(200 * time.Microsecond) {
 		t.Fatal("Reset of a pending timer should report it was pending")
 	}
@@ -107,6 +106,64 @@ func TestTimerResetAfterFire(t *testing.T) {
 	if fired != 2 {
 		t.Fatalf("re-armed timer: fired %d, want 2", fired)
 	}
+}
+
+func TestTimerResetAfterStop(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	tm := e.Schedule(time.Microsecond, func() { fired++ })
+	tm.Stop()
+	if tm.Reset(2 * time.Microsecond) {
+		t.Fatal("Reset after Stop should report not pending")
+	}
+	if !tm.Pending() {
+		t.Fatal("Reset after Stop should re-arm the timer")
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+}
+
+func TestTimerResetAfterShutdown(t *testing.T) {
+	// A timer surviving Engine.Shutdown must neither panic nor wedge when
+	// reset; the re-armed event simply sits in the queue of a spent
+	// engine.
+	e := NewEngine()
+	e.Spawn("daemon", func(p *Proc) { p.Sleep(time.Hour) }).MarkService()
+	tm := e.Schedule(time.Microsecond, func() {})
+	e.Run(Time(100)) // less than 1us: nothing fires
+	tm.Stop()
+	e.Shutdown()
+	if tm.Reset(time.Microsecond) {
+		t.Fatal("Reset after Shutdown of a stopped timer reported pending")
+	}
+	if !tm.Pending() {
+		t.Fatal("Reset after Shutdown should still re-arm")
+	}
+}
+
+func TestTimerResetZeroAndSpentHandles(t *testing.T) {
+	// The hardening contract: handles with no engine or no callback are
+	// inert — Reset reports false instead of dereferencing nil.
+	var nilTimer *Timer
+	if nilTimer.Reset(time.Microsecond) {
+		t.Fatal("nil timer Reset reported pending")
+	}
+	var zero Timer
+	if zero.Reset(time.Microsecond) {
+		t.Fatal("zero timer Reset reported pending")
+	}
+	if zero.Pending() {
+		t.Fatal("zero timer pending after Reset")
+	}
+	e := NewEngine()
+	nilFn := e.Schedule(time.Microsecond, nil)
+	nilFn.Stop()
+	if nilFn.Reset(time.Microsecond) || nilFn.Pending() {
+		t.Fatal("nil-callback timer must stay inert on Reset")
+	}
+	e.RunAll()
 }
 
 func TestTimerPendingLifecycle(t *testing.T) {

@@ -83,12 +83,6 @@ type bindResp struct {
 	Region string
 }
 
-// bindSeq is process-global; the generated names zero-pad it to a fixed
-// width so that message sizes derived from len(name) — and therefore the
-// virtual-time event stream — do not depend on how many bindings earlier
-// clusters in the same process created.
-var bindSeq int
-
 // Listener accepts SRPC bindings.
 type Listener struct {
 	ep   *vmmc.Endpoint
@@ -116,8 +110,7 @@ func (ln *Listener) Accept() (*Binding, error) {
 		ln.port.Send(p.P, m.From, 64, bindResp{Err: err.Error()})
 		return nil, err
 	}
-	bindSeq++
-	name := fmt.Sprintf("srpc:%d:%06d", ln.node, bindSeq)
+	name := fmt.Sprintf("srpc:%d:%06d", ln.node, ln.eth.NameSeq())
 	in := p.MapPages(regionPages, 0)
 	if _, err := ln.ep.Export(in, regionPages, vmmc.ExportOpts{Name: name}); err != nil {
 		ln.port.Send(p.P, m.From, 64, bindResp{Err: err.Error()})
@@ -135,13 +128,13 @@ func (ln *Listener) Accept() (*Binding, error) {
 // Bind establishes a client binding to a listening service.
 func Bind(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int) (*Binding, error) {
 	p := ep.Proc
-	bindSeq++
-	name := fmt.Sprintf("srpc:%d:%06d", p.M.ID, bindSeq)
+	seq := eth.NameSeq()
+	name := fmt.Sprintf("srpc:%d:%06d", p.M.ID, seq)
 	in := p.MapPages(regionPages, 0)
 	if _, err := ep.Export(in, regionPages, vmmc.ExportOpts{Name: name}); err != nil {
 		return nil, err
 	}
-	eport := eth.Bind(ether.Addr{Node: p.M.ID, Port: 50000 + bindSeq})
+	eport := eth.Bind(ether.Addr{Node: p.M.ID, Port: 50000 + seq})
 	defer eport.Close()
 	reply := eport.Call(p.P, ether.Addr{Node: serverNode, Port: port}, 64+len(name),
 		bindReq{Node: p.M.ID, Region: name})

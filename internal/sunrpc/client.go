@@ -24,20 +24,18 @@ type Client struct {
 // AUTH_NONE). Use SysAuth for AUTH_SYS.
 func (c *Client) SetCredential(cred OpaqueAuth) { c.cred = cred }
 
-var clientSeq int
-
 // Dial binds to a server's binder port over the Ethernet, establishing the
 // pair of VMMC mappings that form the stream, and returns a client for
 // (prog, vers). mode selects the Figure 5 transfer variant.
 func Dial(ep *vmmc.Endpoint, eth *ether.Network, serverNode int, prog, vers uint32, mode Mode) (*Client, error) {
 	p := ep.Proc
-	clientSeq++
-	name := fmt.Sprintf("sbl:c%d:%06d", p.M.ID, clientSeq)
+	seq := eth.NameSeq()
+	name := fmt.Sprintf("sbl:c%d:%06d", p.M.ID, seq)
 	in := p.MapPages(ringPages, 0)
 	if _, err := ep.Export(in, ringPages, vmmc.ExportOpts{Name: name}); err != nil {
 		return nil, err
 	}
-	port := eth.Bind(ether.Addr{Node: p.M.ID, Port: 20000 + clientSeq})
+	port := eth.Bind(ether.Addr{Node: p.M.ID, Port: 20000 + seq})
 	defer port.Close()
 	reply := port.Call(p.P, ether.Addr{Node: serverNode, Port: BinderPort}, 64+len(name),
 		bindReq{ClientNode: p.M.ID, ClientRegion: name, Mode: mode})

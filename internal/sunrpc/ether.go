@@ -101,12 +101,9 @@ type EtherClient struct {
 	xid   uint32
 }
 
-var etherClientSeq int
-
 // DialEther creates a baseline client of (prog, vers) on serverNode.
 func DialEther(ep *vmmc.Endpoint, eth *ether.Network, serverNode int, prog, vers uint32) (*EtherClient, error) {
-	etherClientSeq++
-	port := eth.Bind(ether.Addr{Node: ep.Proc.M.ID, Port: 30000 + etherClientSeq})
+	port := eth.Bind(ether.Addr{Node: ep.Proc.M.ID, Port: 30000 + eth.NameSeq()})
 	return &EtherClient{ep: ep, eth: eth, port: port,
 		saddr: ether.Addr{Node: serverNode, Port: EtherServerPort}, prog: prog, vers: vers}, nil
 }
