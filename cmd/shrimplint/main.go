@@ -1,15 +1,21 @@
 // Command shrimplint runs the determinism-and-discipline static analysis
-// suite over the module. It loads every non-test package, applies the five
-// analyzers (see internal/lint), and exits nonzero if any unsuppressed
-// diagnostic is found.
+// suite over the module. It loads every package — _test.go files included —
+// applies the analyzers (see internal/lint), and exits nonzero if any
+// unsuppressed diagnostic is found.
 //
 // Usage:
 //
-//	shrimplint [-json] [-list] [patterns...]
+//	shrimplint [-json] [-list] [-graph] [-notests] [-enable rules] [-disable rules] [patterns...]
 //
 // Patterns are directory prefixes relative to the module root; "./..." (or
-// no pattern) means the whole module. Suppress a finding at its site with
-// `//lint:allow <rule> <reason>` on the same line or the line above.
+// no pattern) means the whole module. -enable and -disable take comma-
+// separated rule names. -graph dumps the cross-package call graph the
+// flow-aware rules are built on. Suppress a finding at its site with
+// `//lint:allow <rule>[,<rule>] <reason>` on the same line or the line
+// above; stale allows are themselves reported.
+//
+// The summary line on stderr includes the per-rule count of suppressed
+// diagnostics, so the cost of every allow stays visible in CI logs.
 package main
 
 import (
@@ -23,28 +29,36 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as JSON (sorted by file/line/col/rule)")
 	list := flag.Bool("list", false, "list the analyzers and exit")
+	graph := flag.Bool("graph", false, "dump the cross-package call graph and exit")
+	noTests := flag.Bool("notests", false, "skip _test.go files")
+	enable := flag.String("enable", "", "comma-separated rules to run (default: all)")
+	disable := flag.String("disable", "", "comma-separated rules to skip")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: shrimplint [-json] [-list] [patterns...]\n")
+		fmt.Fprintf(os.Stderr, "usage: shrimplint [-json] [-list] [-graph] [-notests] [-enable rules] [-disable rules] [patterns...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	analyzers := lint.All()
-	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-26s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-
-	root, err := findModuleRoot()
+	analyzers, err := lint.Select(*enable, *disable)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shrimplint:", err)
 		os.Exit(2)
 	}
-	pkgs, err := lint.LoadModule(root)
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-28s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shrimplint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.LoadModuleTests(root, !*noTests)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "shrimplint:", err)
 		os.Exit(2)
@@ -55,7 +69,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	if *graph {
+		fmt.Print(lint.BuildModGraph(pkgs).DebugDump())
+		return
+	}
+
+	diags, stats := lint.RunStats(pkgs, analyzers)
 	if *jsonOut {
 		b, err := lint.JSON(diags)
 		if err != nil {
@@ -68,30 +87,13 @@ func main() {
 			fmt.Println(d)
 		}
 	}
+	summary := fmt.Sprintf("shrimplint: %d finding(s)", len(diags))
+	if s := stats.SummaryLine(); s != "" {
+		summary += "; " + s
+	}
+	fmt.Fprintln(os.Stderr, summary)
 	if len(diags) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "shrimplint: %d finding(s)\n", len(diags))
-		}
 		os.Exit(1)
-	}
-}
-
-// findModuleRoot walks upward from the working directory to the nearest
-// go.mod.
-func findModuleRoot() (string, error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", err
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
-			return dir, nil
-		}
-		parent := filepath.Dir(dir)
-		if parent == dir {
-			return "", fmt.Errorf("no go.mod found above %s", dir)
-		}
-		dir = parent
 	}
 }
 

@@ -75,7 +75,9 @@ func runOnce(mode socket.Mode, seed int64) {
 		if _, err := conn.Send(reply, 8); err != nil {
 			panic(err)
 		}
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			panic(err)
+		}
 	})
 
 	c.Spawn(0, "client", func(p *kernel.Process) {
@@ -115,7 +117,9 @@ func runOnce(mode socket.Mode, seed int64) {
 		mbps := float64(fileSize) / elapsed.Seconds() / 1e6
 		fmt.Printf("%-8s %3d KB uploaded in %8v  (%5.1f MB/s)  digest %s\n",
 			conn.Mode(), fileSize>>10, elapsed, mbps, status)
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			panic(err)
+		}
 	})
 
 	c.Run()

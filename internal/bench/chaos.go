@@ -245,7 +245,9 @@ func chaosIntegrity(tc *trace.Collector) error {
 					break
 				}
 			}
-			c.Close()
+			if err := c.Close(); err != nil {
+				fail("close: %v", err)
+			}
 		})
 	return verr
 }

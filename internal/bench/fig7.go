@@ -65,14 +65,24 @@ func socketPingPong(mode socket.Mode, size, iters int, tc *trace.Collector) (flo
 		func(c *socket.Conn, p *kernel.Process) {
 			buf := p.Alloc(size+8, hw.WordSize)
 			p.Poke(buf, make([]byte, size))
-			// Warm-up round trip.
-			c.Send(buf, size)
-			c.RecvAll(buf, size)
+			// Warm-up round trip. A silently failed send or recv would turn
+			// the measured loop into a timeout benchmark, so every round
+			// trip is checked.
+			if _, err := c.Send(buf, size); err != nil {
+				panic(err)
+			}
+			if _, err := c.RecvAll(buf, size); err != nil {
+				panic(err)
+			}
 			p.P.Sleep(time.Millisecond)
 			start = p.P.Now()
 			for i := 0; i < iters; i++ {
-				c.Send(buf, size)
-				c.RecvAll(buf, size)
+				if _, err := c.Send(buf, size); err != nil {
+					panic(err)
+				}
+				if _, err := c.RecvAll(buf, size); err != nil {
+					panic(err)
+				}
 			}
 			end = p.P.Now()
 		})
@@ -133,7 +143,9 @@ func socketStream(mode socket.Mode, size, count int, perWriteOverhead, perByte t
 					panic(err)
 				}
 			}
-			c.Close()
+			if err := c.Close(); err != nil {
+				panic(err)
+			}
 		})
 	return float64(size*count) / end.Sub(start).Seconds() / 1e6
 }

@@ -15,9 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
-	//lint:allow no-stray-concurrency worker-pool scenario runner: workers share no simulation state
 	"sync"
-	//lint:allow no-stray-concurrency worker-pool scenario runner: atomic job cursor and env counter
 	"sync/atomic"
 	"time"
 

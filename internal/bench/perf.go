@@ -14,6 +14,7 @@ import (
 
 	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
+	"shrimp/internal/lint"
 	"shrimp/internal/mem"
 	"shrimp/internal/sim"
 )
@@ -216,6 +217,24 @@ func RunPerfSuite(figIters int) BenchReport {
 		}
 		return 0
 	}))
+
+	// --- static analysis ---
+	// shrimplint runs on every `make check`, so its whole-repo wall-clock —
+	// load + type-check + call graph + all nine analyzers, tests included —
+	// is part of the edit-check loop and tracked like any other entry.
+	// Skipped when the suite runs outside a module checkout.
+	if root, err := lint.FindModuleRoot("."); err == nil {
+		add(measure("lint/whole-repo", 1, func() int64 {
+			pkgs, err := lint.LoadModuleTests(root, true)
+			if err != nil {
+				panic("lint load failed: " + err.Error())
+			}
+			if diags := lint.Run(pkgs, lint.All()); len(diags) != 0 {
+				panic(fmt.Sprintf("lint reported %d findings during bench", len(diags)))
+			}
+			return 0
+		}))
+	}
 
 	return rep
 }

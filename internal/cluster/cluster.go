@@ -220,7 +220,7 @@ func Default() *Cluster { return New(Config{}) }
 // Node returns node i.
 func (c *Cluster) Node(i int) *Node {
 	if i < 0 || i >= len(c.Nodes) {
-		panic(fmt.Sprintf("cluster: no node %d", i))
+		panic(fmt.Sprintf("cluster: no node %d", i)) //lint:allow transitive-panic harness index bug, not a runtime condition
 	}
 	return c.Nodes[i]
 }

@@ -475,6 +475,12 @@ func (d *Daemon) Unexport(proc *kernel.Process, rec *ExportRec) error {
 // write-through (or uncached) so stores reach the bus.
 func (d *Daemon) BindAU(proc *kernel.Process, rec *ImportRec, localVA kernel.VA, pages int, dstPage int, combine, timer, notify, uncached bool) error {
 	proc.Compute(LocalIPCCost)
+	// Re-validate after the charged syscall time: Compute yields, and a
+	// revocation arriving in that window frees the OPT entries this bind is
+	// about to program.
+	if rec.released {
+		return fmt.Errorf("bindau: import %q revoked", rec.Name)
+	}
 	if localVA%hw.Page != 0 {
 		return fmt.Errorf("bindau: local buffer %#x not page-aligned", localVA)
 	}

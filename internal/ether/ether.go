@@ -83,10 +83,10 @@ type Port struct {
 // port allocation is a program bug, not a runtime condition, in this model.
 func (n *Network) Bind(addr Addr) *Port {
 	if addr.Node < 0 || addr.Node >= n.nodes {
-		panic(fmt.Sprintf("ether: bind on unknown node %d", addr.Node))
+		panic(fmt.Sprintf("ether: bind on unknown node %d", addr.Node)) //lint:allow transitive-panic port allocation is a program bug, not a runtime condition (see doc comment)
 	}
 	if _, busy := n.ports[addr]; busy {
-		panic(fmt.Sprintf("ether: address %v already bound", addr))
+		panic(fmt.Sprintf("ether: address %v already bound", addr)) //lint:allow transitive-panic port allocation is a program bug, not a runtime condition (see doc comment)
 	}
 	p := &Port{net: n, addr: addr, avail: sim.NewCond(n.eng), open: true}
 	n.ports[addr] = p

@@ -97,7 +97,9 @@ func TestAllLibrariesConcurrently(t *testing.T) {
 				round++
 			}
 		}
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			t.Error(err)
+		}
 		n.Drain()
 		done["nxA"] = true
 	})

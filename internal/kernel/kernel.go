@@ -154,7 +154,7 @@ func (m *Machine) AllocFrame() mem.PFN {
 		return f
 	}
 	if int(m.nextFrame) >= m.Mem.Pages() {
-		panic(fmt.Sprintf("kernel: node %d out of physical memory", m.ID))
+		panic(fmt.Sprintf("kernel: node %d out of physical memory", m.ID)) //lint:allow transitive-panic simulated machine out of RAM: a configuration error, halting beats silently wrong figures
 	}
 	f := m.nextFrame
 	m.nextFrame++
@@ -338,7 +338,7 @@ func (p *Process) Alloc(n, align int) VA {
 			for va+VA(n) > p.heapEnd {
 				ext := p.MapPages(1, 0)
 				if ext != p.heapEnd {
-					panic("kernel: heap extension not contiguous")
+					panic("kernel: heap extension not contiguous") //lint:allow transitive-panic allocator invariant; MapPages grows the heap monotonically
 				}
 				p.heapEnd += hw.Page
 			}
@@ -370,7 +370,7 @@ func (p *Process) PTEOf(va VA) (PTE, bool) {
 func (p *Process) SetFlags(vpn VPN, flags PTEFlags) {
 	pte, ok := p.pt[vpn]
 	if !ok {
-		panic("kernel: SetFlags on unmapped page")
+		panic("kernel: SetFlags on unmapped page") //lint:allow transitive-panic kernel invariant: callers validate the mapping first (daemon BindAU checks PTEOf)
 	}
 	pte.Flags = flags
 	p.pt[vpn] = pte
@@ -401,7 +401,7 @@ func (p *Process) Mprotect(base VA, n int, pr Prot) {
 	for i := 0; i < n; i++ {
 		vpn := PageOf(base) + VPN(i)
 		if _, ok := p.pt[vpn]; !ok {
-			panic(fmt.Sprintf("kernel: %s mprotect of unmapped page va %#x", p.Name, base))
+			panic(fmt.Sprintf("kernel: %s mprotect of unmapped page va %#x", p.Name, base)) //lint:allow transitive-panic mprotect of an unmapped page is a simulated segfault: a program bug, not a runtime condition
 		}
 		if pr == ProtRW {
 			delete(p.prot, vpn)
@@ -436,10 +436,10 @@ func (p *Process) checkAccess(va VA, write bool) {
 			return
 		}
 		if p.faultFn == nil {
-			panic(fmt.Sprintf("kernel: %s protection fault va %#x (write=%v prot=%v), no fault handler", p.Name, va, write, pr))
+			panic(fmt.Sprintf("kernel: %s protection fault va %#x (write=%v prot=%v), no fault handler", p.Name, va, write, pr)) //lint:allow transitive-panic unhandled protection fault is a simulated segfault; SVM installs the handler
 		}
 		if tries == maxFaultRetries {
-			panic(fmt.Sprintf("kernel: %s fault handler made no progress on va %#x after %d retries", p.Name, va, tries))
+			panic(fmt.Sprintf("kernel: %s fault handler made no progress on va %#x after %d retries", p.Name, va, tries)) //lint:allow transitive-panic livelocked fault handler is a coherence-protocol bug; halting beats spinning forever
 		}
 		p.PageFaults++
 		if p.M.Trace != nil {
@@ -463,7 +463,7 @@ func (p *Process) checkRange(va VA, n int, write bool) {
 func (p *Process) mustPA(va VA) mem.PA {
 	pa, err := p.Translate(va)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow transitive-panic translation of an unmapped va is a simulated segfault: a program bug, not a runtime condition
 	}
 	return pa
 }
@@ -521,7 +521,7 @@ func (p *Process) WriteBytes(va VA, b []byte) {
 		vpn := PageOf(va + VA(off))
 		pte, ok := p.pt[vpn]
 		if !ok {
-			panic(fmt.Errorf("page fault: %s store va %#x", p.Name, va+VA(off)))
+			panic(fmt.Errorf("page fault: %s store va %#x", p.Name, va+VA(off))) //lint:allow transitive-panic store to an unmapped page is a simulated segfault: a program bug, not a runtime condition
 		}
 		pa := pte.Frame.Base() + mem.PA(int(va+VA(off))%hw.Page)
 		if p.auPages[vpn] {

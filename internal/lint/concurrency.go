@@ -12,15 +12,21 @@ import (
 // are forbidden. The Proc coroutine discipline guarantees exactly one
 // runnable goroutine, so such primitives are at best redundant and at worst
 // introduce host-scheduler ordering into the virtual-time run.
+//
+// Test files are exempt: test helpers drive the simulator from the outside
+// (the go test harness itself is concurrent) and never run on a datapath.
 func ConcurrencyAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "no-stray-concurrency",
-		Doc:  "forbid go statements, channels, select, and sync outside internal/sim",
+		Doc:  "forbid go statements, channels, select, and sync outside internal/sim (test files exempt)",
 		Run: func(p *Package, report func(pos token.Pos, msg string)) {
 			if p.IsSimItself() {
 				return
 			}
 			eachFile(p, func(f *ast.File) {
+				if p.IsTestFile(f) {
+					return
+				}
 				ast.Inspect(f, func(n ast.Node) bool {
 					switch n := n.(type) {
 					case *ast.GoStmt:

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatOrderAnalyzer returns the float-accumulation-order rule: a floating-
+// point reduction (+=, -=, *=, /=, or x = x + y) into an accumulator that
+// outlives the iteration is flagged when the iteration order is not provably
+// deterministic — a range over a map, or a callback-set visitor (Range /
+// ForEach / Each / Visit / Walk). Floating-point addition is not
+// associative, so the same values folded in a different order produce a
+// different sum; Gdsum, the Jacobi residual, and the in-network collective
+// reductions all feed figures that must be bit-for-bit reproducible.
+func FloatOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "float-accumulation-order",
+		Doc:  "flag float reductions driven by map ranges or callback sets (order not deterministic)",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if !p.SimReachable || p.Info == nil {
+				return
+			}
+			eachFile(p, func(f *ast.File) {
+				ast.Inspect(f, func(n ast.Node) bool {
+					switch n := n.(type) {
+					case *ast.RangeStmt:
+						tv, ok := p.Info.Types[n.X]
+						if !ok || tv.Type == nil {
+							return true
+						}
+						if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+							return true
+						}
+						p.findFloatAccum(n.Body, n.Body.Pos(), "map iteration order", report)
+					case *ast.CallExpr:
+						if !callbackVisitor(calleeName(n)) || len(n.Args) == 0 {
+							return true
+						}
+						if lit, ok := n.Args[len(n.Args)-1].(*ast.FuncLit); ok {
+							p.findFloatAccum(lit.Body, lit.Pos(), fmt.Sprintf(
+								"the %s callback's visit order", calleeName(n)), report)
+						}
+					}
+					return true
+				})
+			})
+		},
+	}
+}
+
+// callbackVisitor names the methods whose callback invocation order is not
+// a documented, deterministic sequence.
+func callbackVisitor(name string) bool {
+	switch name {
+	case "Range", "ForEach", "Each", "Visit", "Walk", "Iterate":
+		return true
+	}
+	return false
+}
+
+// findFloatAccum reports floating-point op-assign reductions (and the
+// spelled-out x = x + y form) inside body whose accumulator is declared
+// outside it.
+func (p *Package) findFloatAccum(body *ast.BlockStmt, bodyPos token.Pos, source string, report func(pos token.Pos, msg string)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		reduces := false
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			reduces = true
+		case token.ASSIGN:
+			// x = x + y (either operand order).
+			if bin, ok := as.Rhs[0].(*ast.BinaryExpr); ok {
+				switch bin.Op {
+				case token.ADD, token.SUB, token.MUL, token.QUO:
+					for _, side := range []ast.Expr{bin.X, bin.Y} {
+						if id, ok := side.(*ast.Ident); ok && useObj(p, id) != nil && useObj(p, id) == useObj(p, lhs) {
+							reduces = true
+						}
+					}
+				}
+			}
+		}
+		if !reduces {
+			return true
+		}
+		obj := useObj(p, lhs)
+		if obj == nil || !isFloat(obj.Type()) {
+			return true
+		}
+		// Accumulators declared inside the body are per-iteration
+		// temporaries; only state crossing iterations is order-sensitive.
+		if obj.Pos() >= bodyPos && obj.Pos() < body.End() {
+			return true
+		}
+		report(as.Pos(), fmt.Sprintf(
+			"floating-point reduction into %s is driven by %s, which is not deterministic; iterate over sorted keys or accumulate into an ordered slice",
+			lhs.Name, source))
+		return true
+	})
+}
+
+func isFloat(t types.Type) bool {
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&(types.IsFloat|types.IsComplex) != 0
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the per-function half of the shared analysis substrate: a
+// forward dataflow walker that enumerates the control-flow paths of a
+// function body, carrying an abstract state (tracked variable -> analyzer-
+// defined value) along each. Flow-aware analyzers (pooled-ownership,
+// span-balance) implement flowClient; the walker owns all control-flow
+// interpretation — branching, loops, switches, defers, terminating calls —
+// so each analyzer only states what an expression does to its variables and
+// what must hold when a path leaves the function.
+//
+// Approximations, chosen so a wrong answer can only lose a report, never
+// invent one:
+//
+//   - loop bodies execute zero times or once (loop-carried state is not
+//     modeled);
+//   - break and continue jump to after the loop;
+//   - goto abandons the path;
+//   - paths beyond maxFlowPaths per join are dropped (deterministically);
+//   - panic and t.Fatal-style terminators end a path without the exit
+//     obligation check (a crashing path owes no cleanup).
+
+// flowState is one path's abstract state.
+type flowState map[types.Object]int
+
+func (s flowState) clone() flowState {
+	c := make(flowState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// flowClient is implemented by flow-aware analyzers.
+type flowClient interface {
+	// eval applies the effect of one evaluated statement or expression.
+	// The walker does not descend into the node; the client inspects it
+	// (and must treat nested *ast.FuncLit bodies as opaque — each literal
+	// is separately walked as its own scope via eachFuncBody).
+	eval(n ast.Node, vars flowState)
+	// exit is called once per path leaving the function (explicit return
+	// or falling off the end), after deferred calls were replayed.
+	exit(at token.Pos, vars flowState)
+}
+
+// flowPath is one control-flow path context.
+type flowPath struct {
+	vars   flowState
+	defers []*ast.CallExpr // replayed LIFO at exit
+}
+
+func (p *flowPath) clone() *flowPath {
+	return &flowPath{
+		vars:   p.vars.clone(),
+		defers: append([]*ast.CallExpr(nil), p.defers...),
+	}
+}
+
+// maxFlowPaths bounds path enumeration per function. Functions in this tree
+// are small; a function that branches past the cap has its extra paths
+// dropped (fewer reports, never spurious ones).
+const maxFlowPaths = 64
+
+type flowWalker struct {
+	pkg    *Package
+	client flowClient
+	loops  []*loopFrame
+}
+
+// loopFrame collects the paths that leave a loop via break or continue.
+type loopFrame struct{ brk []*flowPath }
+
+// walkFlow runs the client over every control-flow path of body.
+func walkFlow(pkg *Package, body *ast.BlockStmt, client flowClient) {
+	w := &flowWalker{pkg: pkg, client: client}
+	for _, p := range w.stmts(body.List, []*flowPath{{vars: flowState{}}}) {
+		w.exitPath(body.End(), p)
+	}
+}
+
+func (w *flowWalker) exitPath(at token.Pos, p *flowPath) {
+	for i := len(p.defers) - 1; i >= 0; i-- {
+		w.client.eval(p.defers[i], p.vars)
+	}
+	w.client.exit(at, p.vars)
+}
+
+func (w *flowWalker) evalAll(n ast.Node, paths []*flowPath) {
+	if n == nil {
+		return
+	}
+	for _, p := range paths {
+		w.client.eval(n, p.vars)
+	}
+}
+
+func (w *flowWalker) capped(paths []*flowPath) []*flowPath {
+	if len(paths) > maxFlowPaths {
+		return paths[:maxFlowPaths]
+	}
+	return paths
+}
+
+func clonePaths(paths []*flowPath) []*flowPath {
+	out := make([]*flowPath, len(paths))
+	for i, p := range paths {
+		out[i] = p.clone()
+	}
+	return out
+}
+
+func (w *flowWalker) stmts(list []ast.Stmt, paths []*flowPath) []*flowPath {
+	for _, s := range list {
+		paths = w.stmt(s, paths)
+		if len(paths) == 0 {
+			return nil
+		}
+	}
+	return paths
+}
+
+// stmt interprets one statement over every live path and returns the paths
+// that fall through to the next statement.
+func (w *flowWalker) stmt(s ast.Stmt, paths []*flowPath) []*flowPath {
+	if len(paths) == 0 {
+		return nil
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, paths)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, paths)
+	case *ast.ExprStmt:
+		w.evalAll(s.X, paths)
+		if isTerminatingCall(w.pkg, s.X) {
+			return nil
+		}
+		return paths
+	case *ast.DeferStmt:
+		// The receiver and arguments are evaluated at the defer statement;
+		// the call itself runs at function exit, where it is replayed.
+		for _, arg := range s.Call.Args {
+			w.evalAll(arg, paths)
+		}
+		for _, p := range paths {
+			p.defers = append(p.defers, s.Call)
+		}
+		return paths
+	case *ast.ReturnStmt:
+		w.evalAll(s, paths)
+		for _, p := range paths {
+			w.exitPath(s.Pos(), p)
+		}
+		return nil
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK, token.CONTINUE:
+			if len(w.loops) > 0 {
+				f := w.loops[len(w.loops)-1]
+				f.brk = append(f.brk, paths...)
+			}
+			return nil
+		case token.GOTO:
+			return nil
+		}
+		return paths // fallthrough: keep going within the case body
+	case *ast.IfStmt:
+		if s.Init != nil {
+			paths = w.stmt(s.Init, paths)
+		}
+		w.evalAll(s.Cond, paths)
+		thenOut := w.stmt(s.Body, clonePaths(paths))
+		elseOut := paths
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, paths)
+		}
+		return w.capped(append(thenOut, elseOut...))
+	case *ast.ForStmt:
+		if s.Init != nil {
+			paths = w.stmt(s.Init, paths)
+		}
+		w.evalAll(s.Cond, paths)
+		var skip []*flowPath
+		if s.Cond != nil {
+			skip = clonePaths(paths) // loop body runs zero times
+		}
+		w.loops = append(w.loops, &loopFrame{})
+		body := w.stmt(s.Body, paths)
+		if s.Post != nil {
+			body = w.stmt(s.Post, body)
+		}
+		f := w.loops[len(w.loops)-1]
+		w.loops = w.loops[:len(w.loops)-1]
+		if s.Cond == nil {
+			body = nil // for{}: only break leaves the loop
+		}
+		return w.capped(append(append(skip, body...), f.brk...))
+	case *ast.RangeStmt:
+		w.evalAll(s, paths)
+		skip := clonePaths(paths) // empty collection
+		w.loops = append(w.loops, &loopFrame{})
+		body := w.stmt(s.Body, paths)
+		f := w.loops[len(w.loops)-1]
+		w.loops = w.loops[:len(w.loops)-1]
+		return w.capped(append(append(skip, body...), f.brk...))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			paths = w.stmt(s.Init, paths)
+		}
+		w.evalAll(s.Tag, paths)
+		return w.caseClauses(s.Body, paths)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			paths = w.stmt(s.Init, paths)
+		}
+		w.evalAll(s.Assign, paths)
+		return w.caseClauses(s.Body, paths)
+	case *ast.SelectStmt:
+		return w.caseClauses(s.Body, paths)
+	default:
+		// Assignments, declarations, inc/dec, send, go, empty: straight-
+		// line effects the client interprets itself.
+		w.evalAll(s, paths)
+		return paths
+	}
+}
+
+// caseClauses walks a switch/select body: each clause runs on its own copy
+// of the incoming paths; with no default clause the no-match paths fall
+// through unchanged.
+func (w *flowWalker) caseClauses(body *ast.BlockStmt, paths []*flowPath) []*flowPath {
+	var out []*flowPath
+	hasDefault := false
+	for _, cs := range body.List {
+		clones := clonePaths(paths)
+		var stmts []ast.Stmt
+		switch c := cs.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			for _, e := range c.List {
+				w.evalAll(e, clones)
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				clones = w.stmt(c.Comm, clones)
+			}
+			stmts = c.Body
+		}
+		out = append(out, w.stmts(stmts, clones)...)
+	}
+	if !hasDefault {
+		out = append(out, paths...)
+	}
+	return w.capped(out)
+}
+
+// isTerminatingCall reports whether e is a call that never returns: the
+// panic builtin, or a t.Fatal / os.Exit-style method by name.
+func isTerminatingCall(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic" && isBuiltin(p, fn)
+	case *ast.SelectorExpr:
+		switch fn.Sel.Name {
+		case "Fatal", "Fatalf", "Fatalln", "FailNow", "Skip", "Skipf", "SkipNow", "Exit", "Goexit":
+			return true
+		}
+	}
+	return false
+}
+
+// eachFuncBody invokes fn for every function body in the package: declared
+// functions and methods, and every function literal — each literal is its
+// own flow scope (event callbacks hold much of the datapath).
+func eachFuncBody(p *Package, fn func(body *ast.BlockStmt)) {
+	eachFile(p, func(f *ast.File) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	})
+}

@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/importer"
 	"go/parser"
@@ -11,32 +12,58 @@ import (
 	"testing"
 )
 
-// loadFixture type-checks one synthetic source file as a package with the
-// given import path, using the same best-effort machinery as LoadModule.
-func loadFixture(t *testing.T, path, src string, simReachable bool) *Package {
+// fixture is one synthetic package for loadFixtures.
+type fixture struct {
+	path         string
+	src          string
+	simReachable bool
+}
+
+// loadFixtures type-checks synthetic packages in order, registering each so
+// later fixtures can import earlier ones — the same machinery LoadModule uses,
+// so cross-package analyses (the call graph) resolve identically.
+func loadFixtures(t *testing.T, fixtures ...fixture) []*Package {
 	t.Helper()
 	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
-	if err != nil {
-		t.Fatalf("parse fixture: %v", err)
-	}
 	imp := &moduleImporter{
 		std:    importer.ForCompiler(fset, "source", nil),
 		module: map[string]*types.Package{},
 		fakes:  map[string]*types.Package{},
 	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	var pkgs []*Package
+	for i, fx := range fixtures {
+		name := "fixture.go"
+		if i > 0 {
+			name = fmt.Sprintf("fixture%d.go", i+1)
+		}
+		f, err := parser.ParseFile(fset, name, fx.src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse fixture %s: %v", fx.path, err)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp, Error: func(error) {}}
+		tpkg, _ := conf.Check(fx.path, fset, []*ast.File{f}, info)
+		if tpkg != nil {
+			imp.module[fx.path] = tpkg
+		}
+		pkgs = append(pkgs, &Package{
+			Path: fx.path, Fset: fset, Files: []*ast.File{f},
+			Types: tpkg, Info: info, SimReachable: fx.simReachable,
+		})
 	}
-	conf := types.Config{Importer: imp, Error: func(error) {}}
-	tpkg, _ := conf.Check(path, fset, []*ast.File{f}, info)
-	return &Package{
-		Path: path, Fset: fset, Files: []*ast.File{f},
-		Types: tpkg, Info: info, SimReachable: simReachable,
-	}
+	return pkgs
+}
+
+// loadFixture type-checks one synthetic source file as a package with the
+// given import path.
+func loadFixture(t *testing.T, path, src string, simReachable bool) *Package {
+	t.Helper()
+	return loadFixtures(t, fixture{path: path, src: src, simReachable: simReachable})[0]
 }
 
 // runOne applies a single analyzer (plus suppression handling) to a fixture.
@@ -188,6 +215,16 @@ func f() {
 			}
 		})
 	}
+	t.Run("clean: test files are exempt", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+func helper() {
+	done := make(chan struct{})
+	go func() { close(done) }()
+	<-done
+}`, true)
+		p.markTests(p.Files) // pretend fixture.go is fixture_test.go
+		wantRules(t, runOne(ConcurrencyAnalyzer(), p))
+	})
 }
 
 func TestMapRange(t *testing.T) {
@@ -300,75 +337,542 @@ func f() int { return rand.Intn(10) }`,
 	}
 }
 
-func TestPanicPath(t *testing.T) {
-	cases := []struct {
-		name string
-		path string
-		src  string
-		want int
-	}{
-		{
-			name: "hit: panic directly in exported func",
-			path: "shrimp/internal/socket",
-			src: `package socket
+func TestModGraph(t *testing.T) {
+	pkgs := loadFixtures(t,
+		fixture{path: "shrimp/internal/kernel", src: `package kernel
+func MustPA(x int) int {
+	if x < 0 {
+		panic("bad pa")
+	}
+	return x
+}`},
+		fixture{path: "shrimp/internal/nx", src: `package nx
+import "shrimp/internal/kernel"
+type NX struct{}
+func (n *NX) Csend(x int) int { return n.send(x) }
+func (n *NX) send(x int) int { return kernel.MustPA(x) }`},
+	)
+	g := BuildModGraph(pkgs)
+	for _, key := range []string{
+		"shrimp/internal/kernel.MustPA",
+		"shrimp/internal/nx.NX.Csend",
+		"shrimp/internal/nx.NX.send",
+	} {
+		if g.Nodes[key] == nil {
+			t.Fatalf("graph is missing node %s; have %v", key, g.SortedKeys())
+		}
+	}
+	// The cross-package edge must resolve through type info.
+	edges := g.Edges["shrimp/internal/nx.NX.send"]
+	found := false
+	for _, e := range edges {
+		if e == "shrimp/internal/kernel.MustPA" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("send -> MustPA edge missing; edges: %v", edges)
+	}
+	parent := g.Reach([]string{"shrimp/internal/nx.NX.Csend"})
+	if _, ok := parent["shrimp/internal/kernel.MustPA"]; !ok {
+		t.Fatalf("MustPA not reachable from Csend; parent map: %v", parent)
+	}
+	chain := Chain(parent, "shrimp/internal/kernel.MustPA")
+	want := "internal/nx.NX.Csend -> internal/nx.NX.send -> internal/kernel.MustPA"
+	if chain != want {
+		t.Fatalf("chain = %q, want %q", chain, want)
+	}
+}
+
+func TestTransitivePanic(t *testing.T) {
+	t.Run("hit: panic directly in exported datapath func", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/socket", `package socket
 func Send(n int) {
 	if n < 0 {
 		panic("negative")
 	}
-}`,
-			want: 1,
-		},
-		{
-			name: "hit: panic in helper reachable from exported method",
-			path: "shrimp/internal/nx",
-			src: `package nx
-type NX struct{}
-func (n *NX) Csend(b []byte) error { return n.send(b) }
-func (n *NX) send(b []byte) error {
-	if len(b) == 0 {
-		panic("empty")
+}`, true)
+		wantRules(t, runOne(TransitivePanicAnalyzer(), p), "transitive-panic")
+	})
+	t.Run("hit: panic in another package reached through the call graph", func(t *testing.T) {
+		pkgs := loadFixtures(t,
+			fixture{path: "shrimp/internal/kernel", src: `package kernel
+func MustPA(x int) int {
+	if x < 0 {
+		panic("bad pa")
 	}
-	return nil
-}`,
-			want: 1,
-		},
-		{
-			name: "clean: panic in unexported code not reachable from exports",
-			path: "shrimp/internal/vmmc",
-			src: `package vmmc
+	return x
+}`},
+			fixture{path: "shrimp/internal/nx", src: `package nx
+import "shrimp/internal/kernel"
+type NX struct{}
+func (n *NX) Csend(x int) int { return kernel.MustPA(x) }`},
+		)
+		diags := Run(pkgs, []*Analyzer{TransitivePanicAnalyzer()})
+		wantRules(t, diags, "transitive-panic")
+		if !strings.Contains(diags[0].Msg, "internal/nx.NX.Csend -> internal/kernel.MustPA") {
+			t.Fatalf("diagnostic should carry the call chain, got: %s", diags[0].Msg)
+		}
+	})
+	t.Run("clean: panic not reachable from any export", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/vmmc", `package vmmc
 func Attach() {}
-func debugOnly() { panic("never wired up") }`,
-			want: 0,
-		},
-		{
-			name: "clean: errors returned instead of panics",
-			path: "shrimp/internal/sunrpc",
-			src: `package sunrpc
+func debugOnly() { panic("never wired up") }`, true)
+		wantRules(t, runOne(TransitivePanicAnalyzer(), p))
+	})
+	t.Run("clean: errors returned instead of panics", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/sunrpc", `package sunrpc
 import "errors"
 func Serve(n int) error {
 	if n < 0 {
 		return errors.New("bad n")
 	}
 	return nil
+}`, true)
+		wantRules(t, runOne(TransitivePanicAnalyzer(), p))
+	})
+	t.Run("clean: panic below a non-datapath surface only", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/mesh", `package mesh
+func Transmit() { boom() }
+func boom() { panic("boom") }`, true)
+		wantRules(t, runOne(TransitivePanicAnalyzer(), p))
+	})
+}
+
+// pooledDefs gives fixtures the GetBuf/PutBuf pool surface and a sink.
+const pooledDefs = `package x
+type Net struct{}
+func (Net) GetBuf() []byte { return nil }
+func (Net) PutBuf(b []byte) {}
+func consume(b []byte) {}
+`
+
+func TestPooledOwnership(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "hit: leak on early return",
+			src: pooledDefs + `
+func f(n Net, bad bool) {
+	b := n.GetBuf()
+	if bad {
+		return
+	}
+	n.PutBuf(b)
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: double release",
+			src: pooledDefs + `
+func f(n Net) {
+	b := n.GetBuf()
+	n.PutBuf(b)
+	n.PutBuf(b)
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: use after release",
+			src: pooledDefs + `
+func f(n Net) byte {
+	b := n.GetBuf()
+	n.PutBuf(b)
+	return b[0]
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: acquired and immediately dropped",
+			src: pooledDefs + `
+func f(n Net) {
+	n.GetBuf()
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: leak when switch has no default",
+			src: pooledDefs + `
+func f(n Net, mode int) {
+	b := n.GetBuf()
+	switch mode {
+	case 0:
+		n.PutBuf(b)
+	}
+}`,
+			want: 1,
+		},
+		{
+			name: "clean: released on the straight path",
+			src: pooledDefs + `
+func f(n Net, data []byte) {
+	b := n.GetBuf()[:0]
+	b = append(b, data...)
+	n.PutBuf(b)
 }`,
 			want: 0,
 		},
 		{
-			name: "clean: panic outside the datapath packages is out of scope",
-			path: "shrimp/internal/daemon",
-			src: `package daemon
-func Serve() { panic("boom") }`,
+			name: "clean: ownership forwarded to a callee",
+			src: pooledDefs + `
+func f(n Net) {
+	b := n.GetBuf()
+	consume(b)
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: returned buffer forwards ownership",
+			src: pooledDefs + `
+func f(n Net) []byte {
+	b := n.GetBuf()
+	return b
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: released inside every loop iteration",
+			src: pooledDefs + `
+func f(n Net, xs [][]byte) {
+	for _, x := range xs {
+		b := n.GetBuf()
+		b = append(b, x...)
+		n.PutBuf(b)
+	}
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: borrowed by len/copy before release",
+			src: pooledDefs + `
+func f(n Net, dst []byte) int {
+	b := n.GetBuf()
+	k := copy(dst, b)
+	k += len(b)
+	n.PutBuf(b)
+	return k
+}`,
 			want: 0,
 		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			p := loadFixture(t, tc.path, tc.src, true)
-			diags := runOne(PanicPathAnalyzer(), p)
+			p := loadFixture(t, "shrimp/internal/x", tc.src, true)
+			diags := runOne(PooledOwnershipAnalyzer(), p)
 			if len(diags) != tc.want {
 				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
 			}
 		})
+	}
+}
+
+// spanDefs gives fixtures the trace Begin/End surface.
+const spanDefs = `package x
+import "errors"
+var errBad = errors.New("bad")
+type OpenSpan struct{}
+func (s *OpenSpan) End() {}
+type TC struct{}
+func (TC) Begin(track, name string) *OpenSpan { return &OpenSpan{} }
+`
+
+func TestSpanBalance(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "hit: early error return skips End",
+			src: spanDefs + `
+func f(tc TC, bad bool) error {
+	sp := tc.Begin("t", "f")
+	if bad {
+		return errBad
+	}
+	sp.End()
+	return nil
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: handle discarded at the call",
+			src: spanDefs + `
+func f(tc TC) {
+	tc.Begin("t", "f")
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: handle overwritten while open",
+			src: spanDefs + `
+func f(tc TC) {
+	sp := tc.Begin("t", "a")
+	sp = tc.Begin("t", "b")
+	sp.End()
+}`,
+			want: 1,
+		},
+		{
+			name: "clean: deferred End covers every path",
+			src: spanDefs + `
+func f(tc TC, bad bool) error {
+	sp := tc.Begin("t", "f")
+	defer sp.End()
+	if bad {
+		return errBad
+	}
+	return nil
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: ended on each branch",
+			src: spanDefs + `
+func f(tc TC, bad bool) error {
+	sp := tc.Begin("t", "f")
+	if bad {
+		sp.End()
+		return errBad
+	}
+	sp.End()
+	return nil
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: returned handle escapes the obligation",
+			src: spanDefs + `
+func f(tc TC) *OpenSpan {
+	sp := tc.Begin("t", "f")
+	return sp
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: handle passed onward escapes the obligation",
+			src: spanDefs + `
+func keep(sp *OpenSpan) {}
+func f(tc TC) {
+	sp := tc.Begin("t", "f")
+	keep(sp)
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, "shrimp/internal/x", tc.src, true)
+			diags := runOne(SpanBalanceAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestCheckedErrors(t *testing.T) {
+	cases := []struct {
+		name         string
+		path         string
+		src          string
+		simReachable bool
+		want         int
+	}{
+		{
+			name: "hit: bare call and blanked error",
+			path: "shrimp/internal/socket",
+			src: `package socket
+import "errors"
+func Dial() error { return errors.New("x") }
+func use() {
+	Dial()
+	_ = Dial()
+}`,
+			simReachable: true,
+			want:         2,
+		},
+		{
+			name: "hit: multi-result call with error blanked",
+			path: "shrimp/internal/socket",
+			src: `package socket
+func Recv() (int, error) { return 0, nil }
+func use() int {
+	n, _ := Recv()
+	return n
+}`,
+			simReachable: true,
+			want:         1,
+		},
+		{
+			name: "clean: error checked",
+			path: "shrimp/internal/socket",
+			src: `package socket
+import "errors"
+func Dial() error { return errors.New("x") }
+func use() error {
+	if err := Dial(); err != nil {
+		return err
+	}
+	return nil
+}`,
+			simReachable: true,
+			want:         0,
+		},
+		{
+			name: "clean: unexported callee is not a protocol surface",
+			path: "shrimp/internal/socket",
+			src: `package socket
+import "errors"
+func dial() error { return errors.New("x") }
+func use() { dial() }`,
+			simReachable: true,
+			want:         0,
+		},
+		{
+			name: "clean: callee outside the error-surface packages",
+			path: "shrimp/internal/mesh",
+			src: `package mesh
+import "errors"
+func Send() error { return errors.New("x") }
+func use() { Send() }`,
+			simReachable: true,
+			want:         0,
+		},
+		{
+			name: "clean: not sim-reachable",
+			path: "shrimp/internal/socket",
+			src: `package socket
+import "errors"
+func Dial() error { return errors.New("x") }
+func use() { Dial() }`,
+			simReachable: false,
+			want:         0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, tc.path, tc.src, tc.simReachable)
+			diags := runOne(CheckedErrorsAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestFloatOrder(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "hit: sum accumulated over a map range",
+			src: `package x
+func f(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}`,
+			want: 1,
+		},
+		{
+			name: "hit: spelled-out x = x + y inside a callback visitor",
+			src: `package x
+type set struct{}
+func (set) Range(fn func(float64)) {}
+func f(s set) float64 {
+	total := 0.0
+	s.Range(func(v float64) {
+		total = total + v
+	})
+	return total
+}`,
+			want: 1,
+		},
+		{
+			name: "clean: slice range has a defined order",
+			src: `package x
+func f(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: integer accumulation is associative",
+			src: `package x
+func f(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}`,
+			want: 0,
+		},
+		{
+			name: "clean: per-iteration float temporary",
+			src: `package x
+func f(m map[int][]float64) int {
+	count := 0
+	for _, vs := range m {
+		local := 0.0
+		for _, v := range vs {
+			local += v
+		}
+		if local > 1 {
+			count++
+		}
+	}
+	return count
+}`,
+			want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := loadFixture(t, "shrimp/internal/x", tc.src, true)
+			diags := runOne(FloatOrderAnalyzer(), p)
+			if len(diags) != tc.want {
+				t.Fatalf("got %d diagnostics, want %d: %v", len(diags), tc.want, diags)
+			}
+		})
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\",\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All()))
+	}
+	only, err := Select("no-wallclock", "")
+	if err != nil || len(only) != 1 || only[0].Name != "no-wallclock" {
+		t.Fatalf("enable list broken: %v, %v", only, err)
+	}
+	without, err := Select("", "transitive-panic")
+	if err != nil || len(without) != len(All())-1 {
+		t.Fatalf("disable list broken: %d analyzers, err %v", len(without), err)
+	}
+	for _, a := range without {
+		if a.Name == "transitive-panic" {
+			t.Fatal("disabled analyzer still present")
+		}
+	}
+	if _, err := Select("no-such-rule", ""); err == nil {
+		t.Fatal("unknown rule in enable list should error")
+	}
+	if _, err := Select("", "no-such-rule"); err == nil {
+		t.Fatal("unknown rule in disable list should error")
 	}
 }
 
@@ -396,6 +900,8 @@ func f() time.Time {
 	//lint:allow no-unseeded-rand wrong rule
 	return time.Now()
 }`, true)
+		// The wrong-rule allow is not stale (its rule is not enabled in this
+		// run), so only the finding itself surfaces.
 		wantRules(t, runOne(WallclockAnalyzer(), p), "no-wallclock")
 	})
 	t.Run("missing reason is itself reported", func(t *testing.T) {
@@ -407,6 +913,45 @@ func f() time.Time {
 }`, true)
 		// The malformed directive is reported and does not suppress.
 		wantRules(t, runOne(WallclockAnalyzer(), p), "lint-allow", "no-wallclock")
+	})
+	t.Run("one directive suppresses multiple rules", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+import (
+	"math/rand"
+	"time"
+)
+func f() int {
+	//lint:allow no-wallclock,no-unseeded-rand fixture exercises the multi-rule allow
+	return int(time.Now().Unix()) + rand.Intn(10)
+}`, true)
+		diags, stats := RunStats([]*Package{p}, []*Analyzer{WallclockAnalyzer(), RandAnalyzer()})
+		wantRules(t, diags)
+		if stats.Suppressed["no-wallclock"] != 1 || stats.Suppressed["no-unseeded-rand"] != 1 {
+			t.Fatalf("suppression counts wrong: %v", stats.Suppressed)
+		}
+		if got := stats.SummaryLine(); got != "suppressed: no-unseeded-rand=1 no-wallclock=1" {
+			t.Fatalf("summary line = %q", got)
+		}
+	})
+	t.Run("stale allow is reported", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+func f() int {
+	//lint:allow no-wallclock nothing left to suppress here
+	return 1
+}`, true)
+		diags := runOne(WallclockAnalyzer(), p)
+		wantRules(t, diags, "lint-allow")
+		if !strings.Contains(diags[0].Msg, "stale suppression") {
+			t.Fatalf("want stale-suppression message, got: %s", diags[0].Msg)
+		}
+	})
+	t.Run("allow for a disabled rule is not stale", func(t *testing.T) {
+		p := loadFixture(t, "shrimp/internal/x", `package x
+func f() int {
+	//lint:allow no-wallclock the rule is not enabled in this run
+	return 1
+}`, true)
+		wantRules(t, runOne(RandAnalyzer(), p))
 	})
 }
 
@@ -433,9 +978,37 @@ func f() time.Time { return time.Now() }`, true)
 	}
 }
 
-// TestRepoIsClean runs the full suite over the real module and requires zero
-// findings: the determinism contract holds on the committed tree. If this
-// fails, either fix the violation or add a //lint:allow with a reason.
+// TestDiagnosticOrder checks the stable sort satellite: findings from several
+// analyzers over several files come out ordered by file, line, column, rule.
+func TestDiagnosticOrder(t *testing.T) {
+	pkgs := loadFixtures(t,
+		fixture{path: "shrimp/internal/x", simReachable: true, src: `package x
+import "time"
+func f() time.Time { return time.Now() }`},
+		fixture{path: "shrimp/internal/y", simReachable: true, src: `package y
+import (
+	"math/rand"
+	"time"
+)
+func g() int { return int(time.Now().Unix()) + rand.Intn(10) }`},
+	)
+	diags := Run(pkgs, []*Analyzer{RandAnalyzer(), WallclockAnalyzer()})
+	if len(diags) != 3 {
+		t.Fatalf("want 3 diagnostics, got %v", diags)
+	}
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) ||
+			(a.File == b.File && a.Line == b.Line && a.Col > b.Col) {
+			t.Fatalf("diagnostics out of order: %v before %v", a, b)
+		}
+	}
+}
+
+// TestRepoIsClean runs the full suite over the real module — test files
+// included — and requires zero findings: the determinism contract holds on
+// the committed tree. If this fails, either fix the violation or add a
+// //lint:allow with a reason.
 func TestRepoIsClean(t *testing.T) {
 	root, err := filepath.Abs(filepath.Join("..", ".."))
 	if err != nil {
@@ -448,14 +1021,23 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loader found only %d packages; expected the whole module", len(pkgs))
 	}
-	var simReachable int
+	var simReachable, withTests, external int
 	for _, p := range pkgs {
 		if p.SimReachable {
 			simReachable++
 		}
+		if len(p.test) > 0 {
+			withTests++
+		}
+		if p.TestOf != "" {
+			external++
+		}
 	}
 	if simReachable < 5 {
 		t.Fatalf("only %d sim-reachable packages; reachability computation looks broken", simReachable)
+	}
+	if withTests < 5 {
+		t.Fatalf("only %d packages carry test files; the test-loading pass looks broken", withTests)
 	}
 	diags := Run(pkgs, All())
 	for _, d := range diags {

@@ -13,16 +13,29 @@ import (
 	"strings"
 )
 
-// LoadModule discovers, parses, and type-checks every non-test package of
-// the Go module rooted at root, without shelling out to the go tool and
-// without any dependency beyond the standard library.
+// LoadModule discovers, parses, and type-checks every package of the Go
+// module rooted at root — including _test.go files — without shelling out to
+// the go tool and without any dependency beyond the standard library.
 //
 // Standard-library imports are type-checked from GOROOT source via the
 // stdlib "source" importer; module-internal imports are resolved against the
 // packages being loaded (checked in dependency order). Type checking is
 // best-effort: a package that fails to fully check still yields partial type
 // information, and analyzers degrade to syntactic matching.
+//
+// Test handling: non-test sources are checked first, in topological import
+// order, and registered for cross-package resolution. Then each package that
+// has in-package test files is re-checked with them included (every module
+// package is resolvable by that point, so test files may import packages the
+// non-test sources do not). External test packages (package foo_test) become
+// their own *Package with path "<pkg>_test", as do directories holding only
+// test files.
 func LoadModule(root string) ([]*Package, error) {
+	return LoadModuleTests(root, true)
+}
+
+// LoadModuleTests is LoadModule with test-file analysis switchable off.
+func LoadModuleTests(root string, includeTests bool) ([]*Package, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
@@ -36,8 +49,25 @@ func LoadModule(root string) ([]*Package, error) {
 	type node struct {
 		path  string
 		dir   string
-		files []*ast.File
-		deps  []string // module-internal imports
+		files []*ast.File // non-test sources
+		// inTests are _test.go files in the package itself; extTests are
+		// _test.go files declaring package <name>_test.
+		inTests  []*ast.File
+		extTests []*ast.File
+		deps     []string // module-internal imports of the non-test files
+		testDeps []string // module-internal imports of the test files
+	}
+	internalDeps := func(files []*ast.File) []string {
+		var deps []string
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				ip := strings.Trim(imp.Path.Value, `"`)
+				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
+					deps = append(deps, ip)
+				}
+			}
+		}
+		return deps
 	}
 	nodes := map[string]*node{}
 	for _, dir := range dirs {
@@ -49,27 +79,30 @@ func LoadModule(root string) ([]*Package, error) {
 		if rel != "." {
 			path = modPath + "/" + filepath.ToSlash(rel)
 		}
-		files, err := parseDir(fset, dir)
+		files, tests, err := parseDir(fset, dir, includeTests)
 		if err != nil {
 			return nil, err
 		}
-		if len(files) == 0 {
+		if len(files) == 0 && len(tests) == 0 {
 			continue
 		}
-		n := &node{path: path, dir: dir, files: files}
-		for _, f := range files {
-			for _, imp := range f.Imports {
-				ip := strings.Trim(imp.Path.Value, `"`)
-				if ip == modPath || strings.HasPrefix(ip, modPath+"/") {
-					n.deps = append(n.deps, ip)
-				}
+		n := &node{path: path, dir: dir, files: files, deps: internalDeps(files)}
+		for _, f := range tests {
+			if strings.HasSuffix(f.Name.Name, "_test") {
+				n.extTests = append(n.extTests, f)
+			} else {
+				n.inTests = append(n.inTests, f)
 			}
 		}
+		n.testDeps = internalDeps(tests)
 		nodes[path] = n
 	}
 
-	// Topological order over module-internal imports (Go forbids cycles,
-	// but guard against them so a broken tree cannot hang the linter).
+	// Topological order over module-internal imports of the non-test
+	// sources (Go forbids cycles, but guard against them so a broken tree
+	// cannot hang the linter). Test-file imports are excluded here: external
+	// test packages may legally import packages that import the one under
+	// test, and all test checking happens in a second pass anyway.
 	var order []string
 	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
 	var visit func(path string) error
@@ -112,53 +145,110 @@ func LoadModule(root string) ([]*Package, error) {
 		module: map[string]*types.Package{},
 		fakes:  map[string]*types.Package{},
 	}
-	var pkgs []*Package
-	byPath := map[string]*Package{}
-	for _, path := range order {
-		n := nodes[path]
-		info := &types.Info{
+	newInfo := func() *types.Info {
+		return &types.Info{
 			Types:      map[ast.Expr]types.TypeAndValue{},
 			Uses:       map[*ast.Ident]types.Object{},
 			Defs:       map[*ast.Ident]types.Object{},
 			Selections: map[*ast.SelectorExpr]*types.Selection{},
 		}
+	}
+	check := func(path string, files []*ast.File) (*types.Package, *types.Info) {
+		info := newInfo()
 		conf := types.Config{
 			Importer: imp,
 			Error:    func(error) {}, // best-effort: keep checking
 		}
-		tpkg, _ := conf.Check(path, fset, n.files, info)
+		tpkg, _ := conf.Check(path, fset, files, info)
+		return tpkg, info
+	}
+
+	// Pass 1: non-test sources, dependency order, registered for import.
+	var pkgs []*Package
+	for _, path := range order {
+		n := nodes[path]
+		if len(n.files) == 0 {
+			continue // test-only directory; handled in pass 2
+		}
+		tpkg, info := check(path, n.files)
 		if tpkg != nil {
 			imp.module[path] = tpkg
 		}
-		p := &Package{
+		pkgs = append(pkgs, &Package{
 			Path:  path,
 			Dir:   n.dir,
 			Fset:  fset,
 			Files: n.files,
 			Types: tpkg,
 			Info:  info,
-		}
-		pkgs = append(pkgs, p)
-		byPath[path] = p
+		})
 	}
 
-	// Sim reachability: internal/sim itself plus everything that imports
-	// it transitively within the module.
+	// Pass 2: test files. Every module package is now resolvable, so test
+	// files may import packages the non-test sources do not (including, for
+	// external test packages, ones that would cycle).
+	if includeTests {
+		byPath := map[string]*Package{}
+		for _, p := range pkgs {
+			byPath[p.Path] = p
+		}
+		for _, path := range order {
+			n := nodes[path]
+			if len(n.inTests) > 0 {
+				all := append(append([]*ast.File(nil), n.files...), n.inTests...)
+				tpkg, info := check(path, all)
+				p := byPath[path]
+				if p == nil {
+					p = &Package{Path: path, Dir: n.dir, Fset: fset}
+					pkgs = append(pkgs, p)
+					byPath[path] = p
+				}
+				p.Files = all
+				p.Types = tpkg
+				p.Info = info
+				p.markTests(n.inTests)
+			}
+			if len(n.extTests) > 0 {
+				tpath := path + "_test"
+				tpkg, info := check(tpath, n.extTests)
+				p := &Package{
+					Path:  tpath,
+					Dir:   n.dir,
+					Fset:  fset,
+					Files: n.extTests,
+					Types: tpkg,
+					Info:  info,
+					TestOf: path,
+				}
+				p.markTests(n.extTests)
+				pkgs = append(pkgs, p)
+			}
+		}
+	}
+
+	// Sim reachability: internal/sim itself plus everything whose sources —
+	// test files included — import it transitively within the module.
+	allDeps := func(path string) []string {
+		n := nodes[strings.TrimSuffix(path, "_test")]
+		if n == nil {
+			return nil
+		}
+		if strings.HasSuffix(path, "_test") || len(n.inTests) > 0 {
+			return append(append([]string(nil), n.deps...), n.testDeps...)
+		}
+		return n.deps
+	}
 	reach := map[string]bool{}
 	var reachable func(path string) bool
 	reachable = func(path string) bool {
-		if path == SimPath {
+		if path == SimPath || strings.TrimSuffix(path, "_test") == SimPath {
 			return true
 		}
 		if v, ok := reach[path]; ok {
 			return v
 		}
 		reach[path] = false // cycle guard
-		n := nodes[path]
-		if n == nil {
-			return false
-		}
-		for _, d := range n.deps {
+		for _, d := range allDeps(path) {
 			if reachable(d) {
 				reach[path] = true
 				return true
@@ -214,8 +304,27 @@ func modulePath(gomod string) (string, error) {
 	return "", fmt.Errorf("lint: no module directive in %s", gomod)
 }
 
+// FindModuleRoot walks upward from dir to the nearest directory holding a
+// go.mod. Shared by the shrimplint CLI and the benchmark harness.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
 // packageDirs walks the module tree and returns every directory holding at
-// least one non-test .go file.
+// least one .go file.
 func packageDirs(root string) ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
@@ -230,7 +339,7 @@ func packageDirs(root string) ([]string, error) {
 			}
 			return nil
 		}
-		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+		if strings.HasSuffix(path, ".go") {
 			dir := filepath.Dir(path)
 			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
 				dirs = append(dirs, dir)
@@ -241,24 +350,31 @@ func packageDirs(root string) ([]string, error) {
 	return dirs, err
 }
 
-// parseDir parses every non-test .go file in dir, with comments (needed for
-// suppression directives).
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// parseDir parses every .go file in dir, with comments (needed for
+// suppression directives), returning non-test and test files separately.
+func parseDir(fset *token.FileSet, dir string, includeTests bool) (files, tests []*ast.File, err error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		isTest := strings.HasSuffix(name, "_test.go")
+		if isTest && !includeTests {
 			continue
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %w", err)
+			return nil, nil, fmt.Errorf("lint: %w", err)
 		}
-		files = append(files, f)
+		if isTest {
+			tests = append(tests, f)
+		} else {
+			files = append(files, f)
+		}
 	}
-	return files, nil
+	return files, tests, nil
 }

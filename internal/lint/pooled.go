@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Pooled-buffer ownership states.
+const (
+	bufOwned    = iota + 1 // this function must release or forward it
+	bufReleased            // returned to the pool; any further use is a bug
+	bufMoved               // ownership forwarded (stored, passed, returned)
+)
+
+// PooledOwnershipAnalyzer returns the pooled-ownership rule. A payload
+// buffer drawn from the mesh free list (mesh.Network.GetBuf) is manually
+// managed: exactly one owner must either return it to the pool (PutBuf) or
+// forward ownership — store it into a packet, pass it to a callee, return
+// it — on every control-flow path. The analyzer walks each function's paths
+// and flags:
+//
+//   - use-after-release: the variable read after PutBuf;
+//   - double-release: PutBuf twice on one path;
+//   - leak-on-early-return: a path that exits while the buffer is still
+//     owned (the free list never sees it again, and under sustained load
+//     the pool degenerates to per-packet allocation).
+//
+// Read-only builtins (len, cap, copy, println) and self-appends
+// (b = append(b, ...)) borrow rather than move.
+func PooledOwnershipAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "pooled-ownership",
+		Doc:  "pool-drawn payload buffers must be released or forwarded exactly once on every path",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if p.Info == nil {
+				return
+			}
+			eachFuncBody(p, func(body *ast.BlockStmt) {
+				walkFlow(p, body, &pooledFlow{
+					p:        p,
+					report:   report,
+					acquires: map[types.Object]token.Pos{},
+				})
+			})
+		},
+	}
+}
+
+type pooledFlow struct {
+	p        *Package
+	report   func(pos token.Pos, msg string)
+	acquires map[types.Object]token.Pos // tracked var -> GetBuf site
+}
+
+// acquireNames and releaseNames parameterize the pool surface; AU-bound
+// segment pools reuse the same GetBuf/PutBuf discipline.
+var acquireNames = map[string]bool{"GetBuf": true}
+var releaseNames = map[string]bool{"PutBuf": true}
+
+// isAcquire reports whether e draws a buffer from the pool, seeing through
+// the idiomatic wrappers GetBuf()[:n] and append(GetBuf(), ...).
+func isAcquire(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if name := calleeName(e); acquireNames[name] {
+			return true
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			return isAcquire(e.Args[0])
+		}
+	case *ast.SliceExpr:
+		return isAcquire(e.X)
+	case *ast.IndexExpr:
+		return isAcquire(e.X)
+	}
+	return false
+}
+
+func (c *pooledFlow) eval(n ast.Node, vars flowState) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.assign(n, vars)
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, val := range vs.Values {
+					c.scan(val, vars)
+					if i < len(vs.Names) && isAcquire(val) {
+						c.track(vs.Names[i], val.Pos(), vars)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			c.moveIdent(res, vars) // returning the buffer forwards ownership
+			c.scan(res, vars)
+		}
+	case *ast.CallExpr:
+		// A statement-level (or replayed deferred) call. A bare GetBuf()
+		// here acquires and immediately drops the buffer.
+		if isAcquire(n) {
+			c.report(n.Pos(), "pool buffer acquired and immediately dropped; bind it or remove the call")
+			return
+		}
+		c.scan(n, vars)
+	default:
+		c.scan(n, vars)
+	}
+}
+
+// assign interprets one assignment: acquisition on the LHS, moves and reads
+// on the RHS, self-append kept in place.
+func (c *pooledFlow) assign(as *ast.AssignStmt, vars flowState) {
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			lhsID, _ := as.Lhs[i].(*ast.Ident)
+			// b = append(b, ...) grows the same buffer: a borrow.
+			if call, ok := rhs.(*ast.CallExpr); ok && lhsID != nil {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+					if arg, ok := call.Args[0].(*ast.Ident); ok && useObj(c.p, arg) != nil &&
+						useObj(c.p, arg) == useObj(c.p, lhsID) {
+						for _, extra := range call.Args[1:] {
+							c.scan(extra, vars)
+						}
+						c.checkRead(arg, vars)
+						continue
+					}
+				}
+			}
+			c.scan(rhs, vars)
+			if lhsID != nil && lhsID.Name != "_" && isAcquire(rhs) {
+				c.track(lhsID, rhs.Pos(), vars)
+				continue
+			}
+			// Storing a tracked buffer into anything — a field, an index,
+			// another variable — forwards ownership out of this scope.
+			if _, plain := as.Lhs[i].(*ast.Ident); !plain || lhsID == nil || useObj(c.p, lhsID) == nil {
+				c.moveIdent(rhs, vars)
+			} else if id, ok := rhs.(*ast.Ident); ok {
+				c.moveIdentObj(id, vars)
+			}
+		}
+		return
+	}
+	for _, rhs := range as.Rhs {
+		c.scan(rhs, vars)
+	}
+}
+
+func (c *pooledFlow) track(id *ast.Ident, at token.Pos, vars flowState) {
+	obj := useObj(c.p, id)
+	if obj == nil {
+		return
+	}
+	if vars[obj] == bufOwned {
+		c.report(id.Pos(), fmt.Sprintf(
+			"pool buffer reassigned while still owning the buffer acquired at %s; release or forward it first",
+			c.p.Fset.Position(c.acquires[obj])))
+	}
+	vars[obj] = bufOwned
+	c.acquires[obj] = at
+}
+
+// scan applies reads, releases, moves, and escapes inside an arbitrary
+// expression tree. Function literals are opaque: a tracked buffer captured
+// by a closure escapes this scope's ownership.
+func (c *pooledFlow) scan(n ast.Node, vars flowState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			c.escapeCaptured(node, vars)
+			return false
+		case *ast.CallExpr:
+			if releaseNames[calleeName(node)] && len(node.Args) >= 1 {
+				if id, ok := node.Args[0].(*ast.Ident); ok {
+					if obj := useObj(c.p, id); obj != nil && vars[obj] != 0 {
+						c.release(node, id, obj, vars)
+						return false
+					}
+				}
+				return true
+			}
+			if c.borrowingCall(node) {
+				for _, arg := range node.Args {
+					if id, ok := arg.(*ast.Ident); ok {
+						c.checkRead(id, vars)
+					} else {
+						c.scan(arg, vars)
+					}
+				}
+				return false
+			}
+			// Any other call takes ownership of tracked arguments.
+			c.scan(node.Fun, vars)
+			for _, arg := range node.Args {
+				c.moveIdent(arg, vars)
+				c.scan(arg, vars)
+			}
+			return false
+		case *ast.CompositeLit:
+			// A buffer stored in a struct or slice literal is forwarded
+			// with the literal.
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					c.moveIdent(kv.Value, vars)
+				} else {
+					c.moveIdent(elt, vars)
+				}
+			}
+			return true
+		case *ast.Ident:
+			c.checkRead(node, vars)
+		}
+		return true
+	})
+}
+
+func (c *pooledFlow) release(call *ast.CallExpr, id *ast.Ident, obj types.Object, vars flowState) {
+	switch vars[obj] {
+	case bufReleased:
+		c.report(call.Pos(), fmt.Sprintf(
+			"double release: %s was already returned to the pool on this path", id.Name))
+	default:
+		vars[obj] = bufReleased
+	}
+}
+
+// checkRead flags a read of a variable whose buffer went back to the pool.
+func (c *pooledFlow) checkRead(id *ast.Ident, vars flowState) {
+	if obj := useObj(c.p, id); obj != nil && vars[obj] == bufReleased {
+		c.report(id.Pos(), fmt.Sprintf(
+			"use after release: %s was returned to the pool (PutBuf) earlier on this path", id.Name))
+	}
+}
+
+// moveIdent marks e's variable as forwarded when e is a plain identifier.
+func (c *pooledFlow) moveIdent(e ast.Expr, vars flowState) {
+	if id, ok := e.(*ast.Ident); ok {
+		c.moveIdentObj(id, vars)
+	}
+}
+
+func (c *pooledFlow) moveIdentObj(id *ast.Ident, vars flowState) {
+	if obj := useObj(c.p, id); obj != nil && vars[obj] == bufOwned {
+		vars[obj] = bufMoved
+	}
+}
+
+// escapeCaptured releases this scope from ownership of any tracked variable
+// a function literal captures (the closure is walked as its own scope).
+func (c *pooledFlow) escapeCaptured(lit *ast.FuncLit, vars flowState) {
+	ast.Inspect(lit.Body, func(node ast.Node) bool {
+		if id, ok := node.(*ast.Ident); ok {
+			if obj := useObj(c.p, id); obj != nil && vars[obj] == bufOwned {
+				vars[obj] = bufMoved
+			}
+		}
+		return true
+	})
+}
+
+// borrowingCall reports whether the call only reads its arguments: the
+// read-only builtins and type conversions.
+func (c *pooledFlow) borrowingCall(call *ast.CallExpr) bool {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap", "copy", "println", "print", "min", "max":
+			return isBuiltin(c.p, id)
+		}
+	}
+	if tv, ok := c.p.Info.Types[call.Fun]; ok && tv.IsType() {
+		return true // conversion, e.g. string(b)
+	}
+	return false
+}
+
+func (c *pooledFlow) exit(at token.Pos, vars flowState) {
+	for obj, st := range vars {
+		if st == bufOwned {
+			c.report(c.acquires[obj], fmt.Sprintf(
+				"pool buffer leaks: %s is neither released (PutBuf) nor forwarded on the path exiting at %s",
+				obj.Name(), c.p.Fset.Position(at)))
+		}
+	}
+}

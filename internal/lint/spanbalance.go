@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Trace span states.
+const (
+	spanOpen    = iota + 1 // begun; this function must End it
+	spanClosed             // ended
+	spanEscaped            // handle forwarded; some other owner ends it
+)
+
+// SpanBalanceAnalyzer returns the span-balance rule: every trace span begun
+// in a function (sp := tc.Begin(track, name)) must be ended on all paths
+// that leave the function — early error returns and timeout exits included.
+// An unbalanced span never reaches the collector (End records it), so the
+// virtual-time attribution the figures are built from silently loses the
+// stage, and the Chrome export's track goes dark exactly on the interesting
+// (failing) paths. The analyzer walks every path; defer sp.End() naturally
+// balances all of them. Handles that are returned, stored, or captured by a
+// closure escape the local obligation.
+func SpanBalanceAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "span-balance",
+		Doc:  "trace spans begun in a function must be ended on every return path",
+		Run: func(p *Package, report func(pos token.Pos, msg string)) {
+			if p.Info == nil {
+				return
+			}
+			eachFuncBody(p, func(body *ast.BlockStmt) {
+				walkFlow(p, body, &spanFlow{
+					p:        p,
+					report:   report,
+					begins:   map[types.Object]token.Pos{},
+					reported: map[token.Pos]bool{},
+				})
+			})
+		},
+	}
+}
+
+type spanFlow struct {
+	p        *Package
+	report   func(pos token.Pos, msg string)
+	begins   map[types.Object]token.Pos // tracked handle -> Begin site
+	reported map[token.Pos]bool         // one report per Begin site
+}
+
+// isBegin reports whether call opens a trace span. The name match is
+// confirmed against type information when available: the result must be the
+// trace package's *OpenSpan.
+func (c *spanFlow) isBegin(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Begin" {
+		return false
+	}
+	if tv, ok := c.p.Info.Types[call]; ok && tv.Type != nil {
+		return isOpenSpan(tv.Type)
+	}
+	return true
+}
+
+func isOpenSpan(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj() != nil && named.Obj().Name() == "OpenSpan"
+}
+
+func (c *spanFlow) eval(n ast.Node, vars flowState) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok && c.isBegin(call) && i < len(n.Lhs) {
+				c.scan(call, vars)
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if obj := useObj(c.p, id); obj != nil {
+						if vars[obj] == spanOpen && !c.reported[c.begins[obj]] {
+							c.reported[c.begins[obj]] = true
+							c.report(c.begins[obj], fmt.Sprintf(
+								"span begun here is overwritten at %s before being ended; it never reaches the collector",
+								c.p.Fset.Position(id.Pos())))
+						}
+						vars[obj] = spanOpen
+						c.begins[obj] = call.Pos()
+						continue
+					}
+				}
+				continue
+			}
+			c.scan(rhs, vars)
+			// Handing the handle to another variable or a field escapes it.
+			if id, ok := rhs.(*ast.Ident); ok {
+				c.escape(id, vars)
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			if id, ok := res.(*ast.Ident); ok {
+				c.escape(id, vars)
+			}
+			c.scan(res, vars)
+		}
+	case *ast.CallExpr:
+		// Statement-level or replayed deferred call. A Begin whose handle
+		// is dropped on the floor can never be ended.
+		if c.isBegin(n) {
+			if !c.reported[n.Pos()] {
+				c.reported[n.Pos()] = true
+				c.report(n.Pos(), "span begun but its handle is discarded; it can never be ended")
+			}
+			return
+		}
+		c.scan(n, vars)
+	default:
+		c.scan(n, vars)
+	}
+}
+
+// scan finds End calls, escapes, and nested Begins inside an expression.
+func (c *spanFlow) scan(n ast.Node, vars flowState) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			// The closure may End a captured handle on its own schedule.
+			ast.Inspect(node.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					c.escape(id, vars)
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			if sel, ok := node.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+				if id, ok := sel.X.(*ast.Ident); ok {
+					if obj := useObj(c.p, id); obj != nil && vars[obj] != 0 {
+						vars[obj] = spanClosed
+						return false
+					}
+				}
+			}
+			// A tracked handle passed as an argument escapes.
+			for _, arg := range node.Args {
+				if id, ok := arg.(*ast.Ident); ok {
+					c.escape(id, vars)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// escape releases the local End obligation for a handle that leaves scope.
+func (c *spanFlow) escape(id *ast.Ident, vars flowState) {
+	if obj := useObj(c.p, id); obj != nil && vars[obj] == spanOpen {
+		vars[obj] = spanEscaped
+	}
+}
+
+func (c *spanFlow) exit(at token.Pos, vars flowState) {
+	for obj, st := range vars {
+		if st != spanOpen || c.reported[c.begins[obj]] {
+			continue
+		}
+		c.reported[c.begins[obj]] = true
+		exit := c.p.Fset.Position(at)
+		c.report(c.begins[obj], fmt.Sprintf(
+			"span %s begun here is not ended on the path exiting at %s:%d; End it on every return (or defer it)",
+			obj.Name(), trimPath(exit.Filename), exit.Line))
+	}
+}
+
+// trimPath shortens an absolute filename to its last two path elements for
+// readable diagnostics.
+func trimPath(file string) string {
+	parts := strings.Split(file, "/")
+	if len(parts) > 2 {
+		parts = parts[len(parts)-2:]
+	}
+	return strings.Join(parts, "/")
+}

@@ -96,7 +96,7 @@ func (m *Memory) Pages() int { return m.npage }
 func (m *Memory) check(pa PA, n int) {
 	// Overflow-safe: a huge pa must not wrap the sum past the size check.
 	if n < 0 || uint64(pa) > uint64(m.size) || uint64(n) > uint64(m.size)-uint64(pa) {
-		panic(fmt.Sprintf("mem: access out of range: pa=%#x n=%d size=%d", pa, n, m.size))
+		panic(fmt.Sprintf("mem: access out of range: pa=%#x n=%d size=%d", pa, n, m.size)) //lint:allow transitive-panic simulated bus error: physical addresses come from the kernel's own page tables
 	}
 }
 

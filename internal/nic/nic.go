@@ -280,7 +280,7 @@ func (n *NIC) GetIPT(f mem.PFN) IPTEntry {
 // frame are snooped and packetized toward the entry's destination page.
 func (n *NIC) BindAU(localFrame mem.PFN, idx int) {
 	if !n.opt[idx].Valid {
-		panic("nic: BindAU to invalid OPT entry")
+		panic("nic: BindAU to invalid OPT entry") //lint:allow transitive-panic hardware assertion: the daemon re-validates the import after its charged syscall time, so an invalid entry here is a daemon bug
 	}
 	n.auByFrame[localFrame] = idx
 	n.M.Mem.SetSnooped(localFrame, true)

@@ -248,7 +248,7 @@ func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *N
 			Handler: func(vmmc.Notification) { nx.onDoorbell(cn) },
 		})
 		if err != nil {
-			//lint:allow no-panic-on-datapath init-time resource exhaustion; NX initialization aborts the process, as on the real machine
+			//lint:allow transitive-panic init-time resource exhaustion; NX initialization aborts the process, as on the real machine
 			panic(fmt.Sprintf("nx init: %v", err))
 		}
 		cn.inExp = exp
@@ -273,7 +273,7 @@ func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *N
 				break
 			}
 			if try > 10000 {
-				//lint:allow no-panic-on-datapath init-time rendezvous timeout; a peer that never boots is fatal, as on the real machine
+				//lint:allow transitive-panic init-time rendezvous timeout; a peer that never boots is fatal, as on the real machine
 				panic(fmt.Sprintf("nx init: peer %d never exported: %v", peer, err))
 			}
 			p.P.Sleep(200 * time.Microsecond)
@@ -281,7 +281,7 @@ func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *N
 		cn.outShadow = p.MapPages(regionPages, 0)
 		if _, err := nx.ep.BindAU(cn.outShadow, cn.out, 0, regionPages,
 			vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
-			//lint:allow no-panic-on-datapath init-time resource exhaustion; NX initialization aborts the process, as on the real machine
+			//lint:allow transitive-panic init-time resource exhaustion; NX initialization aborts the process, as on the real machine
 			panic(fmt.Sprintf("nx init: bind: %v", err))
 		}
 	}
@@ -393,7 +393,7 @@ func (nx *NX) acquireBuf(cn *conn) int {
 			wait = nx.tc.Begin(nx.track, "csend.credit-wait")
 			p.WriteWord(nx.scratch, 1)
 			if err := nx.ep.SendNotify(cn.out, doorbellBase, nx.scratch, 4); err != nil {
-				//lint:allow no-panic-on-datapath doorbell rings an import that was valid at connect; failure means the peer died
+				//lint:allow transitive-panic doorbell rings an import that was valid at connect; failure means the peer died
 				panic(fmt.Sprintf("nx: doorbell: %v", err))
 			}
 		}
@@ -404,7 +404,7 @@ func (nx *NX) acquireBuf(cn *conn) int {
 				return p.PeekWord(slot)&^0xff == want
 			}, d)
 			if !ok {
-				//lint:allow no-panic-on-datapath credit-wait deadline: the peer is dead or wedged and the NX API has no error return
+				//lint:allow transitive-panic credit-wait deadline: the peer is dead or wedged and the NX API has no error return
 				panic(fmt.Sprintf("nx: node %d: credit wait to node %d exceeded %v (peer dead or wedged)",
 					nx.node, cn.peer, d))
 			}

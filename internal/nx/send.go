@@ -15,7 +15,7 @@ import (
 // the real machine too.
 func (nx *NX) mustSend(imp *vmmc.Import, dstOff int, src kernel.VA, n int) {
 	if err := nx.ep.Send(imp, dstOff, src, n); err != nil {
-		//lint:allow no-panic-on-datapath NX csend has no error channel; a mapping revoked mid-send is fatal by design
+		//lint:allow transitive-panic NX csend has no error channel; a mapping revoked mid-send is fatal by design
 		panic(fmt.Sprintf("nx: send: %v", err))
 	}
 }
@@ -80,7 +80,7 @@ func (nx *NX) Csend(typ int, buf kernel.VA, count, node, pid int) {
 	nx.tc.Count(nx.track, "csend.bytes", int64(count))
 	p.Compute(hw.CallCost)
 	if typ < 0 {
-		//lint:allow no-panic-on-datapath API-misuse invariant: reserved types are a caller bug, as in real NX
+		//lint:allow transitive-panic API-misuse invariant: reserved types are a caller bug, as in real NX
 		panic(fmt.Sprintf("nx: csend with reserved type %d", typ))
 	}
 	if node == nx.node {
@@ -224,7 +224,7 @@ func (nx *NX) sendChunk(cn *conn, h hdr, src kernel.VA, n int, proto Proto) {
 		}
 		cn.shadowWriteWord(p, doneOff(off, n), uint32(n+1))
 	default:
-		//lint:allow no-panic-on-datapath unreachable: every Proto constant is handled above
+		//lint:allow transitive-panic unreachable: every Proto constant is handled above
 		panic("nx: bad chunk protocol")
 	}
 }

@@ -178,7 +178,7 @@ func (nx *NX) zcImportFor(node int, exportID uint32, withShadow bool) *zcImport 
 	if !ok {
 		imp, err := nx.ep.Import(node, zcExportName(node, exportID))
 		if err != nil {
-			//lint:allow no-panic-on-datapath peer advertised this export in its scout reply; its disappearance means the peer died
+			//lint:allow transitive-panic peer advertised this export in its scout reply; its disappearance means the peer died
 			panic(fmt.Sprintf("nx: zc import: %v", err))
 		}
 		zi = &zcImport{imp: imp}
@@ -188,7 +188,7 @@ func (nx *NX) zcImportFor(node int, exportID uint32, withShadow bool) *zcImport 
 		pages := zi.imp.Size / hw.Page
 		zi.shadow = p.MapPages(pages, 0)
 		if _, err := nx.ep.BindAU(zi.shadow, zi.imp, 0, pages, vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
-			//lint:allow no-panic-on-datapath binding freshly mapped pages to a live import cannot fail unless the peer died
+			//lint:allow transitive-panic binding freshly mapped pages to a live import cannot fail unless the peer died
 			panic(fmt.Sprintf("nx: zc bind: %v", err))
 		}
 	}
@@ -342,7 +342,7 @@ func (nx *NX) zcExportFor(buf kernel.VA, n int) *zcExport {
 	id := nx.nextExportID
 	exp, err := nx.ep.Export(base, pages, vmmc.ExportOpts{Name: zcExportName(nx.node, id)})
 	if err != nil {
-		//lint:allow no-panic-on-datapath exporting pinned, mapped user pages fails only on resource exhaustion; crecv has no error channel
+		//lint:allow transitive-panic exporting pinned, mapped user pages fails only on resource exhaustion; crecv has no error channel
 		panic(fmt.Sprintf("nx: zc export: %v", err))
 	}
 	ze := &zcExport{exp: exp, id: id, base: base}

@@ -247,7 +247,7 @@ func (e *Engine) recycle(ev *event) {
 // heap.
 func (e *Engine) post(t Time, fn func()) *event {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now))
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", t, e.now)) //lint:allow transitive-panic causality violation in the event core; no error return could be trusted after it
 	}
 	e.seq++
 	ev := e.alloc()
@@ -269,7 +269,7 @@ func (e *Engine) post(t Time, fn func()) *event {
 // that never cancel should prefer Post, which allocates no handle.
 func (e *Engine) Schedule(d time.Duration, fn func()) *Timer {
 	if d < 0 {
-		panic("sim: negative delay")
+		panic("sim: negative delay") //lint:allow transitive-panic API misuse by the caller, not a runtime condition
 	}
 	ev := e.post(e.now.Add(d), fn)
 	return &Timer{eng: e, ev: ev, gen: ev.gen, fn: fn}
@@ -287,7 +287,7 @@ func (e *Engine) At(t Time, fn func()) *Timer {
 // wakeups, DMA completions, packet arrivals).
 func (e *Engine) Post(d time.Duration, fn func()) {
 	if d < 0 {
-		panic("sim: negative delay")
+		panic("sim: negative delay") //lint:allow transitive-panic API misuse by the caller, not a runtime condition
 	}
 	e.post(e.now.Add(d), fn)
 }

@@ -449,7 +449,7 @@ func TestShutdownReleasesGoroutines(t *testing.T) {
 	var after int
 	for i := 0; i < 200; i++ {
 		runtime.Gosched()
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //lint:allow no-wallclock waiting for the host scheduler to unwind parked goroutines, not virtual-time code
 		if after = runtime.NumGoroutine(); after <= peak-20 {
 			break
 		}

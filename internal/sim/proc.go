@@ -111,7 +111,7 @@ func (p *Proc) park() {
 	p.ch <- struct{}{}
 	<-p.ch
 	if p.killed {
-		panic(killSentinel{})
+		panic(killSentinel{}) //lint:allow transitive-panic controlled unwind of a killed proc; the engine recovers the sentinel
 	}
 	p.runPendingInterrupts()
 }
@@ -163,7 +163,7 @@ func (p *Proc) Done() bool { return p.done }
 func (p *Proc) Sleep(d time.Duration) {
 	p.checkCurrent()
 	if d < 0 {
-		panic("sim: negative sleep")
+		panic("sim: negative sleep") //lint:allow transitive-panic API misuse by the caller, not a runtime condition
 	}
 	if d == 0 {
 		return
@@ -182,7 +182,7 @@ func (p *Proc) YieldOnce() {
 
 func (p *Proc) checkCurrent() {
 	if p.eng.cur != p {
-		panic(fmt.Sprintf("sim: proc %q used outside its own context", p.Name))
+		panic(fmt.Sprintf("sim: proc %q used outside its own context", p.Name)) //lint:allow transitive-panic coroutine-discipline violation; continuing would corrupt virtual time
 	}
 }
 

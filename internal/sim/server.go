@@ -29,7 +29,7 @@ func (s *Server) Reserve(dur time.Duration) (start, end Time) {
 // ReserveAt books the server for dur starting no earlier than t.
 func (s *Server) ReserveAt(t Time, dur time.Duration) (start, end Time) {
 	if dur < 0 {
-		panic("sim: negative reservation")
+		panic("sim: negative reservation") //lint:allow transitive-panic API misuse by the caller, not a runtime condition
 	}
 	start = t
 	if s.freeAt > start {

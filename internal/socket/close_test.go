@@ -36,7 +36,9 @@ func TestAbortWakesBlockedReceiver(t *testing.T) {
 		// woken by its own side's Close, not by EOF.
 		_ = c
 		p.P.Sleep(20 * time.Millisecond)
-		c.Close()
+		if err := c.Close(); err != nil {
+			t.Error(err)
+		}
 	})
 	cl.Spawn(0, "client", func(p *kernel.Process) {
 		ep := vmmc.Attach(p, cl.Node(0).Daemon)
@@ -177,14 +179,18 @@ func TestSendAfterCloseFails(t *testing.T) {
 	rig(t, ModeDU1,
 		func(c *Conn, p *kernel.Process) {
 			buf := p.Alloc(64, hw.WordSize)
-			c.RecvAll(buf, 64)
+			if _, err := c.RecvAll(buf, 64); err != nil {
+				t.Error(err)
+			}
 		},
 		func(c *Conn, p *kernel.Process) {
 			buf := p.Alloc(64, hw.WordSize)
 			if _, err := c.Send(buf, 64); err != nil {
 				t.Error(err)
 			}
-			c.Close()
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
 			// Close is a half-close: sending errors, receiving may drain
 			// (see TestHalfClose).
 			if _, err := c.Send(buf, 64); !errors.Is(err, ErrClosed) {

@@ -40,7 +40,9 @@ func TestListenerAcceptsMultipleConnections(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			conn.Close()
+			if err := conn.Close(); err != nil {
+				t.Error(err)
+			}
 			served++
 		}
 	})
@@ -71,7 +73,9 @@ func TestListenerAcceptsMultipleConnections(t *testing.T) {
 			if !bytes.Equal(got[1:], []byte(msg)) {
 				t.Errorf("client %d echo: %q", node, got)
 			}
-			conn.Close()
+			if err := conn.Close(); err != nil {
+				t.Error(err)
+			}
 		})
 	}
 	cl.Run()
@@ -96,7 +100,9 @@ func TestHalfClose(t *testing.T) {
 			return
 		}
 		// Close our sending side immediately; keep receiving.
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			t.Error(err)
+		}
 		buf := p.Alloc(64, 4)
 		n, err := conn.RecvAll(buf, 10)
 		if err != nil || n != 10 {
@@ -125,7 +131,9 @@ func TestHalfClose(t *testing.T) {
 		if err := conn.SendString("still-here"); err != nil {
 			t.Error(err)
 		}
-		conn.Close()
+		if err := conn.Close(); err != nil {
+			t.Error(err)
+		}
 	})
 	cl.Run()
 	if !ok {
@@ -140,7 +148,9 @@ func TestRecvNoWait(t *testing.T) {
 			p.Compute(2 * time.Millisecond)
 			buf := p.Alloc(8, 4)
 			p.Poke(buf, []byte("nonblock"))
-			c.Send(buf, 8)
+			if _, err := c.Send(buf, 8); err != nil {
+				t.Error(err)
+			}
 		},
 		func(c *Conn, p *kernel.Process) {
 			dst := p.Alloc(16, 4)

@@ -93,9 +93,15 @@ func TestByteStreamNoBoundaries(t *testing.T) {
 		func(c *Conn, p *kernel.Process) {
 			buf := p.Alloc(64, 4)
 			p.Poke(buf, []byte("abcdefgh"))
-			c.Send(buf, 4)
-			c.Send(buf+4, 4)
-			c.Close()
+			if _, err := c.Send(buf, 4); err != nil {
+				t.Error(err)
+			}
+			if _, err := c.Send(buf+4, 4); err != nil {
+				t.Error(err)
+			}
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
 		},
 		func(c *Conn, p *kernel.Process) {
 			dst := p.Alloc(64, 4)
@@ -139,7 +145,9 @@ func TestUnalignedTraffic(t *testing.T) {
 						}
 						off += n
 					}
-					c.Close()
+					if err := c.Close(); err != nil {
+						t.Error(err)
+					}
 				},
 				func(c *Conn, p *kernel.Process) {
 					raw := p.Alloc(total+16, 4)
@@ -175,7 +183,9 @@ func TestRingWrapLargeTransfer(t *testing.T) {
 				}
 				sent += n
 			}
-			c.Close()
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
 		},
 		func(c *Conn, p *kernel.Process) {
 			dst := p.Alloc(total, 4)
@@ -195,8 +205,12 @@ func TestEOFSemantics(t *testing.T) {
 		func(c *Conn, p *kernel.Process) {
 			buf := p.Alloc(16, 4)
 			p.Poke(buf, []byte("bye!"))
-			c.Send(buf, 4)
-			c.Close()
+			if _, err := c.Send(buf, 4); err != nil {
+				t.Error(err)
+			}
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
 			// Send after close fails.
 			if _, err := c.Send(buf, 4); err != ErrClosed {
 				t.Errorf("send after close: %v", err)
@@ -204,8 +218,8 @@ func TestEOFSemantics(t *testing.T) {
 		},
 		func(c *Conn, p *kernel.Process) {
 			dst := p.Alloc(16, 4)
-			if n, _ := c.RecvAll(dst, 4); n != 4 {
-				t.Errorf("payload before EOF: %d", n)
+			if n, err := c.RecvAll(dst, 4); n != 4 || err != nil {
+				t.Errorf("payload before EOF: %d, %v", n, err)
 			}
 			// Next reads return 0 (clean EOF), repeatedly.
 			for i := 0; i < 2; i++ {
@@ -301,7 +315,9 @@ func TestPartialWordBoundaryAcrossSends(t *testing.T) {
 					return
 				}
 			}
-			c.Close()
+			if err := c.Close(); err != nil {
+				t.Error(err)
+			}
 		},
 		func(c *Conn, p *kernel.Process) {
 			dst := p.Alloc(total+8, 4)
@@ -324,19 +340,39 @@ func TestSmallMessageLatencyBudget(t *testing.T) {
 		func(c *Conn, p *kernel.Process) {
 			buf := p.Alloc(8, 4)
 			for i := 0; i < 9; i++ {
-				c.RecvAll(buf, 4)
-				c.Send(buf, 4)
+				if _, err := c.RecvAll(buf, 4); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.Send(buf, 4); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 		},
 		func(c *Conn, p *kernel.Process) {
 			buf := p.Alloc(8, 4)
-			c.Send(buf, 4)
-			c.RecvAll(buf, 4) // warm-up
+			// Warm-up round trip; a silent failure would turn the measured
+			// loop into a timeout measurement.
+			if _, err := c.Send(buf, 4); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := c.RecvAll(buf, 4); err != nil {
+				t.Error(err)
+				return
+			}
 			t0 := p.P.Now()
 			const iters = 8
 			for i := 0; i < iters; i++ {
-				c.Send(buf, 4)
-				c.RecvAll(buf, 4)
+				if _, err := c.Send(buf, 4); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := c.RecvAll(buf, 4); err != nil {
+					t.Error(err)
+					return
+				}
 			}
 			oneWay = p.P.Now().Sub(t0).Seconds() * 1e6 / (2 * iters)
 		})

@@ -151,7 +151,7 @@ func (s *Server) dispatch(sess *session) {
 	if err := hdr.DecodeXDR(dec); err != nil {
 		// A header we cannot parse leaves the stream unframed; in the
 		// real system the connection would be torn down.
-		//lint:allow no-panic-on-datapath unframed stream is unrecoverable; connection teardown is not modeled
+		//lint:allow transitive-panic unframed stream is unrecoverable; connection teardown is not modeled
 		panic(fmt.Sprintf("sunrpc: undecodable call header: %v", err))
 	}
 	// Header processing: dispatch table lookup, auth check (paper: "5-6
@@ -190,7 +190,7 @@ func (s *Server) dispatch(sess *session) {
 	}
 	sess.stream.EndReply() // publish consumption of the request
 	if err := sess.stream.EndRecord(); err != nil {
-		//lint:allow no-panic-on-datapath reply already streamed; a send failure here means the client revoked its buffers mid-call
+		//lint:allow transitive-panic reply already streamed; a send failure here means the client revoked its buffers mid-call
 		panic(fmt.Sprintf("sunrpc: reply: %v", err))
 	}
 	s.Calls++

@@ -169,7 +169,7 @@ func (s *Stream) EndRecord() error {
 func (s *Stream) waitSpace(n int) {
 	p := s.ep.Proc
 	if n > ringBytes {
-		//lint:allow no-panic-on-datapath framing invariant: a record larger than the ring can never drain; srpcgen-generated stubs bound record sizes
+		//lint:allow transitive-panic framing invariant: a record larger than the ring can never drain; srpcgen-generated stubs bound record sizes
 		panic("sunrpc: record exceeds ring")
 	}
 	if s.sent+n-s.ackSeen <= ringBytes {

@@ -44,7 +44,7 @@ func (r *Region) handleFault(f kernel.PageFault) {
 		// Mprotect.
 		_, err := r.ep.BindAU(r.pageVA(g), r.dataImp[home], g, 1, vmmc.AUOpts{Combine: true, Timer: true})
 		if err != nil {
-			panic(fmt.Sprintf("svm: %s bind page %d to home %d: %v", r.Name, g, home, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+			panic(fmt.Sprintf("svm: %s bind page %d to home %d: %v", r.Name, g, home, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 		}
 		r.bound[g] = true
 	}
@@ -92,11 +92,11 @@ func (r *Region) flushDirty(dirty []int) {
 		r.encodeWords(st+hw.WordSize, []uint32{opFlush, 0, 0})
 		base := r.reqOff(r.me)
 		if err := r.ep.Send(r.svcImp[h], (base+1)*hw.WordSize, st+hw.WordSize, 3*hw.WordSize); err != nil {
-			panic(fmt.Sprintf("svm: %s flush marker to %d: %v", r.Name, h, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+			panic(fmt.Sprintf("svm: %s flush marker to %d: %v", r.Name, h, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 		}
 		r.p.WriteWord(st, seqs[i])
 		if err := r.ep.SendNotify(r.svcImp[h], base*hw.WordSize, st, hw.WordSize); err != nil {
-			panic(fmt.Sprintf("svm: %s flush notify to %d: %v", r.Name, h, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+			panic(fmt.Sprintf("svm: %s flush notify to %d: %v", r.Name, h, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 		}
 		r.putStage(st)
 		r.Stats.FlushMarkers++

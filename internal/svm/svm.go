@@ -161,7 +161,7 @@ func Join(c *cluster.Cluster, p *kernel.Process, me, n int, name string, pages i
 	r.svc = p.MapPages(svcPages, 0)
 
 	if _, err := r.ep.Export(r.Base, pages, vmmc.ExportOpts{Name: r.dataName(me)}); err != nil {
-		panic(fmt.Sprintf("svm: %s export data: %v", name, err)) //lint:allow no-panic-on-datapath join-time misconfiguration, not a request path
+		panic(fmt.Sprintf("svm: %s export data: %v", name, err)) //lint:allow transitive-panic join-time misconfiguration, not a request path
 	}
 	_, err := r.ep.Export(r.svc, svcPages, vmmc.ExportOpts{
 		Name:       r.svcName(me),
@@ -169,7 +169,7 @@ func Join(c *cluster.Cluster, p *kernel.Process, me, n int, name string, pages i
 		Handler:    func(nt vmmc.Notification) { r.onRequest(nt.SrcNode) },
 	})
 	if err != nil {
-		panic(fmt.Sprintf("svm: %s export svc: %v", name, err)) //lint:allow no-panic-on-datapath join-time misconfiguration, not a request path
+		panic(fmt.Sprintf("svm: %s export svc: %v", name, err)) //lint:allow transitive-panic join-time misconfiguration, not a request path
 	}
 
 	for j := 0; j < n; j++ {
@@ -201,7 +201,7 @@ func Join(c *cluster.Cluster, p *kernel.Process, me, n int, name string, pages i
 			prev(p, f)
 			return
 		}
-		panic(fmt.Sprintf("svm: %s fault outside region va %#x with no chained handler", name, f.VA)) //lint:allow no-panic-on-datapath protection fault outside any managed region is a program bug
+		panic(fmt.Sprintf("svm: %s fault outside region va %#x with no chained handler", name, f.VA)) //lint:allow transitive-panic protection fault outside any managed region is a program bug
 	})
 
 	// Rendezvous without the manager: announce readiness directly into
@@ -215,7 +215,7 @@ func Join(c *cluster.Cluster, p *kernel.Process, me, n int, name string, pages i
 			continue
 		}
 		if err := r.ep.Send(r.svcImp[j], r.readyOff(me)*hw.WordSize, ann, hw.WordSize); err != nil {
-			panic(fmt.Sprintf("svm: %s join announce to %d: %v", name, j, err)) //lint:allow no-panic-on-datapath join-time failure before steady state
+			panic(fmt.Sprintf("svm: %s join announce to %d: %v", name, j, err)) //lint:allow transitive-panic join-time failure before steady state
 		}
 	}
 	r.putStage(ann)
@@ -242,7 +242,7 @@ func (r *Region) importRetry(node int, name string) *vmmc.Import {
 			return imp
 		}
 		if try > 10000 {
-			panic(fmt.Sprintf("svm: import %s from %d: %v", name, node, err)) //lint:allow no-panic-on-datapath join never completed; simulation is wedged anyway
+			panic(fmt.Sprintf("svm: import %s from %d: %v", name, node, err)) //lint:allow transitive-panic join never completed; simulation is wedged anyway
 		}
 		r.p.P.Sleep(200 * time.Microsecond)
 	}
@@ -293,11 +293,11 @@ func (r *Region) request(t int, op, arg int, pages []int, wantReply bool) []int 
 	r.encodeWords(st+hw.WordSize, words)
 	base := r.reqOff(r.me)
 	if err := r.ep.Send(r.svcImp[t], (base+1)*hw.WordSize, st+hw.WordSize, len(words)*hw.WordSize); err != nil {
-		panic(fmt.Sprintf("svm: %s request to %d: %v", r.Name, t, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+		panic(fmt.Sprintf("svm: %s request to %d: %v", r.Name, t, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 	}
 	r.p.WriteWord(st, seq)
 	if err := r.ep.SendNotify(r.svcImp[t], base*hw.WordSize, st, hw.WordSize); err != nil {
-		panic(fmt.Sprintf("svm: %s request notify to %d: %v", r.Name, t, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+		panic(fmt.Sprintf("svm: %s request notify to %d: %v", r.Name, t, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 	}
 	r.putStage(st)
 	if !wantReply {
@@ -340,11 +340,11 @@ func (r *Region) reply(src int, seq uint32, pages []int) {
 	}
 	r.encodeWords(st+hw.WordSize, words)
 	if err := r.ep.Send(r.svcImp[src], (r.replyOff()+1)*hw.WordSize, st+hw.WordSize, len(words)*hw.WordSize); err != nil {
-		panic(fmt.Sprintf("svm: %s reply to %d: %v", r.Name, src, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+		panic(fmt.Sprintf("svm: %s reply to %d: %v", r.Name, src, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 	}
 	r.p.WriteWord(st, seq)
 	if err := r.ep.Send(r.svcImp[src], r.replyOff()*hw.WordSize, st, hw.WordSize); err != nil {
-		panic(fmt.Sprintf("svm: %s reply seq to %d: %v", r.Name, src, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+		panic(fmt.Sprintf("svm: %s reply seq to %d: %v", r.Name, src, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 	}
 	r.putStage(st)
 }
@@ -377,13 +377,13 @@ func (r *Region) onRequest(src int) {
 		st := r.getStage()
 		r.p.WriteWord(st, seq)
 		if err := r.ep.Send(r.svcImp[src], r.ackOff(r.me)*hw.WordSize, st, hw.WordSize); err != nil {
-			panic(fmt.Sprintf("svm: %s flush ack to %d: %v", r.Name, src, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+			panic(fmt.Sprintf("svm: %s flush ack to %d: %v", r.Name, src, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 		}
 		r.putStage(st)
 	case opLockAcq, opLockRel, opBarrier:
 		r.mgrSt.submit(r, waiter{node: src, seq: seq}, op, arg, pages)
 	default:
-		panic(fmt.Sprintf("svm: %s bad op %d from %d", r.Name, op, src)) //lint:allow no-panic-on-datapath corrupt control record indicates a simulation bug
+		panic(fmt.Sprintf("svm: %s bad op %d from %d", r.Name, op, src)) //lint:allow transitive-panic corrupt control record indicates a simulation bug
 	}
 }
 
@@ -394,7 +394,7 @@ func (r *Region) onRequest(src int) {
 func (r *Region) serveFetch(src int, seq uint32, g int) {
 	sp := r.tc.Begin(r.track, "fetch.serve")
 	if err := r.ep.Send(r.dataImp[src], g*hw.Page, r.pageVA(g), hw.Page); err != nil {
-		panic(fmt.Sprintf("svm: %s fetch page %d to %d: %v", r.Name, g, src, err)) //lint:allow no-panic-on-datapath revoked import means a peer died without the fault plan declaring it
+		panic(fmt.Sprintf("svm: %s fetch page %d to %d: %v", r.Name, g, src, err)) //lint:allow transitive-panic revoked import means a peer died without the fault plan declaring it
 	}
 	r.reply(src, seq, nil)
 	r.Stats.FetchesServed++

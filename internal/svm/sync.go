@@ -177,7 +177,7 @@ func (m *manager) submit(r *Region, w waiter, op, arg int, pages []int) (bool, [
 	case opLockRel:
 		ls := m.locks[arg]
 		if ls == nil || ls.holder != w.node {
-			panic(fmt.Sprintf("svm: %s node %d releases lock %d it does not hold", r.Name, w.node, arg)) //lint:allow no-panic-on-datapath lock protocol violation is an application bug
+			panic(fmt.Sprintf("svm: %s node %d releases lock %d it does not hold", r.Name, w.node, arg)) //lint:allow transitive-panic lock protocol violation is an application bug
 		}
 		m.addNotices(w.node, pages)
 		var next *waiter
@@ -227,5 +227,5 @@ func (m *manager) submit(r *Region, w waiter, op, arg int, pages []int) (bool, [
 		}
 		return localDone, localNotices
 	}
-	panic(fmt.Sprintf("svm: manager got op %d", op)) //lint:allow no-panic-on-datapath unreachable: onRequest dispatches only manager ops here
+	panic(fmt.Sprintf("svm: manager got op %d", op)) //lint:allow transitive-panic unreachable: onRequest dispatches only manager ops here
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -125,7 +126,10 @@ func runLifecycleFuzz(t *testing.T, seed int64) {
 					}
 				case 4: // tear the import down entirely and re-import
 					if binds[peer] != nil {
-						ep.UnbindAU(binds[peer])
+						if err := ep.UnbindAU(binds[peer]); err != nil {
+							t.Errorf("unbind before unimport: %v", err)
+							return
+						}
 						binds[peer] = nil
 					}
 					if err := ep.Unimport(imps[peer]); err != nil {
@@ -148,7 +152,13 @@ func runLifecycleFuzz(t *testing.T, seed int64) {
 			// invert: after all sends drain (unimport waits), send each
 			// expectation digest to the OWNER for verification via a
 			// final deliberate update into the ack strip.
-			for peer, imp := range imps {
+			peers := make([]int, 0, len(imps))
+			for peer := range imps {
+				peers = append(peers, peer)
+			}
+			sort.Ints(peers)
+			for _, peer := range peers {
+				imp := imps[peer]
 				// Final content transfer: resend the whole expected
 				// stripe so the buffer ends in a known state, then flag.
 				p.Poke(src, expected[peer])

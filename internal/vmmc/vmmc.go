@@ -349,6 +349,7 @@ func (ep *Endpoint) send(imp *Import, dstOff int, srcVA kernel.VA, n int, notify
 
 	chunks, err := ep.duChunks(imp, dstOff, srcVA, n, notify)
 	if err != nil {
+		span.End()
 		return err
 	}
 	ep.tc.Count(ep.track, "du.sends", 1)
