@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke svm chaos bench bench-json check clean
+.PHONY: all build test race vet lint fuzz trace-smoke svm app chaos bench bench-json check clean
 
 all: build
 
@@ -47,6 +47,13 @@ svm:
 	$(GO) test ./internal/svm ./internal/bench -run 'TestSVM|TestJacobi|Test.*Region|TestFetch|TestLock|TestNotices|TestManager|TestDeterminism|TestSurvives|TestEightNodes'
 	$(GO) run ./cmd/shrimpbench -svm
 
+# app runs the serving-subsystem tests (sharded KV + load generator) and
+# the acceptance scenario: the offered-load ramp plus the million-session
+# 8-node run with a mid-load primary crash, twice under the replay digest.
+app:
+	$(GO) test ./internal/app/...
+	$(GO) run ./cmd/shrimpbench -app
+
 # chaos runs the fault-injection soak: every figure scenario under the
 # standard fault plans (lossy links with retransmission, NIC freeze
 # storms, a mid-transfer node crash), checking termination, acknowledged-
@@ -62,12 +69,12 @@ bench:
 	$(GO) test -run NONE -bench . -benchmem ./internal/sim ./internal/mem ./internal/bench .
 
 # bench-json runs the reproducible wall-clock suite and refreshes the
-# committed BENCH_5.json baseline (ns/op, allocs/op, events/sec, wall-clock
-# per figure sweep and chaos cell). The compare against the previous
-# baseline is advisory: it warns, never fails.
+# committed BENCH_7.json baseline (ns/op, allocs/op, events/sec, wall-clock
+# per figure sweep, serving run, and chaos cell). The compare against the
+# previous baseline is advisory: it warns, never fails.
 bench-json:
-	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_5.json
-	cp /tmp/BENCH_new.json BENCH_5.json
+	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_7.json
+	cp /tmp/BENCH_new.json BENCH_7.json
 
 # check is the full gate CI runs: build, vet, lint, race-enabled tests,
 # trace determinism, and the chaos soak.

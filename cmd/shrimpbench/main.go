@@ -18,6 +18,7 @@
 //	            [-iters N] [-csv dir] [-parallel N]
 //	shrimpbench -fig fig3 [-trace out.json] [-stats]
 //	shrimpbench -svm [-trace out.json] [-stats]
+//	shrimpbench -app [-trace out.json] [-stats]
 //	shrimpbench -faults [-faultseed N] [-parallel N]
 //	shrimpbench -benchjson BENCH_5.json [-benchbase old.json]
 //
@@ -36,6 +37,15 @@
 // shared memory, at 2, 4, and 8 nodes, reporting per-sweep virtual time
 // side by side. With -trace or -stats it instead runs the representative
 // traced SVM scenario (Jacobi plus a lock-counter phase).
+//
+// -app runs the sharded-KV serving workload: first the offered-load ramp
+// behind the EXPERIMENTS.md capacity table (4 nodes, throughput and served
+// quantiles vs load through saturation), then the acceptance scenario — a
+// million deterministic client sessions over 8 nodes with a non-gateway
+// primary crashed, restarted, and resynced mid-load, run twice under the
+// replay digest, reporting p50/p99/p999 per op class and the measured
+// recovery time. With -trace or -stats it instead runs the representative
+// traced serving scenario.
 //
 // -faults runs the chaos soak matrix instead: every figure scenario under a
 // set of seeded fault plans (lossy links with the retransmission sublayer
@@ -70,6 +80,7 @@ func main() {
 	faults := flag.Bool("faults", false, "run the chaos soak matrix (figure scenarios x fault plans)")
 	faultSeed := flag.Int64("faultseed", 1, "fault injector seed for -faults")
 	svmFlag := flag.Bool("svm", false, "run the SVM-vs-NX Jacobi comparison (2/4/8 nodes)")
+	appFlag := flag.Bool("app", false, "run the sharded-KV serving workload (capacity ramp + 1M-session acceptance scenario)")
 	parallel := flag.Int("parallel", 0, "run independent figure/chaos scenarios on N workers (0 = sequential; results are byte-identical either way)")
 	benchJSON := flag.String("benchjson", "", "run the wall-clock benchmark suite and write the JSON report to this file")
 	benchBase := flag.String("benchbase", "", "baseline JSON report to compare -benchjson results against (warn-only)")
@@ -92,6 +103,26 @@ func main() {
 			warnBenchBaseline(*benchBase, rep)
 		}
 		return
+	}
+
+	if *appFlag && *tracePath == "" && !*stats {
+		rows, err := bench.AppRamp([]float64{5e5, 1e6, 2e6, 4e6, 8e6})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.AppRampTable(rows))
+		fmt.Println()
+		res, err := bench.RunAppServe(bench.AcceptanceAppOpts())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.AppServeTable(res))
+		return
+	}
+	if *appFlag {
+		*fig = "app"
 	}
 
 	if *svmFlag && *tracePath == "" && !*stats {

@@ -4,11 +4,16 @@
 // over the 10 Mb/s Ethernet through the kernel stack — the "conventional
 // network" the paper compares against. The same program and handlers run on
 // both; only the transport differs, which is the compatibility point.
+//
+// The service itself lives in internal/app (app.KVProgram over an
+// app.Store) — the same store that backs the sharded serving subsystem.
+// This demo is just the two-transport wiring around it.
 package main
 
 import (
 	"fmt"
 
+	"shrimp/internal/app"
 	"shrimp/internal/cluster"
 	"shrimp/internal/kernel"
 	"shrimp/internal/sim"
@@ -16,59 +21,6 @@ import (
 	"shrimp/internal/vmmc"
 	"shrimp/internal/xdr"
 )
-
-const (
-	progKV = 0x20049999
-	versKV = 1
-
-	procPut  = 1 // (key string, value opaque) -> (ok bool)
-	procGet  = 2 // (key string) -> (found bool, value opaque)
-	procStat = 3 // () -> (entries u32, bytes u64)
-)
-
-// kvProgram builds the service over a plain Go map; handlers know nothing
-// about SHRIMP.
-func kvProgram(store map[string][]byte) *sunrpc.Program {
-	var totalBytes uint64
-	return &sunrpc.Program{
-		Prog: progKV,
-		Vers: versKV,
-		Procs: map[uint32]sunrpc.Handler{
-			procPut: func(d *xdr.Decoder, e *xdr.Encoder) error {
-				key, err := d.String(256)
-				if err != nil {
-					return err
-				}
-				val, err := d.Opaque(64 << 10)
-				if err != nil {
-					return err
-				}
-				if old, ok := store[key]; ok {
-					totalBytes -= uint64(len(old))
-				}
-				store[key] = val
-				totalBytes += uint64(len(val))
-				e.PutBool(true)
-				return nil
-			},
-			procGet: func(d *xdr.Decoder, e *xdr.Encoder) error {
-				key, err := d.String(256)
-				if err != nil {
-					return err
-				}
-				val, ok := store[key]
-				e.PutBool(ok)
-				e.PutOpaque(val)
-				return nil
-			},
-			procStat: func(d *xdr.Decoder, e *xdr.Encoder) error {
-				e.PutUint32(uint32(len(store)))
-				e.PutUint64(totalBytes)
-				return nil
-			},
-		},
-	}
-}
 
 // rpcCaller abstracts the two clients so the workload runs unchanged.
 type rpcCaller interface {
@@ -81,7 +33,7 @@ func workload(cli rpcCaller, label string, p *kernel.Process) {
 	for i := 0; i < 8; i++ {
 		key := fmt.Sprintf("user:%d", i)
 		val := []byte(fmt.Sprintf("profile-data-for-user-%d", i))
-		err := cli.Call(procPut,
+		err := cli.Call(app.ProcPut,
 			func(e *xdr.Encoder) { e.PutString(key); e.PutOpaque(val) },
 			func(d *xdr.Decoder) error { _, err := d.Bool(); return err })
 		if err != nil {
@@ -94,7 +46,7 @@ func workload(cli rpcCaller, label string, p *kernel.Process) {
 		want := fmt.Sprintf("profile-data-for-user-%d", i)
 		var found bool
 		var got []byte
-		err := cli.Call(procGet,
+		err := cli.Call(app.ProcGet,
 			func(e *xdr.Encoder) { e.PutString(key) },
 			func(d *xdr.Decoder) error {
 				var err error
@@ -112,7 +64,7 @@ func workload(cli rpcCaller, label string, p *kernel.Process) {
 		}
 	}
 	var entries uint32
-	err := cli.Call(procStat, nil, func(d *xdr.Decoder) error {
+	err := cli.Call(app.ProcStat, nil, func(d *xdr.Decoder) error {
 		var err error
 		if entries, err = d.Uint32(); err != nil {
 			return err
@@ -136,14 +88,14 @@ func main() {
 	// Server on node 2: both transports, same handlers and store.
 	c.Spawn(2, "kv-server-sbl", func(p *kernel.Process) {
 		ep := vmmc.Attach(p, c.Node(2).Daemon)
-		srv := sunrpc.NewServer(ep, c.Ether, 2, kvProgram(map[string][]byte{}))
+		srv := sunrpc.NewServer(ep, c.Ether, 2, app.KVProgram(app.NewStore()))
 		up++
 		ready.Broadcast()
 		srv.Serve(17)
 	})
 	c.Spawn(3, "kv-server-ether", func(p *kernel.Process) {
 		ep := vmmc.Attach(p, c.Node(3).Daemon)
-		srv := sunrpc.NewEtherServer(ep, c.Ether, 3, kvProgram(map[string][]byte{}))
+		srv := sunrpc.NewEtherServer(ep, c.Ether, 3, app.KVProgram(app.NewStore()))
 		up++
 		ready.Broadcast()
 		srv.Serve(17)
@@ -155,13 +107,13 @@ func main() {
 		}
 		ep := vmmc.Attach(p, c.Node(0).Daemon)
 
-		fast, err := sunrpc.Dial(ep, c.Ether, 2, progKV, versKV, sunrpc.ModeAU)
+		fast, err := sunrpc.Dial(ep, c.Ether, 2, app.ProgKV, app.VersKV, sunrpc.ModeAU)
 		if err != nil {
 			panic(err)
 		}
 		workload(fast, "VRPC over VMMC (SBL)", p)
 
-		slow, err := sunrpc.DialEther(ep, c.Ether, 3, progKV, versKV)
+		slow, err := sunrpc.DialEther(ep, c.Ether, 3, app.ProgKV, app.VersKV)
 		if err != nil {
 			panic(err)
 		}

@@ -1,0 +1,309 @@
+// Package app is the serving subsystem: a sharded, primary/replica
+// key-value store served over SRPC batch calls, the workload the ROADMAP's
+// "heavy traffic from millions of users" north star asks for. Keys place
+// onto shards by consistent hashing; each shard has a primary (writes,
+// linearizable reads) and a follower that receives writes synchronously
+// before the client is acknowledged. Per-shard admission control bounds
+// the virtual-time backlog a shard may accumulate and sheds the excess
+// with an error, so admitted-request latency stays bounded past
+// saturation. Failover is detection-based and wired to the existing
+// cluster.CrashNode/RestartNode surface: a client call timing out marks
+// the node down, promotes followers, and reroutes; a restarted node is
+// adopted as follower for every degraded shard and caught up by a
+// snapshot resync streamed from the primaries.
+//
+// Everything runs inside the deterministic simulation: same
+// configuration, same seed → byte-identical event streams, which the
+// chaos matrix and determinism tests verify by digest.
+package app
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/sim"
+	"shrimp/internal/trace"
+)
+
+// Config tunes the serving subsystem.
+type Config struct {
+	// Shards is the number of shards (default 2 per node).
+	Shards int
+	// QueueBound is the per-shard admission limit, in queued ops; a batch
+	// op arriving at a shard whose backlog is at the bound is shed
+	// (default 512).
+	QueueBound int
+	// ServiceTime is the modeled per-op service cost charged to a
+	// shard's backlog (default 300ns).
+	ServiceTime time.Duration
+	// CallDeadline bounds a client batch call; expiry is the failover
+	// detection signal (default 5ms).
+	CallDeadline time.Duration
+	// ReplDeadline bounds a replication call; expiry marks the follower
+	// down and degrades the shard (default 2ms). Must be comfortably
+	// below CallDeadline: a client call may sit behind one full
+	// replication timeout.
+	ReplDeadline time.Duration
+	// Trace, when non-nil, receives latency histograms, counters, and
+	// queue-depth gauges (pass the same collector given to cluster.New).
+	Trace *trace.Collector
+}
+
+func (cfg *Config) defaults(nodes int) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 2 * nodes
+	}
+	if cfg.QueueBound == 0 {
+		cfg.QueueBound = 512
+	}
+	if cfg.ServiceTime == 0 {
+		cfg.ServiceTime = 300 * time.Nanosecond
+	}
+	if cfg.CallDeadline == 0 {
+		cfg.CallDeadline = 5 * time.Millisecond
+	}
+	if cfg.ReplDeadline == 0 {
+		cfg.ReplDeadline = 2 * time.Millisecond
+	}
+}
+
+// FailoverWatcher is notified (in registration order, in engine event
+// order) when the subsystem detects a node death or adopts a rejoined
+// node. The load generator's gateways implement it to migrate queued ops
+// and rebind senders.
+type FailoverWatcher interface {
+	NodeDown(node int)
+	NodeUp(node int)
+}
+
+// App is one running serving subsystem over a cluster.
+type App struct {
+	Cl  *cluster.Cluster
+	Cfg Config
+	Map *ShardMap
+	Rec *Recorder
+
+	nodes []*serverNode
+	down  []bool
+	// gen[i] counts node i's incarnations; cached bindings to i are
+	// stale when their generation lags.
+	gen   []int
+	ready *sim.Cond
+	// upPorts counts a node's live listeners (2 = serving); upProxies its
+	// outbound replication proxies past warmup (n-1 = fully ready).
+	upPorts   []int
+	upProxies []int
+	watchers  []FailoverWatcher
+
+	// Failover/recovery bookkeeping: FailAt is the first detection of a
+	// primary loss, RecoveredAt the first acknowledged op on an affected
+	// shard after it. affected is that outage's shard set.
+	FailAt      sim.Time
+	RecoveredAt sim.Time
+	recovering  bool
+	affected    map[int]bool
+}
+
+// Start builds the shard map and spawns the serving processes (one batch
+// server and one replication server per node). Call WaitReady from client
+// processes before binding.
+func Start(cl *cluster.Cluster, cfg Config) (*App, error) {
+	n := len(cl.Nodes)
+	if n < 2 {
+		return nil, fmt.Errorf("app: need at least 2 nodes, have %d", n)
+	}
+	cfg.defaults(n)
+	if cfg.Shards > 1<<16 {
+		return nil, fmt.Errorf("app: shard count %d exceeds wire limit", cfg.Shards)
+	}
+	a := &App{
+		Cl:       cl,
+		Cfg:      cfg,
+		Map:      NewShardMap(cfg.Shards, n),
+		Rec:      NewRecorder(cfg.Shards, cfg.Trace),
+		nodes:    make([]*serverNode, n),
+		down:     make([]bool, n),
+		gen:       make([]int, n),
+		upPorts:   make([]int, n),
+		upProxies: make([]int, n),
+		ready:     sim.NewCond(cl.Eng),
+		affected:  map[int]bool{},
+	}
+	for i := 0; i < n; i++ {
+		a.startNode(i)
+	}
+	return a, nil
+}
+
+// WaitReady parks the calling proc until every live node is serving both
+// ports and has all its replication proxies through warmup (prebound to
+// their initial followers), so the first traffic never queues behind the
+// slow conventional-network rendezvous.
+func (a *App) WaitReady(p *sim.Proc) {
+	for {
+		ok := true
+		for i := range a.upPorts {
+			if !a.down[i] && (a.upPorts[i] < 2 || a.upProxies[i] < len(a.nodes)-1) {
+				ok = false
+			}
+		}
+		if ok {
+			return
+		}
+		a.ready.Wait(p)
+	}
+}
+
+// Down reports whether a node is currently marked dead.
+func (a *App) Down(node int) bool { return a.down[node] }
+
+// WaitDown parks the calling proc until the node is marked down — the
+// instant the failure detector notices a crash. Restart schedules wait on
+// it so a repair never races the detection deadline.
+func (a *App) WaitDown(p *sim.Proc, node int) {
+	for !a.down[node] {
+		a.ready.Wait(p)
+	}
+}
+
+// Gen returns a node's incarnation count; cached bindings are stale when
+// their recorded generation lags.
+func (a *App) Gen(node int) int { return a.gen[node] }
+
+// Watch registers a failover watcher.
+func (a *App) Watch(w FailoverWatcher) { a.watchers = append(a.watchers, w) }
+
+// NodeDown is the failure-detection entry point: any caller whose RPC to
+// the node timed out reports it here. Idempotent. It promotes followers of
+// the dead node's shards, degrades shards it followed, starts the
+// recovery clock if any primary moved, and notifies watchers so gateways
+// reroute queued work.
+func (a *App) NodeDown(node int) {
+	if a.down[node] {
+		return
+	}
+	a.down[node] = true
+	promoted := a.Map.Fail(node)
+	if len(promoted) > 0 {
+		a.Rec.Count(&a.Rec.Failovers, "failover", 1)
+		if !a.recovering {
+			a.recovering = true
+			a.FailAt = a.Cl.Eng.Now()
+			for _, s := range promoted {
+				a.affected[s] = true
+			}
+		}
+	}
+	for _, w := range a.watchers {
+		w.NodeDown(node)
+	}
+	a.ready.Broadcast()
+}
+
+// NoteServed closes the recovery clock: gateways call it on the first
+// acknowledged op landing on a shard the outage affected.
+func (a *App) NoteServed(shard int) {
+	if !a.recovering || !a.affected[shard] {
+		return
+	}
+	a.recovering = false
+	a.RecoveredAt = a.Cl.Eng.Now()
+}
+
+// Recovering reports whether a detected outage has not yet seen a
+// post-failover acknowledged op.
+func (a *App) Recovering() bool { return a.recovering }
+
+// RecoveryTime returns the measured detection-to-first-acknowledged-op
+// interval of the last completed failover (zero if none completed).
+func (a *App) RecoveryTime() time.Duration {
+	if a.recovering || a.RecoveredAt == 0 {
+		return 0
+	}
+	return a.RecoveredAt.Sub(a.FailAt)
+}
+
+// Rejoin brings a restarted node back into the subsystem: call it after
+// cluster.RestartNode(node). Fresh serving processes spawn on the new
+// machine, the node is adopted as follower for every degraded shard, and
+// the owing primaries are poked to stream snapshots once the new
+// listeners are up. Watchers learn of the rebirth so senders rebind.
+func (a *App) Rejoin(node int) {
+	if !a.down[node] {
+		return
+	}
+	a.down[node] = false
+	a.gen[node]++
+	a.upPorts[node] = 0
+	a.upProxies[node] = 0
+	if old := a.nodes[node]; old != nil {
+		// The crash killed the serving processes but their Ethernet
+		// addresses are still bound; release them for the new incarnation.
+		for _, ln := range old.lns {
+			ln.Port().Close()
+		}
+	}
+	a.startNode(node)
+	owing := a.Map.AdoptReplica(node)
+	for _, p := range owing {
+		if !a.down[p] && a.nodes[p] != nil {
+			a.nodes[p].poke.Broadcast()
+		}
+	}
+	for _, w := range a.watchers {
+		w.NodeUp(node)
+	}
+}
+
+// portUp marks one of a node's listeners live; when both are up the node
+// serves, resyncs into it may start, and WaitReady waiters wake.
+func (a *App) portUp(node int) {
+	a.upPorts[node]++
+	a.ready.Broadcast()
+	if a.upPorts[node] >= 2 {
+		// A rejoined node may owe resyncs that were blocked on its
+		// listeners; poke every primary.
+		for i, sn := range a.nodes {
+			if sn != nil && !a.down[i] {
+				sn.poke.Broadcast()
+			}
+		}
+	}
+}
+
+// proxyUp marks one of a node's outbound replication proxies through
+// warmup; when all are, WaitReady waiters may wake.
+func (a *App) proxyUp(node int) {
+	a.upProxies[node]++
+	a.ready.Broadcast()
+}
+
+// serving reports whether a node is live with both listeners up.
+func (a *App) serving(node int) bool {
+	return !a.down[node] && a.upPorts[node] >= 2
+}
+
+// Lookup reads a key's current value directly from its shard's primary
+// store — host-side inspection for tests (no virtual time, no RPC).
+func (a *App) Lookup(key uint64) ([]byte, bool) {
+	s := a.Map.ShardOf(key)
+	in := a.Map.Shards[s]
+	if in.Primary < 0 || a.down[in.Primary] || a.nodes[in.Primary] == nil {
+		return nil, false
+	}
+	return a.nodes[in.Primary].shards[s].store.Get(key)
+}
+
+// ShardStores returns, for every shard, the primary's entry count —
+// host-side inspection for tests and reports.
+func (a *App) ShardStores() []int {
+	out := make([]int, a.Cfg.Shards)
+	for s := range out {
+		in := a.Map.Shards[s]
+		if in.Primary >= 0 && !a.down[in.Primary] && a.nodes[in.Primary] != nil {
+			out[s] = a.nodes[in.Primary].shards[s].store.Len()
+		}
+	}
+	return out
+}

@@ -1,0 +1,712 @@
+package loadgen
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"shrimp/internal/app"
+	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
+	"shrimp/internal/srpc"
+	"shrimp/internal/vmmc"
+)
+
+// Config shapes the offered load.
+type Config struct {
+	// Sessions is the number of simulated client sessions, spread evenly
+	// over the gateways. Sessions issue requests through their gateway's
+	// seeded arrival process; a session has issued a request once the
+	// gateway's session permutation reaches it, so offered load of at
+	// least Sessions requests drives every session.
+	Sessions int
+	// Gateways lists the nodes hosting gateway front-ends (default: all
+	// nodes). A crash scenario should aim at non-gateway nodes: gateways
+	// model client-side infrastructure, not the replicated service.
+	Gateways []int
+	// Duration is the generation window in virtual time (default 10ms).
+	Duration time.Duration
+	// Tick is the arrival-schedule quantum (default 20µs).
+	Tick time.Duration
+	// Rate is the aggregate offered load in ops/sec of virtual time,
+	// averaged over on/off bursts (default 1e6).
+	Rate float64
+	// OnMean/OffMean shape bursty arrivals: each gateway alternates
+	// exponential-ish on/off phases with these mean lengths, with the on
+	// rate scaled so the long-run average stays Rate. Zero means
+	// continuously on.
+	OnMean, OffMean time.Duration
+	// Keys is the key-space size; draws are Zipfian ranks 1..Keys
+	// (default 1<<16).
+	Keys int
+	// ZipfS is the Zipf exponent (default 1.07 — skewed, hot rank 1).
+	ZipfS float64
+	// WriteFrac is the put fraction (default 0.1).
+	WriteFrac float64
+	// BatchOps caps ops per SRPC batch call (default 128; batches also
+	// respect the wire image budget).
+	BatchOps int
+	// ReplicaReadFrac is the fraction of reads flagged replica-OK, which
+	// the gateway then fans out to a synced follower (default 0).
+	ReplicaReadFrac float64
+	// ValueBytes sizes put values (min and default 16: the value embeds
+	// key, gateway, and sequence for integrity and lost-write checks).
+	ValueBytes int
+	// Seed seeds every gateway's private draw stream (default 1).
+	Seed uint64
+	// TrackAcks records every acknowledged put (single-gateway configs
+	// only) so tests can assert no acknowledged write is lost.
+	TrackAcks bool
+}
+
+func (cfg *Config) defaults(nodes int) error {
+	if len(cfg.Gateways) == 0 {
+		for i := 0; i < nodes; i++ {
+			cfg.Gateways = append(cfg.Gateways, i)
+		}
+	}
+	if cfg.Sessions == 0 {
+		cfg.Sessions = 1 << 12
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 10 * time.Millisecond
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 20 * time.Microsecond
+	}
+	if cfg.Rate == 0 {
+		cfg.Rate = 1e6
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 1 << 16
+	}
+	if cfg.ZipfS == 0 {
+		cfg.ZipfS = 1.07
+	}
+	if cfg.WriteFrac == 0 {
+		cfg.WriteFrac = 0.1
+	}
+	if cfg.BatchOps == 0 {
+		cfg.BatchOps = 128
+	}
+	if cfg.ValueBytes < 16 {
+		cfg.ValueBytes = 16
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.TrackAcks && len(cfg.Gateways) != 1 {
+		return fmt.Errorf("loadgen: TrackAcks needs exactly one gateway, have %d", len(cfg.Gateways))
+	}
+	return nil
+}
+
+// gop is one generated request from arrival to terminal status.
+type gop struct {
+	key   uint64
+	arr   sim.Time
+	shard uint16
+	kind  uint8
+	flags uint8
+	seq   uint32
+}
+
+// queue is a head-indexed FIFO of ops bound for one target node.
+type queue struct {
+	ops  []gop
+	head int
+}
+
+func (q *queue) size() int { return len(q.ops) - q.head }
+
+func (q *queue) push(op gop) {
+	if q.head > 1024 && q.head*2 > len(q.ops) {
+		q.ops = append(q.ops[:0], q.ops[q.head:]...)
+		q.head = 0
+	}
+	q.ops = append(q.ops, op)
+}
+
+func (q *queue) pushFront(ops []gop) {
+	rest := q.ops[q.head:]
+	merged := make([]gop, 0, len(ops)+len(rest))
+	merged = append(merged, ops...)
+	merged = append(merged, rest...)
+	q.ops, q.head = merged, 0
+}
+
+func (q *queue) popUpTo(n int) []gop {
+	if m := q.size(); n > m {
+		n = m
+	}
+	out := q.ops[q.head : q.head+n]
+	q.head += n
+	return out
+}
+
+// Gen is one running load generation over an app.
+type Gen struct {
+	app *app.App
+	cfg Config
+	gws []*gateway
+
+	// AckedPuts maps key → highest acknowledged put sequence (TrackAcks).
+	AckedPuts map[uint64]uint32
+
+	// Warmup barrier: tickers hold generation until every sender has its
+	// binding wired, so the slow conventional-network rendezvous storm at
+	// startup happens off the clock instead of under the call deadline.
+	senders   int
+	bound     int
+	boundCond *sim.Cond
+
+	startAt  sim.Time
+	finishAt sim.Time
+}
+
+// waitBound parks until every sender finished its warmup bind.
+func (g *Gen) waitBound(p *sim.Proc) {
+	for g.bound < g.senders {
+		g.boundCond.Wait(p)
+	}
+}
+
+// WaitStarted parks until generation has begun — the serving subsystem is
+// ready and the warmup bind barrier is down. Scenario drivers use it to
+// schedule mid-load events (a crash) relative to the actual start of
+// traffic rather than t=0, which warmup precedes by a long, topology-
+// dependent stretch of rendezvous traffic.
+func (g *Gen) WaitStarted(p *sim.Proc) {
+	g.app.WaitReady(p)
+	g.waitBound(p)
+}
+
+// Start spawns the gateways (one arrival ticker plus one sender per
+// target node, on each gateway node). Generation begins once the app
+// reports ready; run the cluster to drive it.
+func Start(a *app.App, cfg Config) (*Gen, error) {
+	if err := cfg.defaults(len(a.Cl.Nodes)); err != nil {
+		return nil, err
+	}
+	g := &Gen{app: a, cfg: cfg,
+		senders:   len(cfg.Gateways) * len(a.Cl.Nodes),
+		boundCond: sim.NewCond(a.Cl.Eng)}
+	if cfg.TrackAcks {
+		g.AckedPuts = make(map[uint64]uint32)
+	}
+	zipf := newZipf(cfg.Keys, cfg.ZipfS)
+	nodes := len(a.Cl.Nodes)
+	perGW := cfg.Sessions / len(cfg.Gateways)
+	for gi, node := range cfg.Gateways {
+		sessions := perGW
+		if gi == len(cfg.Gateways)-1 {
+			sessions = cfg.Sessions - perGW*(len(cfg.Gateways)-1)
+		}
+		gw := &gateway{
+			g:      g,
+			idx:    gi,
+			node:   node,
+			rng:    newRng(cfg.Seed + uint64(gi)*0x9e3779b97f4a7c15),
+			zipf:   zipf,
+			queues: make([]queue, nodes),
+			cond:   sim.NewCond(a.Cl.Eng),
+		}
+		gw.perm = make([]uint32, sessions)
+		for i := range gw.perm {
+			gw.perm[i] = uint32(i)
+		}
+		for i := len(gw.perm) - 1; i > 0; i-- {
+			j := gw.rng.intn(i + 1)
+			gw.perm[i], gw.perm[j] = gw.perm[j], gw.perm[i]
+		}
+		g.gws = append(g.gws, gw)
+		a.Watch(gw)
+		a.Cl.Spawn(node, fmt.Sprintf("lg-tick-%d", gi), gw.tickerBody)
+		for t := 0; t < nodes; t++ {
+			t := t
+			a.Cl.Spawn(node, fmt.Sprintf("lg-send-%d-%d", gi, t),
+				func(p *kernel.Process) { gw.senderBody(p, t) })
+		}
+	}
+	return g, nil
+}
+
+// gateway is one node's client front-end: it turns the seeded arrival
+// schedule into routed per-target queues and drains them through one
+// sender process per target node.
+type gateway struct {
+	g    *Gen
+	idx  int
+	node int
+	rng  rng64
+	zipf *zipfTable
+
+	// perm is the seeded session-visit order; cursor wraps through it so
+	// every session issues a request before any issues a second.
+	perm    []uint32
+	cursor  int
+	wrapped bool
+
+	queues []queue
+	cond   *sim.Cond
+	done   bool
+	// outstanding counts emitted ops not yet terminal (acked, shed, or
+	// dropped); senders exit once done and drained.
+	outstanding int
+	seq         uint32
+
+	emitted   int64
+	completed int64
+
+	// on/off burst state
+	on       bool
+	phaseEnd sim.Time
+}
+
+// NodeDown implements app.FailoverWatcher: requeue everything bound for
+// the corpse onto the survivors the shard map now names.
+func (gw *gateway) NodeDown(node int) {
+	moved := gw.queues[node].popUpTo(gw.queues[node].size())
+	for _, op := range moved {
+		gw.route(op)
+	}
+	if len(moved) > 0 {
+		gw.g.app.Rec.Count(&gw.g.app.Rec.Retries, "retry", int64(len(moved)))
+	}
+	gw.cond.Broadcast()
+}
+
+// NodeUp implements app.FailoverWatcher. Nothing queues for a rejoined
+// node until the map routes reads to it again; senders notice the new
+// incarnation themselves.
+func (gw *gateway) NodeUp(node int) { gw.cond.Broadcast() }
+
+// route places an op on the queue of the node currently serving it. An
+// op whose shard lost both copies (double failure) is dropped as an
+// error rather than spun on.
+func (gw *gateway) route(op gop) {
+	t := gw.targetOf(op)
+	if gw.g.app.Down(t) {
+		a := gw.g.app
+		a.Rec.Count(&a.Rec.Dropped, "dropped", 1)
+		gw.terminal(1)
+		return
+	}
+	gw.queues[t].push(op)
+}
+
+// tickerBody emits the arrival schedule: per tick, a burst-state update
+// and a rate-derived number of arrivals, each routed immediately. The
+// ticker holds the engine busy for the whole window — it is the load.
+func (gw *gateway) tickerBody(p *kernel.Process) {
+	g := gw.g
+	g.app.WaitReady(p.P)
+	g.waitBound(p.P)
+	eng := g.app.Cl.Eng
+	if g.startAt == 0 {
+		g.startAt = eng.Now()
+	}
+	end := eng.Now().Add(g.cfg.Duration)
+	perGWRate := g.cfg.Rate / float64(len(g.cfg.Gateways))
+	onRate := perGWRate
+	if g.cfg.OnMean > 0 && g.cfg.OffMean > 0 {
+		duty := float64(g.cfg.OnMean) / float64(g.cfg.OnMean+g.cfg.OffMean)
+		onRate = perGWRate / duty
+	}
+	perTick := onRate * g.cfg.Tick.Seconds()
+	gw.on = true
+	if g.cfg.OnMean > 0 && g.cfg.OffMean > 0 {
+		// Bursty: start in an off phase of length zero so the first flip
+		// draws an on phase.
+		gw.on = false
+		gw.phaseEnd = eng.Now()
+	}
+	for {
+		now := eng.Now()
+		if now >= end {
+			break
+		}
+		if g.cfg.OnMean > 0 && g.cfg.OffMean > 0 {
+			for now >= gw.phaseEnd {
+				mean := g.cfg.OffMean
+				if gw.on = !gw.on; gw.on {
+					mean = g.cfg.OnMean
+				}
+				gw.phaseEnd = gw.phaseEnd.Add(time.Duration((0.5 + gw.rng.f64()) * float64(mean)))
+				if gw.phaseEnd < now {
+					gw.phaseEnd = now
+				}
+			}
+		}
+		if gw.on {
+			n := int(perTick)
+			if gw.rng.f64() < perTick-float64(n) {
+				n++
+			}
+			for i := 0; i < n; i++ {
+				gw.emit(now)
+			}
+			if n > 0 {
+				gw.cond.Broadcast()
+			}
+		}
+		p.P.Sleep(g.cfg.Tick)
+	}
+	gw.done = true
+	gw.cond.Broadcast()
+}
+
+// emit draws one request: the next session in the seeded permutation
+// issues an op with a Zipfian key, put with probability WriteFrac, and a
+// replica-OK flag on the configured read fraction.
+func (gw *gateway) emit(now sim.Time) {
+	g := gw.g
+	gw.cursor++
+	if gw.cursor == len(gw.perm) {
+		gw.cursor = 0
+		gw.wrapped = true
+	}
+	key := gw.zipf.draw(&gw.rng)
+	kind, flags, seq := uint8(app.OpGet), uint8(0), uint32(0)
+	if gw.rng.f64() < g.cfg.WriteFrac {
+		kind = app.OpPut
+		gw.seq++
+		seq = gw.seq
+	} else if gw.rng.f64() < g.cfg.ReplicaReadFrac {
+		flags = app.FlagReplicaOK
+	}
+	op := gop{
+		key:   key,
+		arr:   now,
+		shard: uint16(g.app.Map.ShardOf(key)),
+		kind:  kind,
+		flags: flags,
+		seq:   seq,
+	}
+	gw.emitted++
+	gw.outstanding++
+	gw.route(op)
+}
+
+// value builds a put's payload: key, gateway, and sequence embedded for
+// the reader-side integrity check and the lost-write audit, padded to the
+// configured size.
+func (gw *gateway) value(op gop) []byte {
+	v := make([]byte, gw.g.cfg.ValueBytes)
+	binary.LittleEndian.PutUint64(v, op.key)
+	binary.LittleEndian.PutUint32(v[8:], uint32(gw.idx))
+	binary.LittleEndian.PutUint32(v[12:], op.seq)
+	return v
+}
+
+// terminal retires n ops and, once the generator is done and drained,
+// stamps the finish time and releases the parked senders.
+func (gw *gateway) terminal(n int) {
+	gw.outstanding -= n
+	if gw.done && gw.outstanding == 0 {
+		g := gw.g
+		if now := g.app.Cl.Eng.Now(); now > g.finishAt {
+			g.finishAt = now
+		}
+		gw.cond.Broadcast()
+	}
+}
+
+// senderBody drains one target node's queue: batch, bind (rebinding when
+// the target's incarnation changes), call with the failover deadline,
+// then settle per-op statuses. A timeout reports the node down, which
+// reroutes everything — including this batch, requeued at the front.
+func (gw *gateway) senderBody(p *kernel.Process, target int) {
+	g := gw.g
+	a := g.app
+	a.WaitReady(p.P)
+	ep := vmmc.Attach(p, a.Cl.Node(gw.node).Daemon)
+	var b *srpc.Binding
+	bGen := -1
+	// Warmup: wire the binding before generation starts, so the rendezvous
+	// storm of every sender binding at once cannot push early calls past
+	// the failover deadline. A failure here is left for the serving loop to
+	// rediscover (the barrier must come down either way).
+	if nb, err := srpc.BindTimeout(ep, a.Cl.Ether, target, app.Port, bindDeadline(a)); err == nil {
+		b, bGen = nb, a.Gen(target)
+	}
+	g.bound++
+	g.boundCond.Broadcast()
+	for {
+		for gw.queues[target].size() == 0 {
+			if gw.done && gw.outstanding == 0 {
+				return
+			}
+			gw.cond.Wait(p.P)
+		}
+		if a.Down(target) {
+			// Routed here before the detection; follow the survivors.
+			gw.NodeDown(target)
+			continue
+		}
+		batch := gw.popBatch(target)
+		if len(batch) == 0 {
+			continue
+		}
+		if b == nil || bGen != a.Gen(target) {
+			nb, err := srpc.BindTimeout(ep, a.Cl.Ether, target, app.Port, bindDeadline(a))
+			if err != nil {
+				a.Rec.Count(&a.Rec.Timeouts, "client.timeout", 1)
+				a.NodeDown(target)
+				gw.requeueFront(batch)
+				b = nil
+				continue
+			}
+			b, bGen = nb, a.Gen(target)
+		}
+		img := gw.encode(batch)
+		sent := a.Cl.Eng.Now()
+		rlen, err := b.CallTimeout(app.ProcBatch, img, a.Cfg.CallDeadline)
+		if err != nil {
+			a.Rec.Count(&a.Rec.Timeouts, "client.timeout", 1)
+			a.NodeDown(target)
+			gw.requeueFront(batch)
+			b = nil
+			continue
+		}
+		gw.settle(batch, b.ReadReply(rlen), sent)
+	}
+}
+
+// bindDeadline bounds the Ethernet rendezvous, which crosses the slow
+// shared conventional network several times. When every sender binds at
+// once (warmup, or a post-failover rebind wave) the rendezvous traffic of
+// the whole fleet serializes on that 10 Mb/s wire, so the deadline must be
+// generous — a slow bind means congestion, not death; genuinely dead nodes
+// are detected by the much tighter call deadline on the fast path.
+func bindDeadline(a *app.App) time.Duration {
+	if d := a.Cfg.CallDeadline; d > 2*time.Second {
+		return d
+	}
+	return 2 * time.Second
+}
+
+// popBatch pops ops for one call, bounded by the op cap and by both the
+// request and worst-case reply image budgets.
+func (gw *gateway) popBatch(target int) []gop {
+	g := gw.g
+	q := &gw.queues[target]
+	reqBytes, repBytes := 4, 4
+	n := 0
+	vb := g.cfg.ValueBytes
+	for n < q.size() && n < g.cfg.BatchOps {
+		op := q.ops[q.head+n]
+		rq, rp := 12, 8+(vb+3)&^3
+		if op.kind == app.OpPut {
+			rq, rp = 12+4+(vb+3)&^3, 4
+		}
+		if reqBytes+rq > app.MaxBatchImage || repBytes+rp > app.MaxBatchImage {
+			break
+		}
+		reqBytes += rq
+		repBytes += rp
+		n++
+	}
+	// Ops whose routing moved since enqueue go back through route().
+	raw := q.popUpTo(n)
+	batch := make([]gop, 0, len(raw))
+	for _, op := range raw {
+		if gw.targetOf(op) != target {
+			gw.route(op)
+			continue
+		}
+		batch = append(batch, op)
+	}
+	return batch
+}
+
+func (gw *gateway) targetOf(op gop) int {
+	in := gw.g.app.Map.Shards[op.shard]
+	if op.kind == app.OpGet && op.flags&app.FlagReplicaOK != 0 &&
+		in.Replica >= 0 && in.Synced && !gw.g.app.Down(in.Replica) {
+		return in.Replica
+	}
+	return in.Primary
+}
+
+// requeueFront returns a failed batch to the head of its (re-routed)
+// queues, preserving order.
+func (gw *gateway) requeueFront(batch []gop) {
+	a := gw.g.app
+	a.Rec.Count(&a.Rec.Retries, "retry", int64(len(batch)))
+	// Group by new target, preserving batch order within each group.
+	byTarget := map[int][]gop{}
+	order := []int{}
+	for _, op := range batch {
+		t := gw.targetOf(op)
+		if _, ok := byTarget[t]; !ok {
+			order = append(order, t)
+		}
+		byTarget[t] = append(byTarget[t], op)
+	}
+	for _, t := range order {
+		gw.queues[t].pushFront(byTarget[t])
+	}
+	gw.cond.Broadcast()
+}
+
+func (gw *gateway) encode(batch []gop) []byte {
+	img := make([]byte, 0, 256)
+	img = binary.LittleEndian.AppendUint32(img, uint32(len(batch)))
+	for _, op := range batch {
+		var val []byte
+		if op.kind == app.OpPut {
+			val = gw.value(op)
+		}
+		img = appendWireOp(img, op, val)
+	}
+	return img
+}
+
+// settle applies one reply to its batch: latencies and acks for served
+// ops, requeues for WrongNode, drops (with a protocol-error count) for
+// anything undecodable.
+func (gw *gateway) settle(batch []gop, reply []byte, sent sim.Time) {
+	g := gw.g
+	a := g.app
+	rec := a.Rec
+	now := a.Cl.Eng.Now()
+	cnt, rest, ok := replyHeader(reply)
+	if !ok || int(cnt) != len(batch) {
+		rec.Count(&rec.ProtoErrs, "proto.err", int64(len(batch)))
+		gw.terminal(len(batch))
+		return
+	}
+	for i := range batch {
+		op := batch[i]
+		st, val, next, ok := replyStatus(rest, op.kind)
+		rest = next
+		if !ok {
+			rec.Count(&rec.ProtoErrs, "proto.err", int64(len(batch)-i))
+			gw.terminal(len(batch) - i)
+			return
+		}
+		switch st {
+		case app.StatusOK, app.StatusNotFound:
+			if op.kind == app.OpGet {
+				if st == app.StatusOK && !valueChecks(val, op.key) {
+					rec.Count(&rec.ValueErrs, "value.err", 1)
+				}
+				rec.Latency(app.ClassGet, sim.Time(now.Sub(op.arr)))
+				rec.Latency(app.ClassGetSrv, sim.Time(now.Sub(sent)))
+			} else {
+				rec.Latency(app.ClassPut, sim.Time(now.Sub(op.arr)))
+				rec.Latency(app.ClassPutSrv, sim.Time(now.Sub(sent)))
+				if g.AckedPuts != nil {
+					if op.seq > g.AckedPuts[op.key] {
+						g.AckedPuts[op.key] = op.seq
+					}
+				}
+			}
+			gw.completed++
+			if a.Recovering() {
+				a.NoteServed(int(op.shard))
+			}
+			gw.terminal(1)
+		case app.StatusShed:
+			gw.terminal(1)
+		case app.StatusWrongNode:
+			rec.Count(&rec.Retries, "retry", 1)
+			gw.route(op)
+			gw.cond.Broadcast()
+		default:
+			rec.Count(&rec.ProtoErrs, "proto.err", 1)
+			gw.terminal(1)
+		}
+	}
+}
+
+// appendWireOp marshals one op (loadgen's view of the app wire format).
+func appendWireOp(img []byte, op gop, val []byte) []byte {
+	return app.AppendOp(img, int(op.kind), int(op.flags), int(op.shard), op.key, val)
+}
+
+// replyHeader reads a reply's count word.
+func replyHeader(reply []byte) (uint32, []byte, bool) {
+	if len(reply) < 4 {
+		return 0, nil, false
+	}
+	return binary.LittleEndian.Uint32(reply), reply[4:], true
+}
+
+// replyStatus reads one op's status (and value, for served gets).
+func replyStatus(rest []byte, kind uint8) (uint32, []byte, []byte, bool) {
+	if len(rest) < 4 {
+		return 0, nil, nil, false
+	}
+	st := binary.LittleEndian.Uint32(rest)
+	rest = rest[4:]
+	var val []byte
+	if st == app.StatusOK && kind == app.OpGet {
+		if len(rest) < 4 {
+			return 0, nil, nil, false
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		pn := (n + 3) &^ 3
+		if 4+pn > len(rest) {
+			return 0, nil, nil, false
+		}
+		val = rest[4 : 4+n]
+		rest = rest[4+pn:]
+	}
+	return st, val, rest, true
+}
+
+// valueChecks verifies a read value embeds the key it was stored under.
+func valueChecks(val []byte, key uint64) bool {
+	return len(val) >= 16 && binary.LittleEndian.Uint64(val) == key
+}
+
+// Report summarizes a finished run.
+type Report struct {
+	Sessions  int64 // distinct sessions that issued at least one request
+	Requests  int64 // arrivals emitted
+	Completed int64 // ops acknowledged (served or not-found)
+
+	// Quantiles per class, virtual nanoseconds.
+	P50, P99, P999 [4]int64
+
+	ThroughputOpsSec float64 // completed ops per second of virtual makespan
+	MakespanNS       int64
+
+	Recovery time.Duration // measured failover recovery, zero if none
+}
+
+// Done reports whether every gateway finished generating and drained.
+func (g *Gen) Done() bool {
+	for _, gw := range g.gws {
+		if !gw.done || gw.outstanding != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Report builds the run summary; call after the cluster drains.
+func (g *Gen) Report() Report {
+	r := Report{Recovery: g.app.RecoveryTime()}
+	for _, gw := range g.gws {
+		if gw.wrapped {
+			r.Sessions += int64(len(gw.perm))
+		} else {
+			r.Sessions += int64(gw.cursor)
+		}
+		r.Requests += gw.emitted
+		r.Completed += gw.completed
+	}
+	for c := 0; c < 4; c++ {
+		r.P50[c] = g.app.Rec.Quantile(c, 0.50)
+		r.P99[c] = g.app.Rec.Quantile(c, 0.99)
+		r.P999[c] = g.app.Rec.Quantile(c, 0.999)
+	}
+	r.MakespanNS = int64(g.finishAt.Sub(g.startAt))
+	if r.MakespanNS > 0 {
+		r.ThroughputOpsSec = float64(r.Completed) / (float64(r.MakespanNS) / 1e9)
+	}
+	return r
+}

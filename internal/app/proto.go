@@ -1,0 +1,188 @@
+package app
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"shrimp/internal/srpc"
+)
+
+// Rendezvous ports and procedure numbers of the serving subsystem's two
+// SRPC services: the client-facing batch service and the primary→replica
+// replication service (a separate port served by a separate process, so a
+// primary replicating into a node never waits behind that node's own
+// client work — the cycle that would otherwise deadlock two primaries
+// replicating into each other).
+const (
+	// Port is the client-facing batch RPC rendezvous port.
+	Port = 700
+	// ReplPort is the replication/resync rendezvous port.
+	ReplPort = 701
+
+	// ProcBatch executes a batch of KV ops (client → any server).
+	ProcBatch = 1
+	// ProcRepl applies a batch of replicated writes (primary → replica).
+	ProcRepl = 2
+)
+
+// Op kinds, flag bits, and per-op reply statuses.
+const (
+	OpGet = 0
+	OpPut = 1
+
+	// FlagReplicaOK marks a read the client is willing to have served by
+	// a synced replica (read fan-out; slightly stale is acceptable).
+	FlagReplicaOK = 1
+
+	// StatusOK: executed; a get's reply carries the value.
+	StatusOK = 0
+	// StatusShed: rejected by per-shard admission control. Terminal — the
+	// client reports the error upward instead of retrying into overload.
+	StatusShed = 1
+	// StatusWrongNode: this node does not (any longer) hold the role the
+	// client routed for; the client re-reads the shard map and retries.
+	StatusWrongNode = 2
+	// StatusNotFound: get of an absent key.
+	StatusNotFound = 3
+	// StatusBadRequest: the op could not be decoded.
+	StatusBadRequest = 4
+)
+
+// MaxBatchImage bounds one batch's marshaled size.
+const MaxBatchImage = srpc.MaxPayload
+
+func pad4(n int) int { return (n + 3) &^ 3 }
+
+// opWireSize returns the marshaled size of one request op.
+func opWireSize(kind int, vlen int) int {
+	n := 4 + 8 // meta + key
+	if kind == OpPut {
+		n += 4 + pad4(vlen)
+	}
+	return n
+}
+
+// AppendOp marshals one op onto a request image: a meta word
+// [kind:8|flags:8|shard:16], the key, and for puts the value. Exported
+// for the load generator, which builds batch images directly.
+func AppendOp(buf []byte, kind, flags, shard int, key uint64, val []byte) []byte {
+	meta := uint32(kind&0xff)<<24 | uint32(flags&0xff)<<16 | uint32(shard&0xffff)
+	buf = binary.LittleEndian.AppendUint32(buf, meta)
+	buf = binary.LittleEndian.AppendUint64(buf, key)
+	if kind == OpPut {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
+		buf = append(buf, val...)
+		for len(buf)%4 != 0 {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+// cursor is a front-to-back wire decoder over a copied image.
+type cursor struct {
+	buf []byte
+	off int
+}
+
+func (c *cursor) u32() (uint32, error) {
+	if c.off+4 > len(c.buf) {
+		return 0, fmt.Errorf("app: truncated image at %d/%d", c.off, len(c.buf))
+	}
+	v := binary.LittleEndian.Uint32(c.buf[c.off:])
+	c.off += 4
+	return v, nil
+}
+
+func (c *cursor) u64() (uint64, error) {
+	if c.off+8 > len(c.buf) {
+		return 0, fmt.Errorf("app: truncated image at %d/%d", c.off, len(c.buf))
+	}
+	v := binary.LittleEndian.Uint64(c.buf[c.off:])
+	c.off += 8
+	return v, nil
+}
+
+func (c *cursor) bytes() ([]byte, error) {
+	n, err := c.u32()
+	if err != nil {
+		return nil, err
+	}
+	end := c.off + pad4(int(n))
+	if int(n) > len(c.buf)-c.off || end > len(c.buf) {
+		return nil, fmt.Errorf("app: truncated bytes field (%d) at %d/%d", n, c.off, len(c.buf))
+	}
+	v := c.buf[c.off : c.off+int(n)]
+	c.off = end
+	return v, nil
+}
+
+// wireOp is one decoded request op.
+type wireOp struct {
+	Kind  int
+	Flags int
+	Shard int
+	Key   uint64
+	Val   []byte
+}
+
+func (c *cursor) op() (wireOp, error) {
+	meta, err := c.u32()
+	if err != nil {
+		return wireOp{}, err
+	}
+	key, err := c.u64()
+	if err != nil {
+		return wireOp{}, err
+	}
+	op := wireOp{
+		Kind:  int(meta >> 24),
+		Flags: int(meta >> 16 & 0xff),
+		Shard: int(meta & 0xffff),
+		Key:   key,
+	}
+	if op.Kind == OpPut {
+		if op.Val, err = c.bytes(); err != nil {
+			return wireOp{}, err
+		}
+	}
+	return op, nil
+}
+
+// replRec is one replicated write: shard, key, value.
+type replRec struct {
+	Shard int
+	Key   uint64
+	Val   []byte
+}
+
+// replRecSize returns the marshaled size of one replication record.
+func replRecSize(vlen int) int { return 4 + 8 + 4 + pad4(vlen) }
+
+// appendReplRec marshals one replication record.
+func appendReplRec(buf []byte, r replRec) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Shard))
+	buf = binary.LittleEndian.AppendUint64(buf, r.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Val)))
+	buf = append(buf, r.Val...)
+	for len(buf)%4 != 0 {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func (c *cursor) replRec() (replRec, error) {
+	s, err := c.u32()
+	if err != nil {
+		return replRec{}, err
+	}
+	key, err := c.u64()
+	if err != nil {
+		return replRec{}, err
+	}
+	val, err := c.bytes()
+	if err != nil {
+		return replRec{}, err
+	}
+	return replRec{Shard: int(s), Key: key, Val: val}, nil
+}

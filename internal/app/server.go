@@ -1,0 +1,602 @@
+package app
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"shrimp/internal/kernel"
+	"shrimp/internal/sim"
+	"shrimp/internal/srpc"
+	"shrimp/internal/vmmc"
+)
+
+// replChunk caps one replication call's image. Smaller than the batch
+// image budget on purpose: a synchronously awaited write group never sits
+// behind more than one chunk of a snapshot stream on the shared proxy.
+const replChunk = 4096
+
+// shardState is one shard's serving state on one node. Admission control
+// is a fluid backlog: backlogUntil is the virtual instant the shard's
+// queued work drains; its distance from now, divided by the per-op
+// service time, is the queue depth the bound applies to.
+type shardState struct {
+	store        *Store
+	backlogUntil sim.Time
+}
+
+// serverNode is one node's serving state: every shard's local copy (it
+// may hold any shard as primary or follower over its lifetime) and the
+// outbound replication proxies it owns. Processes: "app-srv" owns the
+// client-facing port and every accepted client binding; "app-repl" owns
+// the replication port and never initiates calls; one "app-out" proxy per
+// peer owns the outbound replication binding to that peer — so the slow
+// conventional-network rendezvous (warmup, or a rebind after a rejoin)
+// never stalls client serving, and two primaries replicating into each
+// other cannot deadlock.
+type serverNode struct {
+	app    *App
+	node   int
+	shards []*shardState
+	// poke wakes the srv process for non-binding work (a resync coming
+	// due after a rejoin).
+	poke *sim.Cond
+	// lns are the node's live listeners. A crash kills the serving
+	// processes but leaves their Ethernet addresses bound; Rejoin closes
+	// the corpse's listeners so the fresh incarnation can claim them.
+	lns []*srpc.Listener
+	// out[t] is the replication proxy to node t (nil at the self index).
+	out []*outProxy
+	// session[s] marks a snapshot resync in flight for shard s;
+	// pendingRepl[s] counts its queued-but-unacked proxy entries. When the
+	// last drains, the follower has every write and Synced flips.
+	session     []bool
+	pendingRepl []int
+}
+
+// startNode allocates a node's serving state and spawns its processes.
+func (a *App) startNode(i int) {
+	n := len(a.nodes)
+	sn := &serverNode{
+		app:         a,
+		node:        i,
+		shards:      make([]*shardState, a.Cfg.Shards),
+		poke:        sim.NewCond(a.Cl.Eng),
+		out:         make([]*outProxy, n),
+		session:     make([]bool, a.Cfg.Shards),
+		pendingRepl: make([]int, a.Cfg.Shards),
+	}
+	for s := range sn.shards {
+		sn.shards[s] = &shardState{store: NewStore()}
+	}
+	a.nodes[i] = sn
+	a.Cl.Spawn(i, fmt.Sprintf("app-srv-%d", i), sn.srvBody)
+	a.Cl.Spawn(i, fmt.Sprintf("app-repl-%d", i), sn.replBody)
+	for t := 0; t < n; t++ {
+		if t == i {
+			continue
+		}
+		px := &outProxy{sn: sn, target: t, cond: sim.NewCond(a.Cl.Eng)}
+		sn.out[t] = px
+		a.Cl.Spawn(i, fmt.Sprintf("app-out-%d-%d", i, t), px.body)
+	}
+}
+
+// serveLoop is the shared multiplexed server: accept every pending
+// binding request, serve every binding with a ready call (in accept
+// order), run due side work, then park until a flag write, a rendezvous
+// datagram, or a poke. One process serves an open-ended client set.
+func (sn *serverNode) serveLoop(p *kernel.Process, port int,
+	serve func(*srpc.Binding), side func() bool) {
+	p.P.MarkService()
+	a := sn.app
+	ep := vmmc.Attach(p, a.Cl.Node(sn.node).Daemon)
+	ln := srpc.Listen(ep, a.Cl.Ether, sn.node, port)
+	sn.lns = append(sn.lns, ln)
+	a.portUp(sn.node)
+	var bindings []*srpc.Binding
+	for {
+		for ln.Port().Pending() > 0 {
+			b, err := ln.Accept()
+			if err != nil {
+				// The requester died between asking and wiring; its
+				// residue is not this server's problem.
+				a.Rec.Count(&a.Rec.AcceptErrs, "accept.err", 1)
+				continue
+			}
+			bindings = append(bindings, b)
+		}
+		for {
+			progress := false
+			for _, b := range bindings {
+				if b.CallReady() {
+					serve(b)
+					progress = true
+				}
+			}
+			if side != nil && side() {
+				progress = true
+			}
+			if !progress {
+				break
+			}
+		}
+		vas := make([]kernel.VA, len(bindings))
+		for i, b := range bindings {
+			vas[i] = b.FlagVA()
+		}
+		p.WaitPred(vas, []*sim.Cond{ln.Port().Cond(), sn.poke}, func() bool {
+			if ln.Port().Pending() > 0 {
+				return true
+			}
+			for _, b := range bindings {
+				if b.CallReady() {
+					return true
+				}
+			}
+			return side != nil && sn.resyncDue()
+		})
+	}
+}
+
+// srvBody runs the client-facing batch server; its side work is starting
+// snapshot resync sessions into rejoined followers.
+func (sn *serverNode) srvBody(p *kernel.Process) {
+	sn.serveLoop(p, Port,
+		func(b *srpc.Binding) { sn.serveBatch(p, b) },
+		sn.startResyncs)
+}
+
+// replBody runs the replication server: it applies pushed writes and
+// never initiates calls.
+func (sn *serverNode) replBody(p *kernel.Process) {
+	sn.serveLoop(p, ReplPort,
+		func(b *srpc.Binding) { sn.serveRepl(b) }, nil)
+}
+
+// serveBatch executes one client batch: route-check each op against the
+// shard map, admit or shed against the shard's backlog, apply, model the
+// service time, synchronously replicate admitted writes, and reply with
+// per-op statuses.
+func (sn *serverNode) serveBatch(p *kernel.Process, b *srpc.Binding) {
+	a := sn.app
+	proc, alen := b.NextCall()
+	img := b.ReadArgs(alen)
+	c := &cursor{buf: img}
+	n, err := c.u32()
+	if proc != ProcBatch || err != nil {
+		b.Finish(proc, 0)
+		return
+	}
+	ops := make([]wireOp, 0, n)
+	for i := 0; i < int(n); i++ {
+		op, err := c.op()
+		if err != nil {
+			// A malformed batch gets an empty reply; the client counts
+			// the whole batch as a protocol error.
+			b.Finish(ProcBatch, 0)
+			return
+		}
+		ops = append(ops, op)
+	}
+
+	eng := a.Cl.Eng
+	now := eng.Now()
+	statuses := make([]uint32, len(ops))
+	vals := make([][]byte, len(ops))
+	maxDone := now
+	groups := map[int][]replRec{}
+	sess := map[[2]int][]replRec{}
+	for i := range ops {
+		op := &ops[i]
+		if op.Shard >= len(a.Map.Shards) {
+			statuses[i] = StatusBadRequest
+			continue
+		}
+		in := a.Map.Shards[op.Shard]
+		servesHere := in.Primary == sn.node ||
+			(op.Kind == OpGet && op.Flags&FlagReplicaOK != 0 &&
+				in.Replica == sn.node && in.Synced)
+		if !servesHere {
+			statuses[i] = StatusWrongNode
+			a.Rec.Count(&a.Rec.WrongNode, "wrongnode", 1)
+			continue
+		}
+		ss := sn.shards[op.Shard]
+		var depth int64
+		if ss.backlogUntil > now {
+			depth = int64(ss.backlogUntil.Sub(now) / a.Cfg.ServiceTime)
+		}
+		a.Rec.Depth(sn.node, op.Shard, depth)
+		if depth >= int64(a.Cfg.QueueBound) {
+			statuses[i] = StatusShed
+			a.Rec.Count(&a.Rec.Shed, "shed", 1)
+			continue
+		}
+		if ss.backlogUntil < now {
+			ss.backlogUntil = now
+		}
+		ss.backlogUntil = ss.backlogUntil.Add(a.Cfg.ServiceTime)
+		if ss.backlogUntil > maxDone {
+			maxDone = ss.backlogUntil
+		}
+		a.Rec.Count(&a.Rec.Admitted, "admit", 1)
+		switch op.Kind {
+		case OpPut:
+			val := append([]byte(nil), op.Val...)
+			ss.store.Put(op.Key, val)
+			statuses[i] = StatusOK
+			rec := replRec{Shard: op.Shard, Key: op.Key, Val: val}
+			if in.Primary == sn.node && in.Replica >= 0 {
+				if in.Synced {
+					// Synced follower: replicate synchronously before
+					// the ack.
+					groups[in.Replica] = append(groups[in.Replica], rec)
+				} else if sn.session[op.Shard] {
+					// Mid-resync: the write rides the same per-target
+					// FIFO as the snapshot — behind the chunk holding its
+					// old value, so the follower converges in key order —
+					// but fire-and-forget: the ack stays degraded-mode
+					// (the primary's copy is the promise) and the client
+					// never waits behind the stream.
+					k := [2]int{in.Replica, op.Shard}
+					sess[k] = append(sess[k], rec)
+				}
+				// Neither synced nor mid-resync: degraded; the snapshot
+				// built when the session starts will carry this write.
+			}
+		default:
+			if v, ok := ss.store.Get(op.Key); ok {
+				statuses[i] = StatusOK
+				vals[i] = v
+			} else {
+				statuses[i] = StatusNotFound
+				a.Rec.Count(&a.Rec.NotFound, "notfound", 1)
+			}
+		}
+	}
+
+	// Model the admitted work draining before the reply.
+	if now = eng.Now(); maxDone > now {
+		p.P.Sleep(maxDone.Sub(now))
+	}
+
+	// Queue session writes (fire-and-forget), then synchronous groups, and
+	// wait for the synchronous ones — per follower, before the ack.
+	if len(sess) > 0 {
+		skeys := make([][2]int, 0, len(sess))
+		for k := range sess {
+			skeys = append(skeys, k)
+		}
+		sort.Slice(skeys, func(i, j int) bool {
+			if skeys[i][0] != skeys[j][0] {
+				return skeys[i][0] < skeys[j][0]
+			}
+			return skeys[i][1] < skeys[j][1]
+		})
+		for _, k := range skeys {
+			sn.pendingRepl[k[1]]++
+			sn.out[k[0]].push(&outEntry{shard: k[1], recs: sess[k]}, false)
+		}
+	}
+	targets := make([]int, 0, len(groups))
+	for t := range groups {
+		targets = append(targets, t)
+	}
+	sort.Ints(targets)
+	waits := make([]*outEntry, 0, len(targets))
+	for _, t := range targets {
+		e := &outEntry{shard: -1, recs: groups[t], wait: true}
+		sn.out[t].push(e, true)
+		waits = append(waits, e)
+	}
+	for i, e := range waits {
+		px := sn.out[targets[i]]
+		for !e.done {
+			px.cond.Wait(p.P)
+		}
+	}
+
+	reply := make([]byte, 0, 4+8*len(ops))
+	reply = binary.LittleEndian.AppendUint32(reply, uint32(len(ops)))
+	for i := range ops {
+		reply = binary.LittleEndian.AppendUint32(reply, statuses[i])
+		if statuses[i] == StatusOK && ops[i].Kind == OpGet {
+			reply = binary.LittleEndian.AppendUint32(reply, uint32(len(vals[i])))
+			reply = append(reply, vals[i]...)
+			for len(reply)%4 != 0 {
+				reply = append(reply, 0)
+			}
+		}
+	}
+	if len(reply) > MaxBatchImage {
+		// The client oversized its batch against the reply budget; an
+		// empty reply reports the protocol error batch-wide.
+		b.Finish(ProcBatch, 0)
+		return
+	}
+	b.WriteResults(reply)
+	b.Finish(ProcBatch, len(reply))
+}
+
+// serveRepl applies one pushed batch of replicated writes.
+func (sn *serverNode) serveRepl(b *srpc.Binding) {
+	a := sn.app
+	_, alen := b.NextCall()
+	img := b.ReadArgs(alen)
+	c := &cursor{buf: img}
+	status := uint32(StatusOK)
+	n, err := c.u32()
+	if err != nil {
+		status = StatusBadRequest
+		n = 0
+	}
+	for i := 0; i < int(n); i++ {
+		rec, err := c.replRec()
+		if err != nil || rec.Shard >= len(sn.shards) {
+			status = StatusBadRequest
+			break
+		}
+		sn.shards[rec.Shard].store.Put(rec.Key, append([]byte(nil), rec.Val...))
+	}
+	if status != StatusOK {
+		a.Rec.Count(&a.Rec.ReplBad, "repl.bad", 1)
+	}
+	reply := binary.LittleEndian.AppendUint32(nil, status)
+	b.WriteResults(reply)
+	b.Finish(ProcRepl, len(reply))
+}
+
+// resyncDue reports whether this node owes a snapshot to a reachable,
+// unsynced follower of a shard it leads with no session already running.
+func (sn *serverNode) resyncDue() bool {
+	a := sn.app
+	for s := range a.Map.Shards {
+		in := a.Map.Shards[s]
+		if in.Primary == sn.node && in.Replica >= 0 && !in.Synced &&
+			!sn.session[s] && a.serving(in.Replica) {
+			return true
+		}
+	}
+	return false
+}
+
+// startResyncs opens a snapshot session for every owed shard. The snapshot
+// is built in one host step on the serial server process — atomic with
+// respect to this node's writes — and chunked onto the follower's
+// replication proxy as fire-and-forget entries; writes admitted while the
+// stream drains follow it through the same FIFO, so the follower converges
+// in order. Synced flips when the proxy reports the session's last entry
+// acknowledged. Returns whether any session was started.
+func (sn *serverNode) startResyncs() bool {
+	a := sn.app
+	did := false
+	for s := range a.Map.Shards {
+		in := a.Map.Shards[s]
+		if in.Primary != sn.node || in.Replica < 0 || in.Synced ||
+			sn.session[s] || !a.serving(in.Replica) {
+			continue
+		}
+		did = true
+		sn.session[s] = true
+		px := sn.out[in.Replica]
+		st := sn.shards[s].store
+		keys := st.SortedKeys()
+		var recs []replRec
+		size := 4
+		for _, k := range keys {
+			v, _ := st.Get(k)
+			if size+replRecSize(len(v)) > replChunk && len(recs) > 0 {
+				sn.pendingRepl[s]++
+				px.push(&outEntry{shard: s, recs: recs, snapshot: true}, false)
+				recs, size = nil, 4
+			}
+			recs = append(recs, replRec{Shard: s, Key: k, Val: v})
+			size += replRecSize(len(v))
+		}
+		// The final (possibly empty) chunk closes the session when acked.
+		sn.pendingRepl[s]++
+		px.push(&outEntry{shard: s, recs: recs, snapshot: true}, false)
+	}
+	return did
+}
+
+// outEntry is one unit of outbound replication bound for one follower:
+// either a synchronously awaited write group or a fire-and-forget resync
+// session record.
+type outEntry struct {
+	shard    int // session shard; -1 for wait entries
+	recs     []replRec
+	wait     bool // serveBatch blocks until done
+	snapshot bool // resync chunk: counts toward ResyncKeys
+	done     bool
+	failed   bool
+}
+
+// outProxy is the per-(node, target) outbound replication channel: a
+// dedicated process owning the SRPC binding to the target's replication
+// port, streaming queued entries — synchronously awaited write groups
+// ahead of resync session chunks. Per-shard order stays total because a
+// shard's entries live in exactly one queue at a time (session queue while
+// resyncing, wait queue once synced, and the flip happens only when the
+// session queue holds nothing for the shard). Owning the binding here
+// keeps the slow conventional-network rendezvous off the batch server's
+// critical path: a rebind to a rejoined node stalls only this target's
+// replication, never client serving.
+type outProxy struct {
+	sn     *serverNode
+	target int
+	waitQ  entryQueue
+	sessQ  entryQueue
+	// cond signals both arrivals (to the proxy) and completions (to
+	// serveBatch waiters).
+	cond *sim.Cond
+	b    *srpc.Binding
+	gen  int
+}
+
+// entryQueue is a head-indexed FIFO.
+type entryQueue struct {
+	q    []*outEntry
+	head int
+}
+
+func (eq *entryQueue) push(e *outEntry) { eq.q = append(eq.q, e) }
+func (eq *entryQueue) len() int         { return len(eq.q) - eq.head }
+func (eq *entryQueue) pop() *outEntry {
+	e := eq.q[eq.head]
+	eq.q[eq.head] = nil
+	eq.head++
+	if eq.head == len(eq.q) {
+		eq.q, eq.head = eq.q[:0], 0
+	}
+	return e
+}
+
+// push enqueues an entry and wakes the proxy.
+func (px *outProxy) push(e *outEntry, urgent bool) {
+	if urgent {
+		px.waitQ.push(e)
+	} else {
+		px.sessQ.push(e)
+	}
+	px.cond.Broadcast()
+}
+
+// body runs the proxy process: prebind to the target during warmup if this
+// node initially leads a shard the target follows (so the first admitted
+// write never stalls a client batch behind the rendezvous), report
+// readiness, then drain entries forever.
+func (px *outProxy) body(p *kernel.Process) {
+	p.P.MarkService()
+	a := px.sn.app
+	ep := vmmc.Attach(p, a.Cl.Node(px.sn.node).Daemon)
+	if px.prebinds() {
+		for !a.serving(px.target) && !a.down[px.target] {
+			a.ready.Wait(p.P)
+		}
+		if a.serving(px.target) {
+			// A warmup bind failure is not a death verdict; the fast-path
+			// call timeout decides that later.
+			px.bind(ep)
+		}
+	}
+	a.proxyUp(px.sn.node)
+	for {
+		for px.waitQ.len() == 0 && px.sessQ.len() == 0 {
+			px.cond.Wait(p.P)
+		}
+		var e *outEntry
+		if px.waitQ.len() > 0 {
+			e = px.waitQ.pop()
+		} else {
+			e = px.sessQ.pop()
+		}
+		px.run(p, ep, e)
+	}
+}
+
+// prebinds reports whether the target currently follows a shard this node
+// leads, i.e. the binding will be needed as soon as writes flow.
+func (px *outProxy) prebinds() bool {
+	for _, in := range px.sn.app.Map.Shards {
+		if in.Primary == px.sn.node && in.Replica == px.target {
+			return true
+		}
+	}
+	return false
+}
+
+// bind establishes the replication binding. The rendezvous crosses the
+// slow shared conventional network several times and contends with every
+// other bind in flight (worst at warmup and after a rejoin), so it gets
+// far longer than the fast-path replication deadline; a dead target is
+// caught by the replication call timeout instead.
+func (px *outProxy) bind(ep *vmmc.Endpoint) bool {
+	a := px.sn.app
+	bd := a.Cfg.ReplDeadline
+	if bd < 2*time.Second {
+		bd = 2 * time.Second
+	}
+	b, err := srpc.BindTimeout(ep, a.Cl.Ether, px.target, ReplPort, bd)
+	if err != nil {
+		a.Rec.Count(&a.Rec.ReplFail, "repl.fail", 1)
+		return false
+	}
+	px.b, px.gen = b, a.gen[px.target]
+	return true
+}
+
+// run streams one entry to the target, rebinding first when the cached
+// binding is missing or belongs to a dead incarnation. A call timeout
+// marks the target down (degrading its shards); awaited writes stay
+// acknowledged — the primary's copy is the one the ack promised.
+func (px *outProxy) run(p *kernel.Process, ep *vmmc.Endpoint, e *outEntry) {
+	a := px.sn.app
+	if !a.serving(px.target) {
+		px.finish(e, true)
+		return
+	}
+	if px.b == nil || px.gen != a.gen[px.target] {
+		if !px.bind(ep) {
+			a.NodeDown(px.target)
+			px.finish(e, true)
+			return
+		}
+	}
+	sent := 0
+	for sent < len(e.recs) {
+		img := make([]byte, 4, 512)
+		cnt := 0
+		for sent+cnt < len(e.recs) {
+			r := e.recs[sent+cnt]
+			if len(img)+replRecSize(len(r.Val)) > replChunk && cnt > 0 {
+				break
+			}
+			img = appendReplRec(img, r)
+			cnt++
+		}
+		binary.LittleEndian.PutUint32(img, uint32(cnt))
+		if _, err := px.b.CallTimeout(ProcRepl, img, a.Cfg.ReplDeadline); err != nil {
+			a.Rec.Count(&a.Rec.ReplFail, "repl.fail", 1)
+			px.b = nil
+			a.NodeDown(px.target)
+			px.finish(e, true)
+			return
+		}
+		sent += cnt
+	}
+	px.finish(e, false)
+}
+
+// finish completes an entry: account it, advance session bookkeeping (the
+// last acknowledged session entry for a shard flips it Synced), and wake
+// waiters.
+func (px *outProxy) finish(e *outEntry, failed bool) {
+	sn := px.sn
+	a := sn.app
+	e.failed = failed
+	e.done = true
+	if !failed {
+		if e.snapshot {
+			a.Rec.Count(&a.Rec.ResyncKeys, "resync.keys", int64(len(e.recs)))
+		} else {
+			a.Rec.Count(&a.Rec.ReplOps, "repl.ops", int64(len(e.recs)))
+		}
+	}
+	if !e.wait {
+		sn.pendingRepl[e.shard]--
+		if failed {
+			// The target died mid-session; Fail already degraded the map.
+			sn.session[e.shard] = false
+		} else if sn.session[e.shard] && sn.pendingRepl[e.shard] == 0 {
+			sn.session[e.shard] = false
+			in := a.Map.Shards[e.shard]
+			if in.Primary == sn.node && in.Replica == px.target && !a.down[px.target] {
+				a.Map.Shards[e.shard].Synced = true
+			}
+		}
+	}
+	px.cond.Broadcast()
+}

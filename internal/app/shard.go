@@ -1,0 +1,153 @@
+package app
+
+import (
+	"sort"
+)
+
+// mix64 is the splitmix64 finalizer: a cheap, high-quality 64-bit mixer
+// used for ring-point placement and key hashing. Deterministic by
+// construction — no seed state, no global RNG.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashString folds a string through FNV-1a then mix64, for the SunRPC demo
+// adapter that fronts the uint64-keyed store with string keys.
+func hashString(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return mix64(h)
+}
+
+// ringPoints is the number of virtual points each shard contributes to the
+// consistent-hash ring; more points smooth the key distribution.
+const ringPoints = 16
+
+// ShardInfo is one shard's placement: the node serving writes and
+// linearizable reads, plus an optional follower that holds a synchronously
+// replicated copy. Replica < 0 means degraded (no follower). Synced means
+// the follower has a complete copy; replica reads are only routed to
+// synced followers.
+type ShardInfo struct {
+	Primary int
+	Replica int
+	Synced  bool
+}
+
+// ShardMap is the cluster-wide placement table: a consistent-hash ring
+// from key space to shards, plus each shard's primary/replica assignment.
+// One instance is shared by servers and gateways (it models the
+// directory service every node consults); mutations happen in engine
+// event order, so all observers see a consistent sequence.
+type ShardMap struct {
+	Shards []ShardInfo
+	// Epoch increments on every failover or adoption; gateways stamp it
+	// into batches so stale routing is detected server-side as WrongNode.
+	Epoch uint32
+
+	ring []ringEntry
+}
+
+type ringEntry struct {
+	hash  uint64
+	shard uint16
+}
+
+// NewShardMap places `shards` shards across `nodes` nodes: primaries
+// round-robin, each shard's replica on the next node over (so a node's
+// shards never self-replicate). Both copies start empty, so replicas begin
+// synced.
+func NewShardMap(shards, nodes int) *ShardMap {
+	m := &ShardMap{Shards: make([]ShardInfo, shards)}
+	for s := 0; s < shards; s++ {
+		m.Shards[s] = ShardInfo{
+			Primary: s % nodes,
+			Replica: (s + 1) % nodes,
+			Synced:  true,
+		}
+		for v := 0; v < ringPoints; v++ {
+			m.ring = append(m.ring, ringEntry{
+				hash:  mix64(uint64(s)<<20 | uint64(v) + 0x517cc1b727220a95),
+				shard: uint16(s),
+			})
+		}
+	}
+	sort.Slice(m.ring, func(i, j int) bool {
+		if m.ring[i].hash != m.ring[j].hash {
+			return m.ring[i].hash < m.ring[j].hash
+		}
+		return m.ring[i].shard < m.ring[j].shard
+	})
+	return m
+}
+
+// ShardOf maps a key to its shard: the first ring point at or after the
+// key's hash, wrapping at the top.
+func (m *ShardMap) ShardOf(key uint64) int {
+	h := mix64(key)
+	i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= h })
+	if i == len(m.ring) {
+		i = 0
+	}
+	return int(m.ring[i].shard)
+}
+
+// Fail removes a dead node from every placement: shards it ran as primary
+// promote their replica (which continues degraded, Replica < 0); shards it
+// followed drop to degraded. Returns the shards whose primary moved — the
+// set whose clients observe the outage.
+func (m *ShardMap) Fail(node int) []int {
+	var promoted []int
+	changed := false
+	for s := range m.Shards {
+		in := &m.Shards[s]
+		if in.Primary == node {
+			if in.Replica >= 0 {
+				in.Primary = in.Replica
+			}
+			in.Replica = -1
+			in.Synced = false
+			promoted = append(promoted, s)
+			changed = true
+		} else if in.Replica == node {
+			in.Replica = -1
+			in.Synced = false
+			changed = true
+		}
+	}
+	if changed {
+		m.Epoch++
+	}
+	return promoted
+}
+
+// AdoptReplica assigns a rejoined (empty) node as the follower of every
+// degraded shard it does not lead, unsynced until the primary streams its
+// snapshot over. Returns the primaries that now owe a resync, sorted.
+func (m *ShardMap) AdoptReplica(node int) []int {
+	owe := map[int]bool{}
+	for s := range m.Shards {
+		in := &m.Shards[s]
+		if in.Replica < 0 && in.Primary != node {
+			in.Replica = node
+			in.Synced = false
+			owe[in.Primary] = true
+		}
+	}
+	if len(owe) == 0 {
+		return nil
+	}
+	m.Epoch++
+	primaries := make([]int, 0, len(owe))
+	for p := range owe {
+		primaries = append(primaries, p)
+	}
+	sort.Ints(primaries)
+	return primaries
+}

@@ -1,0 +1,96 @@
+package app
+
+import "testing"
+
+func TestShardOfStableAndInRange(t *testing.T) {
+	m := NewShardMap(8, 4)
+	for k := uint64(0); k < 4096; k++ {
+		s := m.ShardOf(k)
+		if s < 0 || s >= 8 {
+			t.Fatalf("key %d: shard %d out of range", k, s)
+		}
+		if s2 := m.ShardOf(k); s2 != s {
+			t.Fatalf("key %d: shard moved %d -> %d with no map change", k, s, s2)
+		}
+	}
+}
+
+func TestShardMapSpreadsKeys(t *testing.T) {
+	m := NewShardMap(8, 4)
+	var hits [8]int
+	for k := uint64(0); k < 1<<14; k++ {
+		hits[m.ShardOf(k)]++
+	}
+	for s, n := range hits {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys", s)
+		}
+	}
+}
+
+func TestFailPromotesAndDegrades(t *testing.T) {
+	m := NewShardMap(8, 4)
+	epoch := m.Epoch
+	promoted := m.Fail(1)
+	if m.Epoch == epoch {
+		t.Fatal("Fail did not bump the epoch")
+	}
+	if len(promoted) == 0 {
+		t.Fatal("node 1 led shards; Fail promoted none")
+	}
+	for s, in := range m.Shards {
+		if in.Primary == 1 || in.Replica == 1 {
+			t.Fatalf("shard %d still places on dead node 1: %+v", s, in)
+		}
+		if in.Replica < 0 && in.Synced {
+			t.Fatalf("shard %d degraded but still synced", s)
+		}
+	}
+	for _, s := range promoted {
+		if m.Shards[s].Replica >= 0 {
+			t.Fatalf("promoted shard %d kept a replica", s)
+		}
+	}
+}
+
+func TestAdoptReplicaAfterFail(t *testing.T) {
+	m := NewShardMap(8, 4)
+	m.Fail(1)
+	owing := m.AdoptReplica(1)
+	if len(owing) == 0 {
+		t.Fatal("no primaries owe a resync after adoption")
+	}
+	for i := 1; i < len(owing); i++ {
+		if owing[i-1] >= owing[i] {
+			t.Fatalf("owing primaries not sorted: %v", owing)
+		}
+	}
+	for s, in := range m.Shards {
+		if in.Replica < 0 {
+			t.Fatalf("shard %d still degraded after adoption: %+v", s, in)
+		}
+		if in.Replica == 1 && in.Synced {
+			t.Fatalf("adopted follower of shard %d marked synced before resync", s)
+		}
+		if in.Primary == in.Replica {
+			t.Fatalf("shard %d self-replicates: %+v", s, in)
+		}
+	}
+}
+
+func TestStoreAccounting(t *testing.T) {
+	st := NewStore()
+	st.Put(7, []byte("abcd"))
+	st.Put(9, []byte("xy"))
+	st.Put(7, []byte("z"))
+	if st.Len() != 2 || st.Bytes() != 3 {
+		t.Fatalf("len=%d bytes=%d, want 2/3", st.Len(), st.Bytes())
+	}
+	keys := st.SortedKeys()
+	if len(keys) != 2 || keys[0] != 7 || keys[1] != 9 {
+		t.Fatalf("sorted keys %v", keys)
+	}
+	if v, ok := st.Get(7); !ok || string(v) != "z" {
+		t.Fatalf("get 7 = %q, %v", v, ok)
+	}
+}

@@ -73,7 +73,7 @@ func StandardChaosPlans() []fault.Plan {
 // chaosScenarios are the figure scenarios the soak runs (the same single
 // representative points TraceFigure picks) plus the harness's own
 // byte-verification stream.
-var chaosScenarios = []string{"fig3", "fig4", "fig5", "fig7", "fig8", "ttcp", "svm", "integrity"}
+var chaosScenarios = []string{"fig3", "fig4", "fig5", "fig7", "fig8", "ttcp", "svm", "app", "integrity"}
 
 // ChaosResult is one (scenario, plan) cell of the soak matrix.
 type ChaosResult struct {
@@ -112,6 +112,10 @@ func RunChaos(seed int64) []ChaosResult {
 		{Node: 2, At: 5 * time.Millisecond},
 	}}
 	out = append(out, chaosCase("crash-recovery", crashPlan, seed, false, chaosCrashRecovery))
+	// The serving-stack failover cell schedules its own crash, restart, and
+	// rejoin; the empty plan just keeps the injector armed for the digest.
+	out = append(out, chaosCase("app-failover", fault.Plan{Name: "primary-crash-rejoin"},
+		seed, false, chaosAppFailover))
 	return out
 }
 

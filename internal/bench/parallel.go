@@ -178,6 +178,8 @@ func RunChaosParallel(seed int64, workers int) []ChaosResult {
 		{Node: 2, At: 5 * time.Millisecond},
 	}}
 	cells = append(cells, cell{"crash-recovery", crashPlan, false, chaosCrashRecovery})
+	cells = append(cells, cell{"app-failover", fault.Plan{Name: "primary-crash-rejoin"},
+		false, chaosAppFailover})
 
 	out := make([]ChaosResult, len(cells))
 	runPool(workers, len(cells), func(i int) {

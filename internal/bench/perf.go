@@ -196,6 +196,22 @@ func RunPerfSuite(figIters int) BenchReport {
 		return 0
 	}))
 
+	// --- serving workload ---
+	add(measure("app/serve", 1, func() int64 {
+		return countingEnv(nil, func() {
+			err := appServe(nil, AppServeOpts{
+				MeshX: 2, MeshY: 2,
+				Sessions: 1 << 14,
+				Rate:     2e6,
+				Duration: 10 * time.Millisecond,
+				Crash:    -1,
+			}, nil)
+			if err != nil {
+				panic("app serve failed: " + err.Error())
+			}
+		})
+	}))
+
 	// --- chaos ---
 	add(measure("chaos/cell", 1, func() int64 {
 		plan := StandardChaosPlans()[1] // drop-1%

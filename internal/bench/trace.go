@@ -2,7 +2,9 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
+	"shrimp/internal/app"
 	"shrimp/internal/nx"
 	"shrimp/internal/socket"
 	"shrimp/internal/sunrpc"
@@ -24,6 +26,9 @@ import (
 //	ttcp — ttcp streaming, DU-1copy, 7168-byte buffers
 //	svm  — shared virtual memory: a short Jacobi run plus a lock-counter
 //	       phase, both result-verified (the chaos soak reuses this cell)
+//	app  — sharded KV serving: generated client load over the 4-node
+//	       cluster, served quantiles reported (the chaos soak reuses this
+//	       cell too)
 func TraceFigure(figID string, tc *trace.Collector) (string, error) {
 	const iters = 4
 	switch figID {
@@ -58,7 +63,15 @@ func TraceFigure(figID string, tc *trace.Collector) (string, error) {
 		}
 		return fmt.Sprintf("svm: %d-node Jacobi on shared memory, %d cells x%d sweeps: %.2f us/sweep, %d fetches; lock counter verified",
 			res.Nodes, res.Cells, res.Sweeps, res.PerSweepUS, res.Fetches), nil
+	case "app":
+		var st AppServeStats
+		if err := appServe(tc, chaosAppOpts(), &st); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("app: %d-node sharded KV, %d sessions, %d ops served: get.srv p50 %v, p99 %v",
+			st.Nodes, st.Sessions, st.Completed,
+			time.Duration(st.P50[app.ClassGetSrv]), time.Duration(st.P99[app.ClassGetSrv])), nil
 	default:
-		return "", fmt.Errorf("no traced scenario for %q; pick one of fig3,fig4,fig5,fig7,fig8,ttcp,svm", figID)
+		return "", fmt.Errorf("no traced scenario for %q; pick one of fig3,fig4,fig5,fig7,fig8,ttcp,svm,app", figID)
 	}
 }

@@ -18,6 +18,7 @@ var errSurfaceSuffixes = []string{
 	"/internal/daemon",
 	"/internal/vmmc",
 	"/internal/svm",
+	"/internal/app",
 }
 
 func isErrSurfacePackage(path string) bool {

@@ -17,6 +17,7 @@ var datapathSuffixes = []string{
 	"/internal/socket",
 	"/internal/sunrpc",
 	"/internal/svm",
+	"/internal/app",
 }
 
 func isDatapathPackage(path string) bool {

@@ -72,7 +72,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		defer func() {
 			if r := recover(); r != nil {
 				if _, ok := r.(killSentinel); !ok {
-					panic(r) // real failure: propagate
+					panic(r) //lint:allow transitive-panic re-propagating a genuine failure from a simulated process body; swallowing it would hide the crash
 				}
 			}
 			p.done = true
@@ -82,7 +82,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		if p.killed {
 			// Killed before its first instruction ran: unwind without
 			// executing any of the body.
-			panic(killSentinel{})
+			panic(killSentinel{}) //lint:allow transitive-panic the kill-unwind mechanism itself: caught by the recover above, never escapes
 		}
 		fn(p)
 	}()

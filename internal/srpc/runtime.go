@@ -24,7 +24,9 @@
 package srpc
 
 import (
+	"errors"
 	"fmt"
+	"time"
 
 	"shrimp/internal/ether"
 	"shrimp/internal/hw"
@@ -32,6 +34,11 @@ import (
 	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
+
+// ErrTimeout reports that a CallTimeout deadline expired before the reply
+// flag arrived — the serving-side failover path uses it to detect a dead
+// primary.
+var ErrTimeout = errors.New("srpc: call timed out")
 
 // Buffer geometry: one region per direction; payloads grow downward from
 // the flag word, which sits at a fixed offset.
@@ -97,6 +104,11 @@ func Listen(ep *vmmc.Endpoint, eth *ether.Network, node, port int) *Listener {
 		port: eth.Bind(ether.Addr{Node: node, Port: port})}
 }
 
+// Port exposes the listener's rendezvous port so a server process can
+// multiplex accepting (Port().Pending/Cond) with serving established
+// bindings (FlagVA/CallReady) in one WaitPred loop.
+func (ln *Listener) Port() *ether.Port { return ln.port }
+
 // Accept waits for one binding request and establishes the buffer pair.
 func (ln *Listener) Accept() (*Binding, error) {
 	p := ln.ep.Proc
@@ -152,6 +164,37 @@ func Bind(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int) (*Binding
 	return wire(ep, out, in)
 }
 
+// BindTimeout is Bind with a deadline on the rendezvous round-trip: it
+// returns ErrTimeout instead of blocking forever when the server node is
+// dead or not yet listening. Failover-aware clients (the serving
+// subsystem's gateways and replication path) use it exclusively, since a
+// routing table can briefly point at a corpse.
+func BindTimeout(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int, d time.Duration) (*Binding, error) {
+	p := ep.Proc
+	seq := eth.NameSeq()
+	name := fmt.Sprintf("srpc:%d:%06d", p.M.ID, seq)
+	in := p.MapPages(regionPages, 0)
+	if _, err := ep.Export(in, regionPages, vmmc.ExportOpts{Name: name}); err != nil {
+		return nil, err
+	}
+	eport := eth.Bind(ether.Addr{Node: p.M.ID, Port: 50000 + seq})
+	defer eport.Close()
+	reply := eport.CallTimeout(p.P, ether.Addr{Node: serverNode, Port: port}, 64+len(name),
+		bindReq{Node: p.M.ID, Region: name}, d)
+	if reply == nil {
+		return nil, ErrTimeout
+	}
+	resp := reply.Payload.(bindResp)
+	if resp.Err != "" {
+		return nil, fmt.Errorf("srpc: bind: %s", resp.Err)
+	}
+	out, err := ep.Import(serverNode, resp.Region)
+	if err != nil {
+		return nil, err
+	}
+	return wire(ep, out, in)
+}
+
 func wire(ep *vmmc.Endpoint, out *vmmc.Import, in kernel.VA) (*Binding, error) {
 	p := ep.Proc
 	b := &Binding{ep: ep, out: out, in: in,
@@ -195,6 +238,38 @@ func (b *Binding) Call(proc int, img []byte) int {
 	return flagLen(v)
 }
 
+// CallTimeout is Call with a reply deadline: it issues the call and blocks
+// at most d for the reply flag, returning ErrTimeout when the deadline
+// expires (the peer is stalled or dead — the binding is then out of sync
+// and should be abandoned). Unlike Call it reports a bad argument image as
+// an error instead of panicking, so generated-stub-free callers (the
+// serving subsystem builds batch images at runtime) get a checkable
+// failure.
+func (b *Binding) CallTimeout(proc int, img []byte, d time.Duration) (int, error) {
+	p := b.ep.Proc
+	if len(img)%4 != 0 || len(img) > MaxPayload {
+		return 0, fmt.Errorf("srpc: bad argument image length %d", len(img))
+	}
+	span := b.tc.Begin(b.track, "call")
+	defer span.End()
+	b.tc.Count(b.track, "calls", 1)
+	b.tc.Count(b.track, "call.bytes", int64(len(img)))
+	b.seq++
+	if len(img) > 0 {
+		p.WriteBytes(b.shadow+kernel.VA(flagOff-len(img)), img)
+	}
+	p.WriteWord(b.shadow+kernel.VA(flagOff), packFlag(b.seq, proc, len(img)))
+
+	want := b.seq & 0xfff
+	v, ok := p.WaitWordTimeout(b.in+kernel.VA(flagOff),
+		func(v uint32) bool { return flagSeq(v) == want }, d)
+	if !ok {
+		b.tc.Count(b.track, "call.timeouts", 1)
+		return 0, ErrTimeout
+	}
+	return flagLen(v), nil
+}
+
 // ReplyVA returns the address of the reply payload of length rlen — results
 // are accessed in place (by reference); the binding's buffers are trusted
 // within the binding, so no defensive copy is needed.
@@ -220,6 +295,21 @@ func (b *Binding) NextCall() (proc, argLen int) {
 	v := p.WaitWord(b.in+kernel.VA(flagOff), func(v uint32) bool { return flagSeq(v) == want })
 	b.seq++
 	return flagProc(v), flagLen(v)
+}
+
+// FlagVA returns the address of the binding's incoming flag word. A server
+// process multiplexing many bindings passes the flag addresses to
+// kernel.Process.WaitPred and uses CallReady to find which binding fired —
+// one process serving an open-ended set of clients, where NextCall alone
+// would pin the process to a single binding.
+func (b *Binding) FlagVA() kernel.VA { return b.in + kernel.VA(flagOff) }
+
+// CallReady reports, without blocking or charging time, whether the next
+// in-sequence call has arrived on this binding; NextCall will then return
+// immediately.
+func (b *Binding) CallReady() bool {
+	want := (b.seq + 1) & 0xfff
+	return flagSeq(b.ep.Proc.PeekWord(b.FlagVA())) == want
 }
 
 // ArgsVA returns the address of the current call's argument payload — the

@@ -32,6 +32,20 @@ func DefaultBounds() []int64 {
 	return bounds
 }
 
+// FineBounds returns geometric bucket bounds with ~12% spacing (factor
+// 9/8) from 64 ns up past 100 ms — fine enough that a p999 read at
+// microsecond scale is meaningful, wide enough for a tail that includes a
+// multi-millisecond failover stall. 125 buckets; a histogram costs ~1 KB.
+func FineBounds() []int64 {
+	var bounds []int64
+	v := int64(64)
+	for v < 200_000_000 {
+		bounds = append(bounds, v)
+		v += v / 8
+	}
+	return bounds
+}
+
 // NewHistogram returns an empty histogram with the given ascending
 // inclusive upper bounds.
 func NewHistogram(bounds []int64) *Histogram {
@@ -71,6 +85,60 @@ func (h *Histogram) bucket(v int64) int {
 		}
 	}
 	return lo
+}
+
+// Quantile returns the value at quantile q (0 < q <= 1), linearly
+// interpolated within the bucket the rank falls into and clamped to the
+// observed [Min, Max] range, so exact-value histograms (all observations in
+// one bucket) report exact quantiles. Returns 0 when the histogram is
+// empty; q outside (0, 1] is clamped.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil || h.N == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the target observation.
+	rank := int64(q * float64(h.N))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if seen+c < rank {
+			seen += c
+			continue
+		}
+		// The rank lands in bucket i spanning (lo, hi].
+		var lo, hi int64
+		if i == 0 {
+			lo, hi = h.Min, h.Bounds[0]
+		} else if i < len(h.Bounds) {
+			lo, hi = h.Bounds[i-1], h.Bounds[i]
+		} else {
+			lo, hi = h.Bounds[len(h.Bounds)-1], h.Max
+		}
+		if lo < h.Min {
+			lo = h.Min
+		}
+		if hi > h.Max {
+			hi = h.Max
+		}
+		if hi < lo {
+			hi = lo
+		}
+		// Interpolate the rank's position within the bucket.
+		frac := float64(rank-seen) / float64(c)
+		return lo + int64(frac*float64(hi-lo))
+	}
+	return h.Max
 }
 
 // Mean returns the arithmetic mean of observed values, or 0 when empty.

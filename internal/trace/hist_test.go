@@ -118,3 +118,120 @@ func TestHistogramString(t *testing.T) {
 		t.Errorf("String() = %q, want %q", got, want)
 	}
 }
+
+func TestFineBoundsAscendingAndFine(t *testing.T) {
+	bounds := FineBounds()
+	if len(bounds) == 0 || bounds[0] != 64 {
+		t.Fatalf("FineBounds starts at %v, want 64", bounds[:1])
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds[%d]=%d not above bounds[%d]=%d", i, bounds[i], i-1, bounds[i-1])
+		}
+		ratio := float64(bounds[i]) / float64(bounds[i-1])
+		if ratio > 1.13 {
+			t.Errorf("bucket spacing at %d too coarse: %.3f", i, ratio)
+		}
+	}
+	if last := bounds[len(bounds)-1]; last < 100_000_000 {
+		t.Errorf("FineBounds tops out at %d, want >= 100ms in ns", last)
+	}
+}
+
+// TestQuantileUniform feeds an exact uniform distribution 1..N and checks
+// the quantiles land within one bucket's relative error of the closed-form
+// answer q*N.
+func TestQuantileUniform(t *testing.T) {
+	const n = 100_000
+	h := NewHistogram(FineBounds())
+	for v := int64(1); v <= n; v++ {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := h.Quantile(q)
+		want := q * n
+		if rel := (float64(got) - want) / want; rel < -0.15 || rel > 0.15 {
+			t.Errorf("Quantile(%v) = %d, want ~%.0f (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+// TestQuantileTwoPoint: 99% of mass at 1000, 1% at 1_000_000. p50 and p99
+// must read from the low mode, p999 from the high mode.
+func TestQuantileTwoPoint(t *testing.T) {
+	h := NewHistogram(FineBounds())
+	for i := 0; i < 990; i++ {
+		h.Observe(1000)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	if p50 := h.Quantile(0.5); p50 < 900 || p50 > 1100 {
+		t.Errorf("p50 = %d, want ~1000", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 < 900 || p99 > 1100 {
+		t.Errorf("p99 = %d, want ~1000", p99)
+	}
+	if p999 := h.Quantile(0.999); p999 < 900_000 || p999 > 1_100_000 {
+		t.Errorf("p999 = %d, want ~1000000", p999)
+	}
+}
+
+// TestQuantileConstant: all observations identical — every quantile must be
+// exactly that value (Min/Max clamping, no bucket smear).
+func TestQuantileConstant(t *testing.T) {
+	h := NewHistogram(FineBounds())
+	for i := 0; i < 1000; i++ {
+		h.Observe(4242)
+	}
+	for _, q := range []float64{0.001, 0.5, 0.99, 0.999, 1} {
+		if got := h.Quantile(q); got != 4242 {
+			t.Errorf("Quantile(%v) = %d, want 4242", q, got)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilHist *Histogram
+	if got := nilHist.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %d, want 0", got)
+	}
+	h := NewHistogram(DefaultBounds())
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram Quantile = %d, want 0", got)
+	}
+	h.Observe(7)
+	h.Observe(9)
+	if got := h.Quantile(1); got != 9 {
+		t.Errorf("Quantile(1) = %d, want Max=9", got)
+	}
+	if got := h.Quantile(-1); got != 7 {
+		t.Errorf("Quantile(-1) = %d, want Min=7", got)
+	}
+	if got := h.Quantile(2); got != 9 {
+		t.Errorf("Quantile(2) clamps to 1, want Max=9; got %d", got)
+	}
+}
+
+// TestQuantileExponentialTail: a geometric/exponential-shaped distribution
+// (heavy head, long tail) — p999 must sit far above p50.
+func TestQuantileExponentialTail(t *testing.T) {
+	h := NewHistogram(FineBounds())
+	// 2^k observations at value 1000*2^(10-k): many small, few huge.
+	for k := 0; k <= 10; k++ {
+		v := int64(1000) << (10 - k)
+		for i := 0; i < 1<<k; i++ {
+			h.Observe(v)
+		}
+	}
+	p50, p999 := h.Quantile(0.5), h.Quantile(0.999)
+	if p50 >= 4000 {
+		t.Errorf("p50 = %d, want < 4000 (mass concentrated at 1000-2000)", p50)
+	}
+	if p999 < 200_000 {
+		t.Errorf("p999 = %d, want deep in the tail (>= 200000)", p999)
+	}
+	if p999 <= p50*10 {
+		t.Errorf("tail not separated: p50=%d p999=%d", p50, p999)
+	}
+}

@@ -232,6 +232,24 @@ func (c *Collector) Observe(track, name string, v int64) {
 	h.Observe(v)
 }
 
+// ObserveBounds is Observe with explicit bucket bounds for the histogram's
+// first use: latency recorders pass FineBounds so tail quantiles (p999) stay
+// meaningful at microsecond scale. Once a histogram exists, later calls fold
+// into it regardless of the bounds argument, so all observers of one
+// (track, name) must agree.
+func (c *Collector) ObserveBounds(track, name string, bounds []int64, v int64) {
+	if c == nil {
+		return
+	}
+	k := key{track, name}
+	h := c.hists[k]
+	if h == nil {
+		h = NewHistogram(bounds)
+		c.hists[k] = h
+	}
+	h.Observe(v)
+}
+
 // Hist returns the named histogram, or nil if nothing was observed.
 func (c *Collector) Hist(track, name string) *Histogram {
 	if c == nil {
