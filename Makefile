@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke svm app chaos bench bench-json check clean
+.PHONY: all build test race vet lint fuzz trace-smoke svm app partition chaos bench bench-json check clean
 
 all: build
 
@@ -54,11 +54,19 @@ app:
 	$(GO) test ./internal/app/...
 	$(GO) run ./cmd/shrimpbench -app
 
+# partition runs the link-partition cells standalone: minority group,
+# isolated primary, asymmetric cut, flapping link — each severed and
+# healed mid-load, with epoch-fence counters, quorum-veto counts, and
+# acked-write durability re-verified, twice under the replay digest.
+partition:
+	$(GO) run ./cmd/shrimpbench -partition
+
 # chaos runs the fault-injection soak: every figure scenario under the
 # standard fault plans (lossy links with retransmission, NIC freeze
-# storms, a mid-transfer node crash), checking termination, acknowledged-
-# data integrity, and replay-stable digests, plus the degraded-mode Fig 5
-# table. Exits nonzero if any cell fails.
+# storms, a mid-transfer node crash, link partitions against the serving
+# stack), checking termination, acknowledged-data integrity, and
+# replay-stable digests, plus the degraded-mode Fig 5 table. Exits
+# nonzero if any cell fails.
 chaos:
 	$(GO) run ./cmd/shrimpbench -faults
 
@@ -69,12 +77,12 @@ bench:
 	$(GO) test -run NONE -bench . -benchmem ./internal/sim ./internal/mem ./internal/bench .
 
 # bench-json runs the reproducible wall-clock suite and refreshes the
-# committed BENCH_7.json baseline (ns/op, allocs/op, events/sec, wall-clock
-# per figure sweep, serving run, and chaos cell). The compare against the
-# previous baseline is advisory: it warns, never fails.
+# committed BENCH_8.json baseline (ns/op, allocs/op, events/sec, wall-clock
+# per figure sweep, serving run, partition cell, and chaos cell). The
+# compare against the previous baseline is advisory: it warns, never fails.
 bench-json:
-	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_7.json
-	cp /tmp/BENCH_new.json BENCH_7.json
+	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_8.json
+	cp /tmp/BENCH_new.json BENCH_8.json
 
 # check is the full gate CI runs: build, vet, lint, race-enabled tests,
 # trace determinism, and the chaos soak.

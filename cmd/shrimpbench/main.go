@@ -19,6 +19,7 @@
 //	shrimpbench -fig fig3 [-trace out.json] [-stats]
 //	shrimpbench -svm [-trace out.json] [-stats]
 //	shrimpbench -app [-trace out.json] [-stats]
+//	shrimpbench -partition [-faultseed N]
 //	shrimpbench -faults [-faultseed N] [-parallel N]
 //	shrimpbench -benchjson BENCH_5.json [-benchbase old.json]
 //
@@ -46,6 +47,13 @@
 // replay digest, reporting p50/p99/p999 per op class and the measured
 // recovery time. With -trace or -stats it instead runs the representative
 // traced serving scenario.
+//
+// -partition runs the partition-tolerance cells standalone: a two-node
+// minority group, an isolated primary, an asymmetric (outbound-only) cut,
+// and a flapping link, each severed and healed mid-load through the fault
+// injector. The table reports failovers, epoch-fence rejections,
+// quorum-vetoed down-reports, re-verified acknowledged writes, and the
+// measured recovery time; every cell runs twice under the replay digest.
 //
 // -faults runs the chaos soak matrix instead: every figure scenario under a
 // set of seeded fault plans (lossy links with the retransmission sublayer
@@ -81,6 +89,7 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "fault injector seed for -faults")
 	svmFlag := flag.Bool("svm", false, "run the SVM-vs-NX Jacobi comparison (2/4/8 nodes)")
 	appFlag := flag.Bool("app", false, "run the sharded-KV serving workload (capacity ramp + 1M-session acceptance scenario)")
+	partFlag := flag.Bool("partition", false, "run the partition cells (minority group, isolated primary, asymmetric cut, flapping link) with fencing counters")
 	parallel := flag.Int("parallel", 0, "run independent figure/chaos scenarios on N workers (0 = sequential; results are byte-identical either way)")
 	benchJSON := flag.String("benchjson", "", "run the wall-clock benchmark suite and write the JSON report to this file")
 	benchBase := flag.String("benchbase", "", "baseline JSON report to compare -benchjson results against (warn-only)")
@@ -102,6 +111,17 @@ func main() {
 		if *benchBase != "" {
 			warnBenchBaseline(*benchBase, rep)
 		}
+		return
+	}
+
+	if *partFlag {
+		rows, err := bench.RunAppPartition(*faultSeed)
+		if err != nil {
+			fmt.Print(bench.AppPartitionTable(rows))
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.AppPartitionTable(rows))
 		return
 	}
 

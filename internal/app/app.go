@@ -48,6 +48,14 @@ type Config struct {
 	// Trace, when non-nil, receives latency histograms, counters, and
 	// queue-depth gauges (pass the same collector given to cluster.New).
 	Trace *trace.Collector
+	// Reachable, when non-nil, is the modeled directory service's
+	// connectivity oracle (wire it to cluster.Reachable): ReportDown
+	// honors a death report only if the accused node is unreachable from
+	// a majority of live nodes, so a primary isolated on the minority
+	// side of a partition cannot depose its (majority-side) follower and
+	// self-certify writes. Nil keeps the pre-partition behavior: every
+	// report is honored immediately.
+	Reachable func(a, b int) bool
 }
 
 func (cfg *Config) defaults(nodes int) {
@@ -103,6 +111,11 @@ type App struct {
 	RecoveredAt sim.Time
 	recovering  bool
 	affected    map[int]bool
+
+	// deposed[n] lists the shards whose primary role moved off node n
+	// while it was marked down — the set whose unreplicated tail Reconnect
+	// hands back to the new primaries when the partition heals.
+	deposed map[int][]int
 }
 
 // Start builds the shard map and spawns the serving processes (one batch
@@ -118,17 +131,18 @@ func Start(cl *cluster.Cluster, cfg Config) (*App, error) {
 		return nil, fmt.Errorf("app: shard count %d exceeds wire limit", cfg.Shards)
 	}
 	a := &App{
-		Cl:       cl,
-		Cfg:      cfg,
-		Map:      NewShardMap(cfg.Shards, n),
-		Rec:      NewRecorder(cfg.Shards, cfg.Trace),
-		nodes:    make([]*serverNode, n),
-		down:     make([]bool, n),
+		Cl:        cl,
+		Cfg:       cfg,
+		Map:       NewShardMap(cfg.Shards, n),
+		Rec:       NewRecorder(cfg.Shards, cfg.Trace),
+		nodes:     make([]*serverNode, n),
+		down:      make([]bool, n),
 		gen:       make([]int, n),
 		upPorts:   make([]int, n),
 		upProxies: make([]int, n),
 		ready:     sim.NewCond(cl.Eng),
 		affected:  map[int]bool{},
+		deposed:   map[int][]int{},
 	}
 	for i := 0; i < n; i++ {
 		a.startNode(i)
@@ -174,17 +188,62 @@ func (a *App) Gen(node int) int { return a.gen[node] }
 // Watch registers a failover watcher.
 func (a *App) Watch(w FailoverWatcher) { a.watchers = append(a.watchers, w) }
 
-// NodeDown is the failure-detection entry point: any caller whose RPC to
-// the node timed out reports it here. Idempotent. It promotes followers of
-// the dead node's shards, degrades shards it followed, starts the
-// recovery clock if any primary moved, and notifies watchers so gateways
-// reroute queued work.
+// ReportDown is the failure-detection entry point for callers whose RPC
+// to the node timed out. With a Reachable oracle configured the report
+// passes a quorum gate first: it is honored only if the accused node is
+// unreachable from a majority of live nodes. A timeout seen from the
+// minority side of a partition (the reporter is the one cut off) is
+// recorded and ignored — the minority-side caller keeps failing, cannot
+// depose anyone, and its writes go unacknowledged until the heal.
+func (a *App) ReportDown(reporter, node int) {
+	if a.down[node] {
+		return
+	}
+	if a.Cfg.Reachable != nil && a.reachedByMajority(node) {
+		a.Rec.Count(&a.Rec.ReportsIgnored, "report.ignored", 1)
+		return
+	}
+	a.NodeDown(node)
+}
+
+// reachedByMajority reports whether a strict majority of live nodes
+// (the accused included — it can reach itself) can reach the node. The
+// oracle models the directory service's own connectivity probes; in the
+// simulation it reads the injector's ground truth, which is what those
+// probes would measure.
+func (a *App) reachedByMajority(node int) bool {
+	live, reach := 0, 0
+	for i := range a.down {
+		if a.down[i] {
+			continue
+		}
+		live++
+		if i == node || a.Cfg.Reachable(i, node) {
+			reach++
+		}
+	}
+	return 2*reach > live
+}
+
+// NodeDown marks a node dead unconditionally: the quorum already agreed
+// (ReportDown), or a harness is scripting the failure. Idempotent. It
+// promotes followers of the dead node's shards (minting their new
+// epochs), degrades shards it followed, starts the recovery clock if any
+// primary moved, records the deposed shard set for heal-time
+// reconciliation, and notifies watchers so gateways reroute queued work.
 func (a *App) NodeDown(node int) {
 	if a.down[node] {
 		return
 	}
 	a.down[node] = true
 	promoted := a.Map.Fail(node)
+	var moved []int
+	for _, s := range promoted {
+		if a.Map.Shards[s].Primary != node {
+			moved = append(moved, s)
+		}
+	}
+	a.deposed[node] = moved
 	if len(promoted) > 0 {
 		a.Rec.Count(&a.Rec.Failovers, "failover", 1)
 		if !a.recovering {
@@ -237,6 +296,8 @@ func (a *App) Rejoin(node int) {
 	a.gen[node]++
 	a.upPorts[node] = 0
 	a.upProxies[node] = 0
+	// A restart lost the machine's memory: nothing survives to hand back.
+	delete(a.deposed, node)
 	if old := a.nodes[node]; old != nil {
 		// The crash killed the serving processes but their Ethernet
 		// addresses are still bound; release them for the new incarnation.
@@ -254,6 +315,49 @@ func (a *App) Rejoin(node int) {
 	for _, w := range a.watchers {
 		w.NodeUp(node)
 	}
+}
+
+// Reconnect brings a partitioned-but-alive node back into the subsystem:
+// call it after the injector heals a partition that got the node marked
+// down. Unlike Rejoin, the node's serving processes never died and its
+// stores survived, so no new incarnation spawns. Any shard the node led
+// when it was deposed hands its surviving copy back to the new primary as
+// a merge-mode replication stream — highest version wins, so the deposed
+// side's unreplicated (never-acknowledged) tail lands while everything
+// the new regime wrote stays put — and the node is then re-adopted as a
+// follower for degraded shards, caught up by the usual snapshot resync.
+func (a *App) Reconnect(node int) {
+	if !a.down[node] || a.nodes[node] == nil {
+		return
+	}
+	a.down[node] = false
+	sn := a.nodes[node]
+	for _, s := range a.deposed[node] {
+		in := a.Map.Shards[s]
+		if in.Primary < 0 || in.Primary == node || a.down[in.Primary] {
+			continue
+		}
+		st := sn.shards[s].store
+		var recs []replRec
+		for _, k := range st.SortedKeys() {
+			v, ver, _ := st.GetVer(k)
+			recs = append(recs, replRec{Shard: s, Key: k, Epoch: in.Epoch, Ver: ver, Val: v})
+		}
+		if len(recs) > 0 {
+			sn.out[in.Primary].push(&outEntry{shard: -1, recs: recs, merge: true}, false)
+		}
+	}
+	delete(a.deposed, node)
+	owing := a.Map.AdoptReplica(node)
+	for _, p := range owing {
+		if !a.down[p] && a.nodes[p] != nil {
+			a.nodes[p].poke.Broadcast()
+		}
+	}
+	for _, w := range a.watchers {
+		w.NodeUp(node)
+	}
+	a.ready.Broadcast()
 }
 
 // portUp marks one of a node's listeners live; when both are up the node

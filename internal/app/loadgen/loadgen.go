@@ -7,6 +7,7 @@ import (
 
 	"shrimp/internal/app"
 	"shrimp/internal/kernel"
+	"shrimp/internal/retry"
 	"shrimp/internal/sim"
 	"shrimp/internal/srpc"
 	"shrimp/internal/vmmc"
@@ -55,8 +56,14 @@ type Config struct {
 	// Seed seeds every gateway's private draw stream (default 1).
 	Seed uint64
 	// TrackAcks records every acknowledged put (single-gateway configs
-	// only) so tests can assert no acknowledged write is lost.
+	// only) so tests can assert no acknowledged write is lost, and arms
+	// the stale-read checker: every get is audited against the puts
+	// acknowledged before it was sent.
 	TrackAcks bool
+	// RetryBudget caps how many times one op may be retried (rerouted
+	// after a timeout, WrongNode, StaleEpoch, or Unavailable) before it is
+	// dropped as budget-exhausted (default 16; negative means 0).
+	RetryBudget int
 }
 
 func (cfg *Config) defaults(nodes int) error {
@@ -95,6 +102,12 @@ func (cfg *Config) defaults(nodes int) error {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.RetryBudget == 0 {
+		cfg.RetryBudget = 16
+	}
+	if cfg.RetryBudget < 0 {
+		cfg.RetryBudget = 0
+	}
 	if cfg.TrackAcks && len(cfg.Gateways) != 1 {
 		return fmt.Errorf("loadgen: TrackAcks needs exactly one gateway, have %d", len(cfg.Gateways))
 	}
@@ -109,6 +122,9 @@ type gop struct {
 	kind  uint8
 	flags uint8
 	seq   uint32
+	// tries counts retries spent (timeout requeues, WrongNode,
+	// StaleEpoch, Unavailable); past the budget the op is dropped.
+	tries int
 }
 
 // queue is a head-indexed FIFO of ops bound for one target node.
@@ -152,6 +168,13 @@ type Gen struct {
 
 	// AckedPuts maps key → highest acknowledged put sequence (TrackAcks).
 	AckedPuts map[uint64]uint32
+	// ackHist records, per key, the running-max acknowledged put sequence
+	// at each acknowledgment instant (TrackAcks). It is the staleness
+	// oracle: a get sent at time T must come back with a sequence at least
+	// as new as every put acknowledged at or before T — replication
+	// completes before the ack, so even a synced replica already holds
+	// those writes when the get reaches it.
+	ackHist map[uint64][]ackStep
 
 	// Warmup barrier: tickers hold generation until every sender has its
 	// binding wired, so the slow conventional-network rendezvous storm at
@@ -162,6 +185,42 @@ type Gen struct {
 
 	startAt  sim.Time
 	finishAt sim.Time
+}
+
+// ackStep is one point in a key's acknowledgment history: by time at, puts
+// up to sequence maxSeq were acknowledged.
+type ackStep struct {
+	at     sim.Time
+	maxSeq uint32
+}
+
+// recordAck folds an acknowledged put into the key's history (TrackAcks).
+// Steps append in engine time order; maxSeq is monotone even when a
+// straggling retry of an older put settles after a newer one.
+func (g *Gen) recordAck(key uint64, seq uint32, at sim.Time) {
+	h := g.ackHist[key]
+	if n := len(h); n > 0 && h[n-1].maxSeq > seq {
+		seq = h[n-1].maxSeq
+	}
+	g.ackHist[key] = append(h, ackStep{at: at, maxSeq: seq})
+}
+
+// ackedBefore returns the newest put sequence acknowledged at or before t.
+func (g *Gen) ackedBefore(key uint64, t sim.Time) uint32 {
+	h := g.ackHist[key]
+	lo, hi := 0, len(h)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h[mid].at <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return h[lo-1].maxSeq
 }
 
 // waitBound parks until every sender finished its warmup bind.
@@ -193,6 +252,7 @@ func Start(a *app.App, cfg Config) (*Gen, error) {
 		boundCond: sim.NewCond(a.Cl.Eng)}
 	if cfg.TrackAcks {
 		g.AckedPuts = make(map[uint64]uint32)
+		g.ackHist = make(map[uint64][]ackStep)
 	}
 	zipf := newZipf(cfg.Keys, cfg.ZipfS)
 	nodes := len(a.Cl.Nodes)
@@ -412,10 +472,32 @@ func (gw *gateway) terminal(n int) {
 	}
 }
 
+// senderRetry paces a sender after a failed call or bind: jittered
+// exponential backoff so a fleet of senders cut off by the same partition
+// does not re-dial in lockstep. The budget is effectively unbounded (the
+// per-op RetryBudget is what bounds work); any success rewinds to Base.
+var senderRetry = retry.Policy{
+	Base:   200 * time.Microsecond,
+	Max:    10 * time.Millisecond,
+	Factor: 2,
+	Jitter: 0.5,
+	Budget: 1 << 30,
+}
+
+// warmupBindRetry covers the warmup bind only: a couple of spaced second
+// tries before leaving the binding for the serving loop to rediscover.
+var warmupBindRetry = retry.Policy{
+	Base:   time.Millisecond,
+	Factor: 2,
+	Jitter: 0.5,
+	Budget: 2,
+}
+
 // senderBody drains one target node's queue: batch, bind (rebinding when
 // the target's incarnation changes), call with the failover deadline,
-// then settle per-op statuses. A timeout reports the node down, which
-// reroutes everything — including this batch, requeued at the front.
+// then settle per-op statuses. A timeout reports the node down — the
+// quorum decides whether that deposes it — requeues the batch at the
+// front (spending retry budget), and backs off before the next attempt.
 func (gw *gateway) senderBody(p *kernel.Process, target int) {
 	g := gw.g
 	a := g.app
@@ -423,11 +505,13 @@ func (gw *gateway) senderBody(p *kernel.Process, target int) {
 	ep := vmmc.Attach(p, a.Cl.Node(gw.node).Daemon)
 	var b *srpc.Binding
 	bGen := -1
+	bo := retry.New(senderRetry, retry.Seed(g.cfg.Seed, uint64(gw.idx), uint64(target)))
 	// Warmup: wire the binding before generation starts, so the rendezvous
 	// storm of every sender binding at once cannot push early calls past
 	// the failover deadline. A failure here is left for the serving loop to
 	// rediscover (the barrier must come down either way).
-	if nb, err := srpc.BindTimeout(ep, a.Cl.Ether, target, app.Port, bindDeadline(a)); err == nil {
+	if nb, err := srpc.BindBackoff(ep, a.Cl.Ether, target, app.Port, bindDeadline(a),
+		warmupBindRetry, retry.Seed(g.cfg.Seed, uint64(gw.idx), uint64(target), 1)); err == nil {
 		b, bGen = nb, a.Gen(target)
 	}
 	g.bound++
@@ -452,9 +536,10 @@ func (gw *gateway) senderBody(p *kernel.Process, target int) {
 			nb, err := srpc.BindTimeout(ep, a.Cl.Ether, target, app.Port, bindDeadline(a))
 			if err != nil {
 				a.Rec.Count(&a.Rec.Timeouts, "client.timeout", 1)
-				a.NodeDown(target)
+				a.ReportDown(gw.node, target)
 				gw.requeueFront(batch)
 				b = nil
+				gw.pace(p, bo)
 				continue
 			}
 			b, bGen = nb, a.Gen(target)
@@ -464,13 +549,26 @@ func (gw *gateway) senderBody(p *kernel.Process, target int) {
 		rlen, err := b.CallTimeout(app.ProcBatch, img, a.Cfg.CallDeadline)
 		if err != nil {
 			a.Rec.Count(&a.Rec.Timeouts, "client.timeout", 1)
-			a.NodeDown(target)
+			a.ReportDown(gw.node, target)
 			gw.requeueFront(batch)
 			b = nil
+			gw.pace(p, bo)
 			continue
 		}
+		bo.Reset()
 		gw.settle(batch, b.ReadReply(rlen), sent)
 	}
+}
+
+// pace sleeps the sender's post-failure backoff, re-arming defensively if
+// the (effectively infinite) budget ever runs dry.
+func (gw *gateway) pace(p *kernel.Process, bo *retry.Backoff) {
+	w, ok := bo.Next()
+	if !ok {
+		bo.Reset()
+		w, _ = bo.Next()
+	}
+	p.P.Sleep(w)
 }
 
 // bindDeadline bounds the Ethernet rendezvous, which crosses the slow
@@ -478,12 +576,14 @@ func (gw *gateway) senderBody(p *kernel.Process, target int) {
 // once (warmup, or a post-failover rebind wave) the rendezvous traffic of
 // the whole fleet serializes on that 10 Mb/s wire, so the deadline must be
 // generous — a slow bind means congestion, not death; genuinely dead nodes
-// are detected by the much tighter call deadline on the fast path.
+// are detected by the much tighter call deadline on the fast path. The
+// floor is the cluster's BindFloor knob.
 func bindDeadline(a *app.App) time.Duration {
-	if d := a.Cfg.CallDeadline; d > 2*time.Second {
+	f := a.Cl.Timeouts().BindFloor
+	if d := a.Cfg.CallDeadline; d > f {
 		return d
 	}
-	return 2 * time.Second
+	return f
 }
 
 // popBatch pops ops for one call, bounded by the op cap and by both the
@@ -496,9 +596,9 @@ func (gw *gateway) popBatch(target int) []gop {
 	vb := g.cfg.ValueBytes
 	for n < q.size() && n < g.cfg.BatchOps {
 		op := q.ops[q.head+n]
-		rq, rp := 12, 8+(vb+3)&^3
+		rq, rp := 16, 8+(vb+3)&^3
 		if op.kind == app.OpPut {
-			rq, rp = 12+4+(vb+3)&^3, 4
+			rq, rp = 16+4+(vb+3)&^3, 4
 		}
 		if reqBytes+rq > app.MaxBatchImage || repBytes+rp > app.MaxBatchImage {
 			break
@@ -507,10 +607,17 @@ func (gw *gateway) popBatch(target int) []gop {
 		repBytes += rp
 		n++
 	}
-	// Ops whose routing moved since enqueue go back through route().
+	// Ops whose routing moved since enqueue go back through route(); a
+	// retried put superseded by a newer acknowledged put on the same key is
+	// dropped — resending it would reorder acknowledged history.
 	raw := q.popUpTo(n)
 	batch := make([]gop, 0, len(raw))
 	for _, op := range raw {
+		if op.kind == app.OpPut && g.AckedPuts != nil && op.seq < g.AckedPuts[op.key] {
+			g.app.Rec.Count(&g.app.Rec.Superseded, "superseded", 1)
+			gw.terminal(1)
+			continue
+		}
 		if gw.targetOf(op) != target {
 			gw.route(op)
 			continue
@@ -530,14 +637,21 @@ func (gw *gateway) targetOf(op gop) int {
 }
 
 // requeueFront returns a failed batch to the head of its (re-routed)
-// queues, preserving order.
+// queues, preserving order. Each op spends one unit of retry budget;
+// exhausted ops are dropped instead of circulating forever.
 func (gw *gateway) requeueFront(batch []gop) {
 	a := gw.g.app
-	a.Rec.Count(&a.Rec.Retries, "retry", int64(len(batch)))
 	// Group by new target, preserving batch order within each group.
 	byTarget := map[int][]gop{}
 	order := []int{}
 	for _, op := range batch {
+		op.tries++
+		if op.tries > gw.g.cfg.RetryBudget {
+			a.Rec.Count(&a.Rec.BudgetExhausted, "budget.exhausted", 1)
+			gw.terminal(1)
+			continue
+		}
+		a.Rec.Count(&a.Rec.Retries, "retry", 1)
 		t := gw.targetOf(op)
 		if _, ok := byTarget[t]; !ok {
 			order = append(order, t)
@@ -550,6 +664,21 @@ func (gw *gateway) requeueFront(batch []gop) {
 	gw.cond.Broadcast()
 }
 
+// retryOp spends one unit of an op's retry budget and reroutes it, or
+// drops it once the budget is gone.
+func (gw *gateway) retryOp(op gop) {
+	a := gw.g.app
+	op.tries++
+	if op.tries > gw.g.cfg.RetryBudget {
+		a.Rec.Count(&a.Rec.BudgetExhausted, "budget.exhausted", 1)
+		gw.terminal(1)
+		return
+	}
+	a.Rec.Count(&a.Rec.Retries, "retry", 1)
+	gw.route(op)
+	gw.cond.Broadcast()
+}
+
 func (gw *gateway) encode(batch []gop) []byte {
 	img := make([]byte, 0, 256)
 	img = binary.LittleEndian.AppendUint32(img, uint32(len(batch)))
@@ -558,7 +687,7 @@ func (gw *gateway) encode(batch []gop) []byte {
 		if op.kind == app.OpPut {
 			val = gw.value(op)
 		}
-		img = appendWireOp(img, op, val)
+		img = appendWireOp(img, op, gw.g.app.Map.Shards[op.shard].Epoch, val)
 	}
 	return img
 }
@@ -589,8 +718,22 @@ func (gw *gateway) settle(batch []gop, reply []byte, sent sim.Time) {
 		switch st {
 		case app.StatusOK, app.StatusNotFound:
 			if op.kind == app.OpGet {
+				ok := true
 				if st == app.StatusOK && !valueChecks(val, op.key) {
 					rec.Count(&rec.ValueErrs, "value.err", 1)
+					ok = false
+				}
+				if ok && g.ackHist != nil {
+					// Stale-read audit: the value must carry a sequence at
+					// least as new as every put acknowledged before the get
+					// was sent (NotFound counts as sequence zero).
+					vseq := uint32(0)
+					if st == app.StatusOK {
+						vseq = binary.LittleEndian.Uint32(val[12:])
+					}
+					if vseq < g.ackedBefore(op.key, sent) {
+						rec.Count(&rec.StaleReads, "stale.read", 1)
+					}
 				}
 				rec.Latency(app.ClassGet, sim.Time(now.Sub(op.arr)))
 				rec.Latency(app.ClassGetSrv, sim.Time(now.Sub(sent)))
@@ -601,6 +744,7 @@ func (gw *gateway) settle(batch []gop, reply []byte, sent sim.Time) {
 					if op.seq > g.AckedPuts[op.key] {
 						g.AckedPuts[op.key] = op.seq
 					}
+					g.recordAck(op.key, op.seq, now)
 				}
 			}
 			gw.completed++
@@ -610,10 +754,10 @@ func (gw *gateway) settle(batch []gop, reply []byte, sent sim.Time) {
 			gw.terminal(1)
 		case app.StatusShed:
 			gw.terminal(1)
-		case app.StatusWrongNode:
-			rec.Count(&rec.Retries, "retry", 1)
-			gw.route(op)
-			gw.cond.Broadcast()
+		case app.StatusWrongNode, app.StatusStaleEpoch, app.StatusUnavailable:
+			// Routing or regime moved under the op (or the primary could
+			// not certify the write): re-read the map and retry, on budget.
+			gw.retryOp(op)
 		default:
 			rec.Count(&rec.ProtoErrs, "proto.err", 1)
 			gw.terminal(1)
@@ -621,9 +765,10 @@ func (gw *gateway) settle(batch []gop, reply []byte, sent sim.Time) {
 	}
 }
 
-// appendWireOp marshals one op (loadgen's view of the app wire format).
-func appendWireOp(img []byte, op gop, val []byte) []byte {
-	return app.AppendOp(img, int(op.kind), int(op.flags), int(op.shard), op.key, val)
+// appendWireOp marshals one op (loadgen's view of the app wire format),
+// stamping the shard's current fencing epoch at send time.
+func appendWireOp(img []byte, op gop, epoch uint32, val []byte) []byte {
+	return app.AppendOp(img, int(op.kind), int(op.flags), int(op.shard), op.key, epoch, val)
 }
 
 // replyHeader reads a reply's count word.

@@ -1,6 +1,10 @@
 package loadgen
 
-import "testing"
+import (
+	"testing"
+
+	"shrimp/internal/sim"
+)
 
 func TestRngDeterministic(t *testing.T) {
 	a, b := newRng(42), newRng(42)
@@ -111,5 +115,50 @@ func TestConfigDefaultsAndTrackAcks(t *testing.T) {
 	ok := Config{TrackAcks: true, Gateways: []int{1}}
 	if err := ok.defaults(4); err != nil {
 		t.Fatalf("TrackAcks with one gateway rejected: %v", err)
+	}
+}
+
+// TestAckHistory exercises the stale-read oracle: recordAck keeps the
+// per-key history monotone even when a straggling retry of an older put
+// settles after a newer one, and ackedBefore answers "what was the newest
+// sequence acknowledged by time T" exactly at the step boundaries.
+func TestAckHistory(t *testing.T) {
+	g := &Gen{ackHist: map[uint64][]ackStep{}}
+	const k = uint64(7)
+	g.recordAck(k, 2, 100)
+	g.recordAck(k, 5, 200)
+	g.recordAck(k, 3, 300) // older put's retry acked late: max stays 5
+	cases := []struct {
+		at   int64
+		want uint32
+	}{
+		{50, 0}, {100, 2}, {150, 2}, {200, 5}, {250, 5}, {300, 5}, {1000, 5},
+	}
+	for _, c := range cases {
+		if got := g.ackedBefore(k, sim.Time(c.at)); got != c.want {
+			t.Fatalf("ackedBefore(%d) = %d, want %d", c.at, got, c.want)
+		}
+	}
+	if got := g.ackedBefore(99, 500); got != 0 {
+		t.Fatalf("untouched key reported acked seq %d", got)
+	}
+}
+
+// TestRetryBudgetDefaults: zero means the documented default, negative
+// means no retries.
+func TestRetryBudgetDefaults(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.defaults(4); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RetryBudget != 16 {
+		t.Fatalf("default RetryBudget = %d, want 16", cfg.RetryBudget)
+	}
+	neg := Config{RetryBudget: -1}
+	if err := neg.defaults(4); err != nil {
+		t.Fatal(err)
+	}
+	if neg.RetryBudget != 0 {
+		t.Fatalf("negative RetryBudget resolved to %d, want 0", neg.RetryBudget)
 	}
 }

@@ -2,6 +2,7 @@ package app
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"shrimp/internal/srpc"
@@ -46,6 +47,32 @@ const (
 	StatusNotFound = 3
 	// StatusBadRequest: the op could not be decoded.
 	StatusBadRequest = 4
+	// StatusStaleEpoch: the op (or replication record) was minted under a
+	// shard epoch older than the serving node's — a fenced-off regime. The
+	// client re-reads the shard map and retries; a deposed primary's
+	// replication proxy abandons the entry without a death verdict.
+	StatusStaleEpoch = 5
+	// StatusUnavailable: a write the primary could neither replicate nor
+	// safely self-certify — its synchronous replication failed while the
+	// shard map still names a synced follower, meaning the cluster quorum
+	// disagrees that the follower is gone (the primary is on the minority
+	// side of a partition). The write is not acknowledged; the client
+	// retries elsewhere once routing catches up.
+	StatusUnavailable = 6
+)
+
+// ErrStaleEpoch is the fencing rejection: the peer serves a newer shard
+// epoch than the one this message was minted under.
+var ErrStaleEpoch = errors.New("app: stale shard epoch")
+
+// Replication image modes (the word after the record count).
+const (
+	// replModeStream: in-regime replication or snapshot resync; records
+	// apply unconditionally after the epoch fence.
+	replModeStream = 0
+	// replModeMerge: heal-time reconciliation from a deposed primary;
+	// records apply only where their version exceeds the stored one.
+	replModeMerge = 1
 )
 
 // MaxBatchImage bounds one batch's marshaled size.
@@ -55,7 +82,7 @@ func pad4(n int) int { return (n + 3) &^ 3 }
 
 // opWireSize returns the marshaled size of one request op.
 func opWireSize(kind int, vlen int) int {
-	n := 4 + 8 // meta + key
+	n := 4 + 8 + 4 // meta + key + epoch
 	if kind == OpPut {
 		n += 4 + pad4(vlen)
 	}
@@ -63,12 +90,14 @@ func opWireSize(kind int, vlen int) int {
 }
 
 // AppendOp marshals one op onto a request image: a meta word
-// [kind:8|flags:8|shard:16], the key, and for puts the value. Exported
-// for the load generator, which builds batch images directly.
-func AppendOp(buf []byte, kind, flags, shard int, key uint64, val []byte) []byte {
+// [kind:8|flags:8|shard:16], the key, the shard epoch the client routed
+// under (the fencing stamp), and for puts the value. Exported for the load
+// generator, which builds batch images directly.
+func AppendOp(buf []byte, kind, flags, shard int, key uint64, epoch uint32, val []byte) []byte {
 	meta := uint32(kind&0xff)<<24 | uint32(flags&0xff)<<16 | uint32(shard&0xffff)
 	buf = binary.LittleEndian.AppendUint32(buf, meta)
 	buf = binary.LittleEndian.AppendUint64(buf, key)
+	buf = binary.LittleEndian.AppendUint32(buf, epoch)
 	if kind == OpPut {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(val)))
 		buf = append(buf, val...)
@@ -123,6 +152,7 @@ type wireOp struct {
 	Flags int
 	Shard int
 	Key   uint64
+	Epoch uint32
 	Val   []byte
 }
 
@@ -135,11 +165,16 @@ func (c *cursor) op() (wireOp, error) {
 	if err != nil {
 		return wireOp{}, err
 	}
+	epoch, err := c.u32()
+	if err != nil {
+		return wireOp{}, err
+	}
 	op := wireOp{
 		Kind:  int(meta >> 24),
 		Flags: int(meta >> 16 & 0xff),
 		Shard: int(meta & 0xffff),
 		Key:   key,
+		Epoch: epoch,
 	}
 	if op.Kind == OpPut {
 		if op.Val, err = c.bytes(); err != nil {
@@ -149,20 +184,26 @@ func (c *cursor) op() (wireOp, error) {
 	return op, nil
 }
 
-// replRec is one replicated write: shard, key, value.
+// replRec is one replicated write: shard, key, value, plus the shard epoch
+// the sending primary served under (the fence a new regime rejects) and
+// the write's store version (epoch<<32 | sequence, the merge tiebreak).
 type replRec struct {
 	Shard int
 	Key   uint64
+	Epoch uint32
+	Ver   uint64
 	Val   []byte
 }
 
 // replRecSize returns the marshaled size of one replication record.
-func replRecSize(vlen int) int { return 4 + 8 + 4 + pad4(vlen) }
+func replRecSize(vlen int) int { return 4 + 8 + 4 + 8 + 4 + pad4(vlen) }
 
 // appendReplRec marshals one replication record.
 func appendReplRec(buf []byte, r replRec) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Shard))
 	buf = binary.LittleEndian.AppendUint64(buf, r.Key)
+	buf = binary.LittleEndian.AppendUint32(buf, r.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Ver)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Val)))
 	buf = append(buf, r.Val...)
 	for len(buf)%4 != 0 {
@@ -180,9 +221,17 @@ func (c *cursor) replRec() (replRec, error) {
 	if err != nil {
 		return replRec{}, err
 	}
+	epoch, err := c.u32()
+	if err != nil {
+		return replRec{}, err
+	}
+	ver, err := c.u64()
+	if err != nil {
+		return replRec{}, err
+	}
 	val, err := c.bytes()
 	if err != nil {
 		return replRec{}, err
 	}
-	return replRec{Shard: int(s), Key: key, Val: val}, nil
+	return replRec{Shard: int(s), Key: key, Epoch: epoch, Ver: ver, Val: val}, nil
 }

@@ -45,12 +45,25 @@ type Recorder struct {
 	// follower; Timeouts are client batch calls that hit the deadline
 	// (failover detections); Retries are ops requeued after a timeout or
 	// WrongNode; ValueErrs are get replies whose value failed the
-	// embedded-key integrity check.
+	// embedded-key integrity check. EpochRejected counts ops and
+	// replication records fenced off for carrying a stale shard epoch;
+	// Unavail are writes a primary refused to acknowledge because its
+	// synchronous replication failed while the quorum still trusts the
+	// follower (minority-side primary); ReportsIgnored are down-reports the
+	// quorum gate vetoed (the accused node is reachable from a majority);
+	// StaleReads are tracked-mode gets that returned a value older than a
+	// put acknowledged before the get was sent; Superseded are retried puts
+	// dropped because a newer put on the same key was already acknowledged
+	// (resending would reorder history); BudgetExhausted are ops dropped
+	// after spending their retry budget.
 	Admitted, Shed, WrongNode, NotFound int64
 	ReplOps, ReplFail, ResyncKeys       int64
 	Timeouts, Retries, ValueErrs        int64
 	Failovers, AcceptErrs, ReplBad      int64
 	ProtoErrs, Dropped                  int64
+	EpochRejected, Unavail              int64
+	ReportsIgnored, StaleReads          int64
+	Superseded, BudgetExhausted         int64
 
 	depthHW []int64
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"shrimp/internal/kernel"
+	"shrimp/internal/retry"
 	"shrimp/internal/sim"
 	"shrimp/internal/srpc"
 	"shrimp/internal/vmmc"
@@ -17,13 +18,30 @@ import (
 // behind more than one chunk of a snapshot stream on the shared proxy.
 const replChunk = 4096
 
+// replBackoff paces a replication proxy after failed calls: exponential
+// with heavy jitter, from a quarter of the default replication deadline up
+// to a few deadlines. The budget is effectively unbounded — a proxy never
+// abandons replication, it just settles at the Max cadence — and any
+// success rewinds the schedule to Base.
+var replBackoff = retry.Policy{
+	Base:   500 * time.Microsecond,
+	Max:    8 * time.Millisecond,
+	Factor: 2,
+	Jitter: 0.5,
+	Budget: 1 << 30,
+}
+
 // shardState is one shard's serving state on one node. Admission control
 // is a fluid backlog: backlogUntil is the virtual instant the shard's
 // queued work drains; its distance from now, divided by the per-op
-// service time, is the queue depth the bound applies to.
+// service time, is the queue depth the bound applies to. wseq is the
+// node's write sequence for the shard while it serves as primary: each
+// put's store version is epoch<<32 | wseq, so versions from a newer
+// regime compare above everything an older one minted.
 type shardState struct {
 	store        *Store
 	backlogUntil sim.Time
+	wseq         uint32
 }
 
 // serverNode is one node's serving state: every shard's local copy (it
@@ -77,7 +95,8 @@ func (a *App) startNode(i int) {
 		if t == i {
 			continue
 		}
-		px := &outProxy{sn: sn, target: t, cond: sim.NewCond(a.Cl.Eng)}
+		px := &outProxy{sn: sn, target: t, cond: sim.NewCond(a.Cl.Eng),
+			bo: retry.New(replBackoff, retry.Seed(uint64(i), uint64(t)))}
 		sn.out[t] = px
 		a.Cl.Spawn(i, fmt.Sprintf("app-out-%d-%d", i, t), px.body)
 	}
@@ -185,6 +204,15 @@ func (sn *serverNode) serveBatch(p *kernel.Process, b *srpc.Binding) {
 	now := eng.Now()
 	statuses := make([]uint32, len(ops))
 	vals := make([][]byte, len(ops))
+	// asPrimary marks ops this node admitted in its primary role — the
+	// set the post-replication fencing re-check applies to. waitFor maps
+	// an op to the synchronous replication group its ack depends on.
+	asPrimary := make([]bool, len(ops))
+	waitFor := make([]*outEntry, len(ops))
+	waitTarget := make([]int, len(ops))
+	for i := range waitTarget {
+		waitTarget[i] = -1
+	}
 	maxDone := now
 	groups := map[int][]replRec{}
 	sess := map[[2]int][]replRec{}
@@ -202,6 +230,17 @@ func (sn *serverNode) serveBatch(p *kernel.Process, b *srpc.Binding) {
 			statuses[i] = StatusWrongNode
 			a.Rec.Count(&a.Rec.WrongNode, "wrongnode", 1)
 			continue
+		}
+		if in.Primary == sn.node {
+			// The fence: an op minted under an older regime is rejected so
+			// the client re-reads the map before retrying. (Replica reads
+			// are exempt — their contract already admits slight staleness.)
+			if op.Epoch != in.Epoch {
+				statuses[i] = StatusStaleEpoch
+				a.Rec.Count(&a.Rec.EpochRejected, "epoch.rejected", 1)
+				continue
+			}
+			asPrimary[i] = true
 		}
 		ss := sn.shards[op.Shard]
 		var depth int64
@@ -225,14 +264,17 @@ func (sn *serverNode) serveBatch(p *kernel.Process, b *srpc.Binding) {
 		switch op.Kind {
 		case OpPut:
 			val := append([]byte(nil), op.Val...)
-			ss.store.Put(op.Key, val)
+			ss.wseq++
+			ver := uint64(in.Epoch)<<32 | uint64(ss.wseq)
+			ss.store.PutVer(op.Key, val, ver)
 			statuses[i] = StatusOK
-			rec := replRec{Shard: op.Shard, Key: op.Key, Val: val}
+			rec := replRec{Shard: op.Shard, Key: op.Key, Epoch: in.Epoch, Ver: ver, Val: val}
 			if in.Primary == sn.node && in.Replica >= 0 {
 				if in.Synced {
 					// Synced follower: replicate synchronously before
 					// the ack.
 					groups[in.Replica] = append(groups[in.Replica], rec)
+					waitTarget[i] = in.Replica
 				} else if sn.session[op.Shard] {
 					// Mid-resync: the write rides the same per-target
 					// FIFO as the snapshot — behind the chunk holding its
@@ -286,15 +328,50 @@ func (sn *serverNode) serveBatch(p *kernel.Process, b *srpc.Binding) {
 	}
 	sort.Ints(targets)
 	waits := make([]*outEntry, 0, len(targets))
+	byTarget := map[int]*outEntry{}
 	for _, t := range targets {
 		e := &outEntry{shard: -1, recs: groups[t], wait: true}
 		sn.out[t].push(e, true)
 		waits = append(waits, e)
+		byTarget[t] = e
+	}
+	for i := range ops {
+		if waitTarget[i] >= 0 {
+			waitFor[i] = byTarget[waitTarget[i]]
+		}
 	}
 	for i, e := range waits {
 		px := sn.out[targets[i]]
 		for !e.done {
 			px.cond.Wait(p.P)
+		}
+	}
+
+	// Fencing re-check before the ack: while the batch slept on its
+	// service time and synchronous replication, the map may have moved. An
+	// op this node admitted as primary of a regime that no longer exists
+	// must not be acknowledged — the new primary owns history now. A put
+	// whose replication group failed while the map STILL names a synced
+	// follower means the down-report was quorum-vetoed: this node is the
+	// one cut off, and acking from the minority side is exactly the
+	// split-brain the fence exists to prevent. (A failed group on a shard
+	// the map has since degraded keeps its ack: the quorum agreed the
+	// follower is gone and the primary's copy is the promise.)
+	for i := range ops {
+		op := &ops[i]
+		if !asPrimary[i] || statuses[i] != StatusOK && statuses[i] != StatusNotFound {
+			continue
+		}
+		in := a.Map.Shards[op.Shard]
+		if in.Primary != sn.node || in.Epoch != op.Epoch {
+			statuses[i] = StatusStaleEpoch
+			vals[i] = nil
+			a.Rec.Count(&a.Rec.EpochRejected, "epoch.rejected", 1)
+			continue
+		}
+		if e := waitFor[i]; e != nil && e.failed && in.Replica >= 0 && in.Synced {
+			statuses[i] = StatusUnavailable
+			a.Rec.Count(&a.Rec.Unavail, "unavail", 1)
 		}
 	}
 
@@ -320,7 +397,13 @@ func (sn *serverNode) serveBatch(p *kernel.Process, b *srpc.Binding) {
 	b.Finish(ProcBatch, len(reply))
 }
 
-// serveRepl applies one pushed batch of replicated writes.
+// serveRepl applies one pushed batch of replicated writes. Stream-mode
+// records (in-regime replication, snapshot resync) apply unconditionally
+// — but only after the epoch fence: a record minted under an older shard
+// epoch than this node currently observes is a deposed primary's residue
+// and is rejected batch-wide with StatusStaleEpoch, so the old regime can
+// never scribble over the new one. Merge-mode records (heal-time handback
+// from a deposed primary) skip the fence and apply highest-version-wins.
 func (sn *serverNode) serveRepl(b *srpc.Binding) {
 	a := sn.app
 	_, alen := b.NextCall()
@@ -328,7 +411,11 @@ func (sn *serverNode) serveRepl(b *srpc.Binding) {
 	c := &cursor{buf: img}
 	status := uint32(StatusOK)
 	n, err := c.u32()
-	if err != nil {
+	mode := uint32(replModeStream)
+	if err == nil {
+		mode, err = c.u32()
+	}
+	if err != nil || mode > replModeMerge {
 		status = StatusBadRequest
 		n = 0
 	}
@@ -338,9 +425,19 @@ func (sn *serverNode) serveRepl(b *srpc.Binding) {
 			status = StatusBadRequest
 			break
 		}
-		sn.shards[rec.Shard].store.Put(rec.Key, append([]byte(nil), rec.Val...))
+		if mode == replModeStream && rec.Epoch < sn.app.Map.Shards[rec.Shard].Epoch {
+			status = StatusStaleEpoch
+			a.Rec.Count(&a.Rec.EpochRejected, "epoch.rejected", 1)
+			break
+		}
+		val := append([]byte(nil), rec.Val...)
+		if mode == replModeMerge {
+			sn.shards[rec.Shard].store.PutIfNewer(rec.Key, val, rec.Ver)
+		} else {
+			sn.shards[rec.Shard].store.PutVer(rec.Key, val, rec.Ver)
+		}
 	}
-	if status != StatusOK {
+	if status == StatusBadRequest {
 		a.Rec.Count(&a.Rec.ReplBad, "repl.bad", 1)
 	}
 	reply := binary.LittleEndian.AppendUint32(nil, status)
@@ -384,15 +481,15 @@ func (sn *serverNode) startResyncs() bool {
 		st := sn.shards[s].store
 		keys := st.SortedKeys()
 		var recs []replRec
-		size := 4
+		size := 8
 		for _, k := range keys {
-			v, _ := st.Get(k)
+			v, ver, _ := st.GetVer(k)
 			if size+replRecSize(len(v)) > replChunk && len(recs) > 0 {
 				sn.pendingRepl[s]++
 				px.push(&outEntry{shard: s, recs: recs, snapshot: true}, false)
-				recs, size = nil, 4
+				recs, size = nil, 8
 			}
-			recs = append(recs, replRec{Shard: s, Key: k, Val: v})
+			recs = append(recs, replRec{Shard: s, Key: k, Epoch: in.Epoch, Ver: ver, Val: v})
 			size += replRecSize(len(v))
 		}
 		// The final (possibly empty) chunk closes the session when acked.
@@ -403,13 +500,14 @@ func (sn *serverNode) startResyncs() bool {
 }
 
 // outEntry is one unit of outbound replication bound for one follower:
-// either a synchronously awaited write group or a fire-and-forget resync
-// session record.
+// a synchronously awaited write group, a fire-and-forget resync session
+// record, or a heal-time merge handback.
 type outEntry struct {
-	shard    int // session shard; -1 for wait entries
+	shard    int // session shard; -1 for wait and merge entries
 	recs     []replRec
 	wait     bool // serveBatch blocks until done
 	snapshot bool // resync chunk: counts toward ResyncKeys
+	merge    bool // heal-time handback: sent in merge mode, no session bookkeeping
 	done     bool
 	failed   bool
 }
@@ -434,6 +532,11 @@ type outProxy struct {
 	cond *sim.Cond
 	b    *srpc.Binding
 	gen  int
+	// bo paces the proxy after a failed call: consecutive failures back
+	// off exponentially (jittered per (node, target) so a partition's
+	// victims do not retry in lockstep) instead of hammering the dead
+	// route at the replication deadline. Reset on any success.
+	bo *retry.Backoff
 }
 
 // entryQueue is a head-indexed FIFO.
@@ -516,8 +619,8 @@ func (px *outProxy) prebinds() bool {
 func (px *outProxy) bind(ep *vmmc.Endpoint) bool {
 	a := px.sn.app
 	bd := a.Cfg.ReplDeadline
-	if bd < 2*time.Second {
-		bd = 2 * time.Second
+	if f := a.Cl.Timeouts().BindFloor; bd < f {
+		bd = f
 	}
 	b, err := srpc.BindTimeout(ep, a.Cl.Ether, px.target, ReplPort, bd)
 	if err != nil {
@@ -530,8 +633,14 @@ func (px *outProxy) bind(ep *vmmc.Endpoint) bool {
 
 // run streams one entry to the target, rebinding first when the cached
 // binding is missing or belongs to a dead incarnation. A call timeout
-// marks the target down (degrading its shards); awaited writes stay
-// acknowledged — the primary's copy is the one the ack promised.
+// reports the target down; whether that deposes it is the quorum's call —
+// vetoed reports leave the entry failed (serveBatch then refuses the ack
+// with StatusUnavailable), honored ones degrade the shard map (awaited
+// writes stay acknowledged: the primary's copy is the one the ack
+// promised). A StatusStaleEpoch reply is not a death verdict at all: the
+// target is alive and fencing THIS node's old regime out, so the entry
+// just fails. After any transport failure the proxy sleeps its jittered
+// exponential backoff before touching the next entry.
 func (px *outProxy) run(p *kernel.Process, ep *vmmc.Endpoint, e *outEntry) {
 	a := px.sn.app
 	if !a.serving(px.target) {
@@ -540,14 +649,19 @@ func (px *outProxy) run(p *kernel.Process, ep *vmmc.Endpoint, e *outEntry) {
 	}
 	if px.b == nil || px.gen != a.gen[px.target] {
 		if !px.bind(ep) {
-			a.NodeDown(px.target)
+			a.ReportDown(px.sn.node, px.target)
 			px.finish(e, true)
+			px.pace(p)
 			return
 		}
 	}
+	mode := uint32(replModeStream)
+	if e.merge {
+		mode = replModeMerge
+	}
 	sent := 0
 	for sent < len(e.recs) {
-		img := make([]byte, 4, 512)
+		img := make([]byte, 8, 512)
 		cnt := 0
 		for sent+cnt < len(e.recs) {
 			r := e.recs[sent+cnt]
@@ -558,16 +672,49 @@ func (px *outProxy) run(p *kernel.Process, ep *vmmc.Endpoint, e *outEntry) {
 			cnt++
 		}
 		binary.LittleEndian.PutUint32(img, uint32(cnt))
-		if _, err := px.b.CallTimeout(ProcRepl, img, a.Cfg.ReplDeadline); err != nil {
+		binary.LittleEndian.PutUint32(img[4:], mode)
+		rlen, err := px.b.CallTimeout(ProcRepl, img, a.Cfg.ReplDeadline)
+		if err != nil {
 			a.Rec.Count(&a.Rec.ReplFail, "repl.fail", 1)
 			px.b = nil
-			a.NodeDown(px.target)
+			a.ReportDown(px.sn.node, px.target)
 			px.finish(e, true)
+			px.pace(p)
+			return
+		}
+		if st := replReplyStatus(px.b.ReadReply(rlen)); st != StatusOK {
+			// The target answered and refused: it is alive, so no death
+			// report and no backoff — just give up on this entry.
+			if st != StatusStaleEpoch {
+				a.Rec.Count(&a.Rec.ReplBad, "repl.bad", 1)
+			}
+			px.finish(e, true)
+			px.bo.Reset()
 			return
 		}
 		sent += cnt
 	}
 	px.finish(e, false)
+	px.bo.Reset()
+}
+
+// pace sleeps the proxy's post-failure backoff. The budget is effectively
+// infinite, but re-arm defensively if it ever runs dry.
+func (px *outProxy) pace(p *kernel.Process) {
+	w, ok := px.bo.Next()
+	if !ok {
+		px.bo.Reset()
+		w, _ = px.bo.Next()
+	}
+	p.P.Sleep(w)
+}
+
+// replReplyStatus decodes a replication reply's status word.
+func replReplyStatus(reply []byte) uint32 {
+	if len(reply) < 4 {
+		return StatusBadRequest
+	}
+	return binary.LittleEndian.Uint32(reply)
 }
 
 // finish completes an entry: account it, advance session bookkeeping (the
@@ -585,7 +732,7 @@ func (px *outProxy) finish(e *outEntry, failed bool) {
 			a.Rec.Count(&a.Rec.ReplOps, "repl.ops", int64(len(e.recs)))
 		}
 	}
-	if !e.wait {
+	if !e.wait && !e.merge {
 		sn.pendingRepl[e.shard]--
 		if failed {
 			// The target died mid-session; Fail already degraded the map.

@@ -33,11 +33,17 @@ const ringPoints = 16
 // linearizable reads, plus an optional follower that holds a synchronously
 // replicated copy. Replica < 0 means degraded (no follower). Synced means
 // the follower has a complete copy; replica reads are only routed to
-// synced followers.
+// synced followers. Epoch is the shard's fencing regime: it is minted
+// (incremented) exactly when the primary role moves to a new node, clients
+// stamp it into every op and primaries into every replication record, and
+// a server rejects anything minted under an older epoch — so a deposed
+// primary on the wrong side of a partition can neither acknowledge writes
+// through the new regime nor replay old-regime replication into it.
 type ShardInfo struct {
 	Primary int
 	Replica int
 	Synced  bool
+	Epoch   uint32
 }
 
 // ShardMap is the cluster-wide placement table: a consistent-hash ring
@@ -70,6 +76,7 @@ func NewShardMap(shards, nodes int) *ShardMap {
 			Primary: s % nodes,
 			Replica: (s + 1) % nodes,
 			Synced:  true,
+			Epoch:   1,
 		}
 		for v := 0; v < ringPoints; v++ {
 			m.ring = append(m.ring, ringEntry{
@@ -110,6 +117,10 @@ func (m *ShardMap) Fail(node int) []int {
 		if in.Primary == node {
 			if in.Replica >= 0 {
 				in.Primary = in.Replica
+				// A new primary regime: mint the fencing epoch. A shard
+				// whose primary merely died (no replica to promote) keeps
+				// its epoch — the regime did not move, it is just absent.
+				in.Epoch++
 			}
 			in.Replica = -1
 			in.Synced = false

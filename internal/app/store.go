@@ -9,28 +9,61 @@ import (
 
 // Store is one shard's in-memory table. Keys are 64-bit (the load
 // generator draws Zipfian ranks; the SunRPC demo adapter hashes strings
-// down to them); values are opaque byte strings.
+// down to them); values are opaque byte strings. Every entry carries the
+// fencing version its write was minted under (epoch<<32 | per-shard
+// sequence), so heal-time reconciliation can merge two divergent copies
+// with a simple highest-version-wins rule.
 type Store struct {
-	data  map[uint64][]byte
+	data  map[uint64]entry
 	bytes int64
 }
 
-// NewStore returns an empty store.
-func NewStore() *Store { return &Store{data: make(map[uint64][]byte)} }
+type entry struct {
+	val []byte
+	ver uint64
+}
 
-// Put inserts or replaces a value.
-func (st *Store) Put(key uint64, val []byte) {
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{data: make(map[uint64]entry)} }
+
+// Put inserts or replaces a value with version zero — the unversioned
+// surface for the SunRPC demo adapter, which has no fencing regime.
+func (st *Store) Put(key uint64, val []byte) { st.PutVer(key, val, 0) }
+
+// PutVer inserts or replaces a value, recording the write's fencing
+// version. The replacement is unconditional: primaries and in-regime
+// replication streams always win.
+func (st *Store) PutVer(key uint64, val []byte, ver uint64) {
 	if old, ok := st.data[key]; ok {
-		st.bytes -= int64(len(old))
+		st.bytes -= int64(len(old.val))
 	}
-	st.data[key] = val
+	st.data[key] = entry{val: val, ver: ver}
 	st.bytes += int64(len(val))
+}
+
+// PutIfNewer applies the write only if its version exceeds the stored
+// entry's, reporting whether it did. Heal-time reconciliation uses it to
+// merge a deposed primary's store into the current one: the deposed side's
+// unreplicated tail (old epoch, unseen sequence) lands, while anything the
+// new regime has overwritten (higher epoch) stays put.
+func (st *Store) PutIfNewer(key uint64, val []byte, ver uint64) bool {
+	if old, ok := st.data[key]; ok && old.ver >= ver {
+		return false
+	}
+	st.PutVer(key, val, ver)
+	return true
 }
 
 // Get returns the stored value.
 func (st *Store) Get(key uint64) ([]byte, bool) {
-	v, ok := st.data[key]
-	return v, ok
+	e, ok := st.data[key]
+	return e.val, ok
+}
+
+// GetVer returns the stored value and its fencing version.
+func (st *Store) GetVer(key uint64) ([]byte, uint64, bool) {
+	e, ok := st.data[key]
+	return e.val, e.ver, ok
 }
 
 // Len returns the number of entries.

@@ -13,6 +13,7 @@
 package bench
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strings"
 	"time"
@@ -20,6 +21,7 @@ import (
 	"shrimp/internal/app"
 	"shrimp/internal/app/loadgen"
 	"shrimp/internal/cluster"
+	"shrimp/internal/fault"
 	"shrimp/internal/sim"
 	"shrimp/internal/trace"
 )
@@ -38,6 +40,21 @@ type AppServeOpts struct {
 	Crash        int
 	CrashAt      time.Duration
 	RestartAfter time.Duration
+	// Partition, when non-empty, severs that node set from the rest of the
+	// mesh at PartitionAt (OneWay cuts only their outbound direction),
+	// heals HealAfter after detection, and reconnects the victims; Flap
+	// repeats the cycle. Requires the fault injector armed (a FaultPlan on
+	// the cluster, empty is enough). Unlike Crash, the victims keep their
+	// memory: the heal path is Reconnect (epoch-fenced handback), not
+	// Rejoin (resync from scratch).
+	Partition   []int
+	PartitionAt time.Duration
+	HealAfter   time.Duration
+	OneWay      bool
+	Flap        int
+	// TrackAcks turns on the generator's acknowledged-write ledger so the
+	// run can assert durability and stale-read freedom afterwards.
+	TrackAcks bool
 
 	appCfg app.Config // zero = defaults; the chaos cells tighten deadlines
 }
@@ -48,6 +65,8 @@ type AppServeStats struct {
 	Sessions, Requests, Admitted int64
 	Completed, Shed, Retries     int64
 	Failovers, ResyncKeys        int64
+	EpochRejected, Vetoed        int64
+	StaleReads, AckedPuts        int64
 	DepthHW                      int64
 	P50, P99, P999               [4]int64
 	ThroughputOpsSec             float64
@@ -94,6 +113,15 @@ func appServe(tc *trace.Collector, opts AppServeOpts, stats *AppServeStats) erro
 	cl := appCluster(tc, opts.MeshX, opts.MeshY)
 	acfg := opts.appCfg
 	acfg.Trace = tc
+	if len(opts.Partition) > 0 {
+		if cl.Fault == nil {
+			return fmt.Errorf("app: partition scheduled but the fault injector is not armed")
+		}
+		// Down-reports pass through the quorum gate, grounded in the
+		// injector's reachability truth: a minority-side server cannot
+		// depose the peers it merely lost sight of.
+		acfg.Reachable = cl.Reachable
+	}
 	a, err := app.Start(cl, acfg)
 	if err != nil {
 		return err
@@ -105,6 +133,7 @@ func appServe(tc *trace.Collector, opts AppServeOpts, stats *AppServeStats) erro
 		Duration:  opts.Duration,
 		WriteFrac: opts.WriteFrac,
 		BatchOps:  opts.BatchOps,
+		TrackAcks: opts.TrackAcks,
 	})
 	if err != nil {
 		return err
@@ -122,6 +151,27 @@ func appServe(tc *trace.Collector, opts AppServeOpts, stats *AppServeStats) erro
 			p.Sleep(opts.RestartAfter)
 			cl.RestartNode(opts.Crash)
 			a.Rejoin(opts.Crash)
+		})
+	}
+	if len(opts.Partition) > 0 {
+		cl.Eng.Spawn("part-sched", func(p *sim.Proc) {
+			g.WaitStarted(p)
+			cycles := opts.Flap
+			if cycles < 1 {
+				cycles = 1
+			}
+			for c := 0; c < cycles; c++ {
+				p.Sleep(opts.PartitionAt)
+				cl.Fault.Sever(opts.Partition, opts.OneWay)
+				// Heal only after the outage was noticed, so every cycle
+				// exercises detection, promotion, and the epoch fence.
+				a.WaitDown(p, opts.Partition[0])
+				p.Sleep(opts.HealAfter)
+				cl.Fault.Heal()
+				for _, n := range opts.Partition {
+					a.Reconnect(n)
+				}
+			}
 		})
 	}
 	if _, err := cl.RunChecked(30 * time.Second); err != nil {
@@ -146,6 +196,33 @@ func appServe(tc *trace.Collector, opts AppServeOpts, stats *AppServeStats) erro
 			return fmt.Errorf("app: rejoined node was never resynced")
 		}
 	}
+	if len(opts.Partition) > 0 {
+		if rec.Failovers == 0 {
+			return fmt.Errorf("app: partition of %v was never detected", opts.Partition)
+		}
+		if a.Recovering() {
+			return fmt.Errorf("app: recovery never completed")
+		}
+		for _, n := range opts.Partition {
+			if a.Down(n) {
+				return fmt.Errorf("app: node %d still marked down after the heal", n)
+			}
+		}
+		if rec.StaleReads != 0 {
+			return fmt.Errorf("app: %d stale reads served across the partition", rec.StaleReads)
+		}
+		if opts.TrackAcks {
+			if len(g.AckedPuts) == 0 {
+				return fmt.Errorf("app: no writes were acknowledged under the partition")
+			}
+			for key, seq := range g.AckedPuts {
+				val, ok := a.Lookup(key)
+				if !ok || len(val) < 16 || binary.LittleEndian.Uint32(val[12:]) < seq {
+					return fmt.Errorf("app: acknowledged write to key %d lost across the partition", key)
+				}
+			}
+		}
+	}
 	if stats != nil {
 		r := g.Report()
 		stats.Nodes = len(cl.Nodes)
@@ -158,6 +235,10 @@ func appServe(tc *trace.Collector, opts AppServeOpts, stats *AppServeStats) erro
 		stats.Retries = rec.Retries
 		stats.Failovers = rec.Failovers
 		stats.ResyncKeys = rec.ResyncKeys
+		stats.EpochRejected = rec.EpochRejected
+		stats.Vetoed = rec.ReportsIgnored
+		stats.StaleReads = rec.StaleReads
+		stats.AckedPuts = int64(len(g.AckedPuts))
 		stats.DepthHW = rec.DepthHighWater()
 		stats.P50 = r.P50
 		stats.P99 = r.P99
@@ -317,6 +398,133 @@ func chaosAppOpts() AppServeOpts {
 // chaosAppServe is the "app" scenario of the soak matrix.
 func chaosAppServe(tc *trace.Collector) error {
 	return appServe(tc, chaosAppOpts(), nil)
+}
+
+// appPartitionCell names one partition shape of the soak matrix.
+type appPartitionCell struct {
+	name    string
+	victims []int
+	oneWay  bool
+	flap    int
+}
+
+// appPartitionCells is the partition quadrant of the soak matrix: a
+// two-node minority group, a single isolated primary, an asymmetric
+// (outbound-only) cut, and a flapping link. Every cell runs tracked load
+// through gateway 0 and must come out with zero lost acknowledged writes
+// and zero stale reads.
+func appPartitionCells() []appPartitionCell {
+	return []appPartitionCell{
+		{name: "part-minority", victims: []int{1, 3}},
+		{name: "part-primary", victims: []int{1}},
+		{name: "part-asym", victims: []int{2}, oneWay: true},
+		{name: "part-flap", victims: []int{1}, flap: 2},
+	}
+}
+
+// appPartitionOpts sizes one partition cell: small enough for the matrix,
+// long enough that load is in flight across the cut, the failover, the
+// heal, and the handback.
+func appPartitionOpts(c appPartitionCell) AppServeOpts {
+	opts := AppServeOpts{
+		MeshX: 2, MeshY: 2,
+		Sessions:    768,
+		Gateways:    []int{0},
+		Rate:        1e5,
+		Duration:    20 * time.Millisecond,
+		WriteFrac:   0.3,
+		Crash:       -1,
+		Partition:   c.victims,
+		PartitionAt: 4 * time.Millisecond,
+		HealAfter:   3 * time.Millisecond,
+		OneWay:      c.oneWay,
+		Flap:        c.flap,
+		TrackAcks:   true,
+	}
+	if c.flap > 1 {
+		opts.Duration = 30 * time.Millisecond
+	}
+	return opts
+}
+
+// chaosAppPartition builds the runner for one partition cell of the soak
+// matrix.
+func chaosAppPartition(c appPartitionCell) func(tc *trace.Collector) error {
+	return func(tc *trace.Collector) error {
+		return appServe(tc, appPartitionOpts(c), nil)
+	}
+}
+
+// AppPartitionRow is one cell of the `shrimpbench -partition` table.
+type AppPartitionRow struct {
+	Cell               string
+	Failovers, Retries int64
+	EpochRejected      int64
+	Vetoed             int64
+	AckedPuts          int64
+	Recovery           time.Duration
+	Digest             uint64
+	Stable             bool
+}
+
+// RunAppPartition runs every partition cell standalone — outside the chaos
+// matrix — twice under the replay digest, and reports the fencing
+// counters: how often the epoch fence fired, how many minority-side
+// down-reports the quorum gate vetoed, and how many acknowledged writes
+// the durability sweep re-verified after the heal. Any lost acked write,
+// stale read, or digest divergence is an error.
+func RunAppPartition(seed int64) ([]AppPartitionRow, error) {
+	rows := make([]AppPartitionRow, 0, 4)
+	for _, c := range appPartitionCells() {
+		opts := appPartitionOpts(c)
+		var st AppServeStats
+		var err1, err2 error
+		clusterMod = func(cfg *cluster.Config) {
+			cfg.FaultPlan = &fault.Plan{Name: c.name}
+			cfg.FaultSeed = seed
+		}
+		d1 := sim.Digest(func() { err1 = appServe(nil, opts, &st) })
+		d2 := sim.Digest(func() { err2 = appServe(nil, opts, nil) })
+		clusterMod = nil
+		lastCluster = nil
+		if err1 != nil {
+			return rows, fmt.Errorf("%s: %w", c.name, err1)
+		}
+		if err2 != nil {
+			return rows, fmt.Errorf("%s second run: %w", c.name, err2)
+		}
+		if d1 != d2 {
+			return rows, fmt.Errorf("%s: replay divergence: %s vs %s",
+				c.name, sim.DigestString(d1), sim.DigestString(d2))
+		}
+		rows = append(rows, AppPartitionRow{
+			Cell:          c.name,
+			Failovers:     st.Failovers,
+			Retries:       st.Retries,
+			EpochRejected: st.EpochRejected,
+			Vetoed:        st.Vetoed,
+			AckedPuts:     st.AckedPuts,
+			Recovery:      st.Recovery,
+			Digest:        d1,
+			Stable:        true,
+		})
+	}
+	return rows, nil
+}
+
+// AppPartitionTable renders the partition cells for the CLI.
+func AppPartitionTable(rows []AppPartitionRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "PARTITION — 4 nodes, tracked load across sever/heal; every cell re-verified %s\n",
+		"all acked writes and served zero stale reads")
+	fmt.Fprintf(&b, "  %-14s %9s %8s %8s %7s %10s %10s  %-18s\n",
+		"cell", "failover", "retries", "fenced", "vetoed", "acked", "recovery", "digest")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-14s %9d %8d %8d %7d %10d %10v  %-18s\n",
+			r.Cell, r.Failovers, r.Retries, r.EpochRejected, r.Vetoed,
+			r.AckedPuts, r.Recovery, sim.DigestString(r.Digest))
+	}
+	return b.String()
 }
 
 // chaosAppFailover is the serving-stack crash cell: a primary dies under

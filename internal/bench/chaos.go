@@ -116,6 +116,13 @@ func RunChaos(seed int64) []ChaosResult {
 	// rejoin; the empty plan just keeps the injector armed for the digest.
 	out = append(out, chaosCase("app-failover", fault.Plan{Name: "primary-crash-rejoin"},
 		seed, false, chaosAppFailover))
+	// The partition quadrant: minority group, isolated primary, asymmetric
+	// cut, flapping link. Each cell schedules its own sever/heal through
+	// the armed injector and verifies acked-write durability afterwards.
+	for _, c := range appPartitionCells() {
+		out = append(out, chaosCase(c.name, fault.Plan{Name: c.name},
+			seed, false, chaosAppPartition(c)))
+	}
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"shrimp/internal/cluster"
 	"shrimp/internal/fault"
 )
 
@@ -61,5 +62,47 @@ func TestChaosPlansWellFormed(t *testing.T) {
 			t.Fatalf("duplicate plan name %q", p.Name)
 		}
 		seen[p.Name] = true
+	}
+}
+
+// TestChaosPartitionCell runs the isolated-primary partition cell through
+// the same harness the soak matrix uses: sever mid-load, quorum-gated
+// detection, epoch-fenced promotion, heal, handback — twice, under the
+// replay digest.
+func TestChaosPartitionCell(t *testing.T) {
+	c := appPartitionCells()[1] // part-primary
+	res := chaosCase(c.name, fault.Plan{Name: c.name}, 1, false, chaosAppPartition(c))
+	if !res.OK() {
+		t.Fatalf("cell failed: %+v", res)
+	}
+}
+
+// TestPartitionCellsTightTimeouts shrinks the whole failure-detection
+// envelope — the daemon RPC deadline, the rendezvous bind floor, and the
+// serving call deadline — and reruns every partition cell under it. The
+// knobs live in one place (cluster.Config.Timeouts) precisely so this
+// experiment is a three-line config change; the cells must still detect,
+// fence, heal, and lose nothing with the tighter constants.
+func TestPartitionCellsTightTimeouts(t *testing.T) {
+	for _, c := range appPartitionCells() {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			opts := appPartitionOpts(c)
+			opts.appCfg.CallDeadline = 3 * time.Millisecond
+			clusterMod = func(cfg *cluster.Config) {
+				cfg.FaultPlan = &fault.Plan{Name: c.name}
+				cfg.FaultSeed = 1
+				cfg.Timeouts = cluster.Timeouts{
+					DaemonRPC: 2 * time.Millisecond,
+					BindFloor: 250 * time.Millisecond,
+				}
+			}
+			err := appServe(nil, opts, nil)
+			clusterMod = nil
+			lastCluster = nil
+			if err != nil {
+				t.Fatalf("%s under tight timeouts: %v", c.name, err)
+			}
+		})
 	}
 }

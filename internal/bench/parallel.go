@@ -180,6 +180,10 @@ func RunChaosParallel(seed int64, workers int) []ChaosResult {
 	cells = append(cells, cell{"crash-recovery", crashPlan, false, chaosCrashRecovery})
 	cells = append(cells, cell{"app-failover", fault.Plan{Name: "primary-crash-rejoin"},
 		false, chaosAppFailover})
+	for _, c := range appPartitionCells() {
+		cells = append(cells, cell{c.name, fault.Plan{Name: c.name},
+			false, chaosAppPartition(c)})
+	}
 
 	out := make([]ChaosResult, len(cells))
 	runPool(workers, len(cells), func(i int) {

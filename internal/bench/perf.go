@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"shrimp/internal/cluster"
+	"shrimp/internal/fault"
 	"shrimp/internal/hw"
 	"shrimp/internal/lint"
 	"shrimp/internal/mem"
@@ -210,6 +211,15 @@ func RunPerfSuite(figIters int) BenchReport {
 				panic("app serve failed: " + err.Error())
 			}
 		})
+	}))
+
+	add(measure("app/partition-cell", 1, func() int64 {
+		c := appPartitionCells()[1] // part-primary
+		res := chaosCaseEnv(c.name, fault.Plan{Name: c.name}, 1, false, chaosAppPartition(c))
+		if !res.OK() {
+			panic("partition cell failed: " + res.Detail)
+		}
+		return 0
 	}))
 
 	// --- chaos ---

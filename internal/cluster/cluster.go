@@ -51,6 +51,39 @@ type Config struct {
 	// runners use it to attach a per-engine replay digest without going
 	// through sim's process-global hook.
 	Auto sim.Tracer
+
+	// Timeouts tunes the failure-detection timing constants; zero fields
+	// take the documented defaults.
+	Timeouts Timeouts
+}
+
+// Timeouts gathers the cluster-wide failure-detection timing knobs that
+// used to be hard-coded constants scattered across layers. Tightening them
+// detects dead peers faster; loosening them tolerates more congestion
+// before declaring death. They deliberately live in one place so an
+// experiment can shrink the whole detection envelope coherently.
+type Timeouts struct {
+	// DaemonRPC bounds every daemon-to-daemon Ethernet RPC
+	// (import/release/revoke rendezvous). Default
+	// daemon.DefaultRPCTimeout (5ms).
+	DaemonRPC time.Duration
+	// BindFloor is the minimum deadline for SRPC rendezvous binds in the
+	// serving subsystem (replication proxies and load-generator
+	// gateways). Binds ride the congestible Ethernet, so they get a far
+	// larger deadline than data-path calls: Ethernet congestion is not
+	// death. Default 2s.
+	BindFloor time.Duration
+}
+
+// withDefaults resolves zero fields to the documented defaults.
+func (t Timeouts) withDefaults() Timeouts {
+	if t.DaemonRPC <= 0 {
+		t.DaemonRPC = daemon.DefaultRPCTimeout
+	}
+	if t.BindFloor <= 0 {
+		t.BindFloor = 2 * time.Second
+	}
+	return t
 }
 
 // Node is one assembled PC node.
@@ -90,6 +123,14 @@ func New(cfg Config) *Cluster {
 	if cfg.OPTEntries == 0 {
 		cfg.OPTEntries = 4096
 	}
+	cfg.Timeouts = cfg.Timeouts.withDefaults()
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(cfg.MeshX * cfg.MeshY); err != nil {
+			// A malformed fault plan is a harness configuration bug,
+			// caught at construction.
+			panic("cluster: invalid fault plan: " + err.Error())
+		}
+	}
 	eng := sim.NewEngine()
 	if cfg.Auto != nil {
 		eng.AttachDigest(cfg.Auto)
@@ -110,14 +151,41 @@ func New(cfg Config) *Cluster {
 		m.Trace = cfg.Trace
 		n := nic.New(m, msh, mesh.NodeID(i), cfg.OPTEntries)
 		d := daemon.New(i, m, n, msh, eth)
+		d.RPCTimeout = cfg.Timeouts.DaemonRPC
 		c.Nodes = append(c.Nodes, &Node{ID: i, M: m, NIC: n, Daemon: d})
 	}
 	if cfg.FaultPlan != nil {
 		c.Fault = fault.NewInjector(cfg.FaultSeed, *cfg.FaultPlan)
 		msh.SetInjector(c.Fault)
+		eth.SetInjector(c.Fault)
 		c.scheduleFaults(cfg.FaultPlan)
 	}
 	return c
+}
+
+// Timeouts returns the resolved failure-detection knobs for this cluster.
+func (c *Cluster) Timeouts() Timeouts { return c.cfg.Timeouts }
+
+// Reachable reports whether messages can currently flow between two live
+// nodes in both directions: false when either node is dead or an armed
+// partition cuts either direction. Quorum checks in the serving layer use
+// it as the modeled connectivity vote — a real implementation would
+// collect acks over the control network; the model answers from the
+// injector's ground truth, which those acks would (eventually) discover.
+func (c *Cluster) Reachable(a, b int) bool {
+	if a < 0 || a >= len(c.Nodes) || b < 0 || b >= len(c.Nodes) {
+		return false
+	}
+	if c.Nodes[a].Dead || c.Nodes[b].Dead {
+		return false
+	}
+	if a == b {
+		return true
+	}
+	if c.Fault == nil {
+		return true
+	}
+	return !c.Fault.CutEither(a, b, time.Duration(c.Eng.Now()))
 }
 
 // scheduleFaults arms the plan's scheduled NIC faults and node crashes at
@@ -209,6 +277,7 @@ func (c *Cluster) RestartNode(i int) *Node {
 	m.Trace = c.cfg.Trace
 	n := nic.New(m, c.Mesh, mesh.NodeID(i), c.cfg.OPTEntries)
 	d := daemon.New(i, m, n, c.Mesh, c.Ether)
+	d.RPCTimeout = c.cfg.Timeouts.DaemonRPC
 	fresh := &Node{ID: i, M: m, NIC: n, Daemon: d}
 	c.Nodes[i] = fresh
 	return fresh

@@ -23,16 +23,24 @@ import (
 	"shrimp/internal/mem"
 	"shrimp/internal/mesh"
 	"shrimp/internal/nic"
+	"shrimp/internal/retry"
 )
 
 // Port is the well-known Ethernet port the daemon listens on.
 const Port = 1
 
-// rpcTimeout bounds every daemon-to-daemon Ethernet RPC. A dead peer can
-// never answer; rather than parking the caller forever, the call gives up
-// and the operation reports the peer unreachable (Import) or proceeds
-// best-effort (release/revoke — the peer that would act on it is gone).
-const rpcTimeout = 5 * time.Millisecond
+// DefaultRPCTimeout is the default bound on every daemon-to-daemon
+// Ethernet RPC (Daemon.RPCTimeout). A dead peer can never answer; rather
+// than parking the caller forever, the call gives up and the operation
+// reports the peer unreachable (Import) or proceeds best-effort
+// (release/revoke — the peer that would act on it is gone).
+const DefaultRPCTimeout = 5 * time.Millisecond
+
+// importRetry paces Import's retries when the peer daemon does not answer
+// in time: a lossy or gray control network deserves a few backed-off
+// attempts before the exporter is declared unreachable, but a true
+// partition must not be hammered at the RPC period forever.
+var importRetry = retry.Policy{Base: 500 * time.Microsecond, Factor: 2, Jitter: 0.5, Budget: 2}
 
 // ErrReleased reports an Unimport of a mapping that was already released —
 // by an earlier Unimport, by the exporter's revocation, or by dead-node
@@ -117,6 +125,12 @@ type Daemon struct {
 	nextID    uint32
 	nextEphem int
 
+	// RPCTimeout bounds every daemon-to-daemon Ethernet RPC. New sets
+	// DefaultRPCTimeout; the cluster layer overrides it from its Timeouts
+	// knobs. Tighten it to detect dead daemons faster at the cost of more
+	// spurious unreachable verdicts on a congested control network.
+	RPCTimeout time.Duration
+
 	// FaultHook, if set, observes receive-path protection faults instead
 	// of the default panic (tests use this; a healthy system never
 	// faults).
@@ -166,14 +180,15 @@ type DeadNode struct {
 // New creates the daemon for a node and starts its service process.
 func New(nodeID int, m *kernel.Machine, n *nic.NIC, msh *mesh.Network, eth *ether.Network) *Daemon {
 	d := &Daemon{
-		NodeID:    nodeID,
-		M:         m,
-		NIC:       n,
-		Mesh:      msh,
-		Ether:     eth,
-		exports:   make(map[uint32]*ExportRec),
-		byName:    make(map[string]*ExportRec),
-		nextEphem: 1000,
+		NodeID:     nodeID,
+		M:          m,
+		NIC:        n,
+		Mesh:       msh,
+		Ether:      eth,
+		RPCTimeout: DefaultRPCTimeout,
+		exports:    make(map[uint32]*ExportRec),
+		byName:     make(map[string]*ExportRec),
+		nextEphem:  1000,
 	}
 	d.port = eth.Bind(ether.Addr{Node: nodeID, Port: Port})
 	d.proc = m.Spawn("shrimpd", d.serve)
@@ -386,9 +401,22 @@ func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec
 	proc.Compute(LocalIPCCost)
 	port := d.ephemeralPort()
 	defer port.Close()
-	reply := port.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 64, importReq{Name: name, From: d.NodeID}, rpcTimeout)
-	if reply == nil {
-		return nil, fmt.Errorf("import: daemon on node %d unreachable", node)
+	// The request RPC retries under jittered exponential backoff: a reply
+	// lost to control-network congestion should not fail the import, but a
+	// partitioned peer must not be hammered forever. The seed folds in the
+	// ephemeral port number so concurrent importers decorrelate.
+	bo := retry.New(importRetry, retry.Seed(uint64(d.NodeID), uint64(node), uint64(port.Addr().Port)))
+	var reply *ether.Message
+	for {
+		reply = port.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 64, importReq{Name: name, From: d.NodeID}, d.RPCTimeout)
+		if reply != nil {
+			break
+		}
+		wait, ok := bo.Next()
+		if !ok {
+			return nil, fmt.Errorf("import: daemon on node %d unreachable after %d attempts", node, bo.Attempts()+1)
+		}
+		proc.P.Sleep(wait)
 	}
 	resp := reply.Payload.(importResp)
 	if resp.Err != "" {
@@ -398,7 +426,7 @@ func (d *Daemon) Import(proc *kernel.Process, node int, name string) (*ImportRec
 	if err != nil {
 		// Give the reference back.
 		port2 := d.ephemeralPort()
-		port2.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 16, releaseReq{ExportID: resp.ExportID, From: d.NodeID}, rpcTimeout)
+		port2.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 16, releaseReq{ExportID: resp.ExportID, From: d.NodeID}, d.RPCTimeout)
 		port2.Close()
 		return nil, err
 	}
@@ -426,7 +454,7 @@ func (d *Daemon) Unimport(proc *kernel.Process, rec *ImportRec) error {
 	defer port.Close()
 	// Best-effort: if the exporter died, nobody is left to care about the
 	// reference count.
-	port.CallTimeout(proc.P, ether.Addr{Node: rec.Exporter, Port: Port}, 16, releaseReq{ExportID: rec.ExportID, From: d.NodeID}, rpcTimeout)
+	port.CallTimeout(proc.P, ether.Addr{Node: rec.Exporter, Port: Port}, 16, releaseReq{ExportID: rec.ExportID, From: d.NodeID}, d.RPCTimeout)
 	return nil
 }
 
@@ -454,7 +482,7 @@ func (d *Daemon) Unexport(proc *kernel.Process, rec *ExportRec) error {
 		}
 		port := d.ephemeralPort()
 		// Best-effort: a dead importer's mappings are already gone.
-		port.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 16, revokeReq{Exporter: d.NodeID, ExportID: rec.ID}, rpcTimeout)
+		port.CallTimeout(proc.P, ether.Addr{Node: node, Port: Port}, 16, revokeReq{Exporter: d.NodeID, ExportID: rec.ID}, d.RPCTimeout)
 		port.Close()
 	}
 	d.NIC.QuiesceIncoming(proc.P)

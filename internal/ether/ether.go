@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"shrimp/internal/fault"
 	"shrimp/internal/hw"
 	"shrimp/internal/sim"
 )
@@ -47,8 +48,17 @@ type Network struct {
 	// different engines — never share mutable state.
 	nameSeq int
 
+	// inj, when non-nil, severs datagrams crossing an armed partition:
+	// the control network rides the same racks as the backplane, so a
+	// partition cuts both fabrics. Only the rand-free Cut check is
+	// consulted — the control network does not share the backplane's
+	// per-packet loss model.
+	inj *fault.Injector
+
 	// MessagesDelivered counts deliveries for tests.
 	MessagesDelivered int64
+	// MessagesSevered counts datagrams lost to armed partitions.
+	MessagesSevered int64
 }
 
 // NameSeq returns the next per-network sequence number. The RPC libraries
@@ -127,6 +137,9 @@ func (n *Network) Inject(to Addr, size int, payload any) {
 	n.transmit(&Message{From: Addr{Node: -1, Port: 0}, To: to, Size: size, Payload: payload})
 }
 
+// SetInjector arms partition cuts for every subsequent datagram.
+func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
+
 func (n *Network) transmit(m *Message) {
 	frames := (m.Size + hw.EtherMTU - 1) / hw.EtherMTU
 	if frames == 0 {
@@ -134,6 +147,16 @@ func (n *Network) transmit(m *Message) {
 	}
 	wire := time.Duration(m.Size+frames*hw.EtherFrameOverhead) * hw.EtherPerByte
 	_, end := n.medium.Reserve(wire)
+	// Fabric-originated messages (From.Node < 0, e.g. the switch's own
+	// link-down notification) are switch-local and never cut. Everything
+	// else dies at an armed partition — after burning medium time, as the
+	// frames were transmitted into the cut.
+	if n.inj != nil && m.From.Node >= 0 &&
+		n.inj.Cut(m.From.Node, m.To.Node, time.Duration(n.eng.Now())) {
+		n.MessagesSevered++
+		n.inj.Severed++
+		return
+	}
 	n.eng.At(end.Add(hw.EtherInterruptCost), func() {
 		dst, ok := n.ports[m.To]
 		if !ok {

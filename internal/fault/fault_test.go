@@ -146,3 +146,308 @@ func TestPlanString(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionWindows: a scheduled cut severs exactly the cross-partition
+// paths, exactly inside its window, in both directions, with no randomness
+// consumed.
+func TestPartitionWindows(t *testing.T) {
+	plan := Plan{Partitions: []Partition{{
+		Set: []int{0, 1}, At: time.Millisecond, Heal: 3 * time.Millisecond,
+	}}}
+	in := NewInjector(7, plan)
+	type q struct {
+		src, dst int
+		at       time.Duration
+		cut      bool
+	}
+	cases := []q{
+		{0, 2, 500 * time.Microsecond, false}, // before the window
+		{0, 2, time.Millisecond, true},        // at the start edge
+		{2, 0, 2 * time.Millisecond, true},    // reverse direction cut too
+		{0, 1, 2 * time.Millisecond, false},   // same side of the cut
+		{2, 3, 2 * time.Millisecond, false},   // both outside the set
+		{0, 2, 3 * time.Millisecond, false},   // healed at the end edge
+	}
+	for _, c := range cases {
+		if got := in.Cut(c.src, c.dst, c.at); got != c.cut {
+			t.Fatalf("Cut(%d,%d,%v) = %v, want %v", c.src, c.dst, c.at, got, c.cut)
+		}
+	}
+	// PathAction on a cut path returns Sever and counts it; off-window and
+	// same-side paths pass. The zero link rates mean no randomness is ever
+	// consumed, so two injectors stay in lockstep.
+	other := NewInjector(7, plan)
+	for _, c := range cases {
+		act, d := in.PathAction(c.src, c.dst, c.at)
+		act2, _ := other.PathAction(c.src, c.dst, c.at)
+		if act != act2 {
+			t.Fatalf("PathAction diverged across same-seed injectors")
+		}
+		want := Pass
+		if c.cut {
+			want = Sever
+		}
+		if act != want || d != 0 {
+			t.Fatalf("PathAction(%d,%d,%v) = %v/%v, want %v", c.src, c.dst, c.at, act, d, want)
+		}
+	}
+	if in.Severed != 2 || in.Injected() != 2 {
+		t.Fatalf("Severed = %d, Injected = %d, want 2", in.Severed, in.Injected())
+	}
+	if !strings.Contains(in.Summary(), "severed=2") {
+		t.Fatalf("Summary() = %q, missing severed tally", in.Summary())
+	}
+}
+
+// TestPartitionOneWay: an asymmetric cut severs only traffic leaving the
+// set; replies still flow in. CutEither sees it from both sides.
+func TestPartitionOneWay(t *testing.T) {
+	in := NewInjector(7, Plan{Partitions: []Partition{{
+		Set: []int{3}, OneWay: true,
+	}}})
+	if !in.Cut(3, 0, 0) {
+		t.Fatal("outbound path from the set not cut")
+	}
+	if in.Cut(0, 3, 0) {
+		t.Fatal("inbound path to the set cut under OneWay")
+	}
+	if !in.CutEither(0, 3, 0) || !in.CutEither(3, 0, 0) {
+		t.Fatal("CutEither must see a one-way cut from both sides")
+	}
+}
+
+// TestPartitionFlap: a flapping cut alternates down/up in FlapPeriod
+// windows, starting down, and stops at Heal.
+func TestPartitionFlap(t *testing.T) {
+	in := NewInjector(7, Plan{Partitions: []Partition{{
+		Set: []int{0}, At: time.Millisecond, Heal: 9 * time.Millisecond,
+		FlapPeriod: 2 * time.Millisecond,
+	}}})
+	cases := []struct {
+		at  time.Duration
+		cut bool
+	}{
+		{0, false},                      // before
+		{time.Millisecond, true},        // first down window
+		{2500 * time.Microsecond, true}, // still down
+		{3 * time.Millisecond, false},   // first up window
+		{5 * time.Millisecond, true},    // down again
+		{7 * time.Millisecond, false},   // up again
+		{9 * time.Millisecond, false},   // healed
+		{20 * time.Millisecond, false},  // long after
+	}
+	for _, c := range cases {
+		if got := in.Cut(0, 1, c.at); got != c.cut {
+			t.Fatalf("Cut at %v = %v, want %v", c.at, got, c.cut)
+		}
+	}
+}
+
+// TestRuntimeSeverHeal: the harness-facing Sever/Heal arm and disarm a
+// dynamic partition immediately, independent of plan windows.
+func TestRuntimeSeverHeal(t *testing.T) {
+	in := NewInjector(7, Plan{})
+	if in.Cut(0, 2, time.Millisecond) {
+		t.Fatal("cut before Sever")
+	}
+	in.Sever([]int{0, 1}, false)
+	if !in.Cut(0, 2, time.Millisecond) || !in.Cut(2, 0, time.Millisecond) {
+		t.Fatal("Sever did not cut both directions")
+	}
+	if in.Cut(0, 1, time.Millisecond) {
+		t.Fatal("Sever cut inside the set")
+	}
+	in.Sever([]int{3}, true)
+	if in.Cut(0, 2, time.Millisecond) {
+		t.Fatal("second Sever did not replace the first")
+	}
+	if !in.Cut(3, 0, time.Millisecond) || in.Cut(0, 3, time.Millisecond) {
+		t.Fatal("one-way runtime sever wrong")
+	}
+	in.Heal()
+	if in.Cut(3, 0, time.Millisecond) {
+		t.Fatal("cut survived Heal")
+	}
+}
+
+// TestAckLostPath: severed ack paths always lose the ack without consuming
+// randomness; unsevered paths fall back to the base drop model.
+func TestAckLostPath(t *testing.T) {
+	in := NewInjector(7, Plan{})
+	in.Sever([]int{1}, false)
+	for i := 0; i < 50; i++ {
+		if !in.AckLostPath(1, 0, 0) {
+			t.Fatal("ack crossed a severed path")
+		}
+		if in.AckLostPath(2, 3, 0) {
+			t.Fatal("zero-plan ack lost off the cut")
+		}
+	}
+	if in.Severed != 50 {
+		t.Fatalf("Severed = %d, want 50", in.Severed)
+	}
+}
+
+// TestGrayWindow: gray degradation stacks extra rates onto matching
+// directed pairs inside its window and leaves everything else untouched —
+// including the rand stream of unaffected packets.
+func TestGrayWindow(t *testing.T) {
+	plan := Plan{Gray: []Gray{{
+		From: []int{0}, To: []int{1},
+		At: time.Millisecond, Until: 2 * time.Millisecond,
+		Extra: LinkFaults{DropProb: 1},
+	}}}
+	in := NewInjector(7, plan)
+	// Unaffected pair, and affected pair outside the window: Pass with no
+	// rand draw (lockstep with a fresh injector proves nothing was drawn).
+	for _, c := range []struct {
+		src, dst int
+		at       time.Duration
+	}{
+		{2, 3, 1500 * time.Microsecond}, // pair not covered
+		{1, 0, 1500 * time.Microsecond}, // directed: reverse not covered
+		{0, 1, 0},                       // before the window
+		{0, 1, 2 * time.Millisecond},    // after the window
+	} {
+		if act, _ := in.PathAction(c.src, c.dst, c.at); act != Pass {
+			t.Fatalf("PathAction(%d,%d,%v) = %v, want pass", c.src, c.dst, c.at, act)
+		}
+	}
+	// Affected pair in-window: the extra DropProb of 1 guarantees a drop.
+	for i := 0; i < 20; i++ {
+		if act, _ := in.PathAction(0, 1, 1500*time.Microsecond); act != Drop {
+			t.Fatalf("gray path draw %d = %v, want drop", i, act)
+		}
+	}
+	if in.Dropped != 20 {
+		t.Fatalf("Dropped = %d, want 20", in.Dropped)
+	}
+}
+
+// TestGrayDelayMaxStretch: a gray window's larger DelayMax stretches the
+// extra-latency bound for covered packets only.
+func TestGrayDelayMaxStretch(t *testing.T) {
+	in := NewInjector(11, Plan{
+		Link: LinkFaults{DelayProb: 1, DelayMax: 2 * time.Microsecond},
+		Gray: []Gray{{Extra: LinkFaults{DelayMax: 50 * time.Microsecond}}},
+	})
+	sawBig := false
+	for i := 0; i < 300; i++ {
+		act, d := in.PathAction(0, 1, 0)
+		if act != Delay {
+			t.Fatalf("draw %d = %v, want delay", i, act)
+		}
+		if d > 50*time.Microsecond {
+			t.Fatalf("delay %v exceeds the stretched bound", d)
+		}
+		if d > 2*time.Microsecond {
+			sawBig = true
+		}
+	}
+	if !sawBig {
+		t.Fatal("stretched DelayMax never exceeded the base bound")
+	}
+}
+
+// TestPathActionReplayStable: PathAction with partitions and gray windows
+// armed stays in lockstep across same-seed injectors over a mixed stream
+// of paths and times.
+func TestPathActionReplayStable(t *testing.T) {
+	plan := Plan{
+		Link: LinkFaults{DropProb: 0.05, DelayProb: 0.1},
+		Partitions: []Partition{{
+			Set: []int{1}, At: time.Millisecond, Heal: 2 * time.Millisecond,
+		}},
+		Gray: []Gray{{From: []int{2}, At: 0, Extra: LinkFaults{DropProb: 0.3}}},
+	}
+	a, b := NewInjector(42, plan), NewInjector(42, plan)
+	for i := 0; i < 5000; i++ {
+		src, dst := i%4, (i+1+i/7)%4
+		at := time.Duration(i) * 700 * time.Nanosecond
+		actA, dA := a.PathAction(src, dst, at)
+		actB, dB := b.PathAction(src, dst, at)
+		if actA != actB || dA != dB {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, actA, dA, actB, dB)
+		}
+	}
+	if a.Summary() != b.Summary() {
+		t.Fatalf("tallies diverged: %q vs %q", a.Summary(), b.Summary())
+	}
+	if a.Severed == 0 || a.Dropped == 0 {
+		t.Fatalf("stream exercised no partitions or drops: %s", a.Summary())
+	}
+}
+
+// TestValidate: every malformed-plan class is rejected with a diagnostic,
+// and representative good plans pass.
+func TestValidate(t *testing.T) {
+	good := []Plan{
+		{},
+		{Link: LinkFaults{DropProb: 0.5, DelayProb: 0.5}},
+		{Partitions: []Partition{{Set: []int{0, 1}, At: time.Millisecond}}},
+		{Partitions: []Partition{
+			{Set: []int{0}, At: 0, Heal: time.Millisecond},
+			{Set: []int{0}, At: time.Millisecond, Heal: 2 * time.Millisecond}, // adjacent, not overlapping
+		}},
+		{Gray: []Gray{{Extra: LinkFaults{DropProb: 0.1}}}},
+		{NIC: []NICFault{{Node: 3, Kind: FreezeStorm, Count: 2}}},
+		{Crashes: []Crash{{Node: 0, At: time.Millisecond}}},
+	}
+	for i, p := range good {
+		if err := p.Validate(4); err != nil {
+			t.Fatalf("good plan %d rejected: %v", i, err)
+		}
+	}
+	bad := []struct {
+		plan Plan
+		want string
+	}{
+		{Plan{Link: LinkFaults{DropProb: -0.1}}, "outside [0,1]"},
+		{Plan{Link: LinkFaults{DropProb: 0.6, DelayProb: 0.6}}, "sum"},
+		{Plan{Link: LinkFaults{DelayMax: -time.Second}}, "DelayMax"},
+		{Plan{NIC: []NICFault{{Node: 4}}}, "nic[0]"},
+		{Plan{NIC: []NICFault{{Node: 0, At: -time.Second}}}, "negative"},
+		{Plan{Crashes: []Crash{{Node: -1}}}, "crash[0]"},
+		{Plan{Crashes: []Crash{{Node: 0, RestartAfter: -1}}}, "negative"},
+		{Plan{Partitions: []Partition{{}}}, "empty"},
+		{Plan{Partitions: []Partition{{Set: []int{0, 1, 2, 3}}}}, "whole"},
+		{Plan{Partitions: []Partition{{Set: []int{0, 4}}}}, "node 4"},
+		{Plan{Partitions: []Partition{{Set: []int{1, 1}}}}, "twice"},
+		{Plan{Partitions: []Partition{{Set: []int{0}, At: time.Millisecond, Heal: time.Microsecond}}}, "inverted"},
+		{Plan{Partitions: []Partition{
+			{Set: []int{0}, At: 0},
+			{Set: []int{0}, At: 5 * time.Millisecond},
+		}}, "overlapping"},
+		{Plan{Gray: []Gray{{Extra: LinkFaults{CorruptProb: 2}}}}, "outside [0,1]"},
+		{Plan{Link: LinkFaults{DropProb: 0.8}, Gray: []Gray{{Extra: LinkFaults{DropProb: 0.8}}}}, "base plus extra"},
+		{Plan{Gray: []Gray{{From: []int{9}}}}, "node 9"},
+		{Plan{Gray: []Gray{{At: time.Millisecond, Until: time.Microsecond}}}, "inverted"},
+	}
+	for i, c := range bad {
+		err := c.plan.Validate(4)
+		if err == nil {
+			t.Fatalf("bad plan %d accepted", i)
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("bad plan %d: error %q missing %q", i, err, c.want)
+		}
+	}
+}
+
+// TestPartitionPlanString smoke-checks the partition/gray rendering.
+func TestPartitionPlanString(t *testing.T) {
+	p := Plan{
+		Name: "split",
+		Partitions: []Partition{
+			{Set: []int{0, 1}, At: time.Millisecond},
+			{Set: []int{2}, At: 2 * time.Millisecond, OneWay: true, FlapPeriod: time.Millisecond},
+		},
+		Gray: []Gray{{From: []int{0}, Extra: LinkFaults{DropProb: 0.2}}},
+	}
+	s := p.String()
+	for _, want := range []string{"cut([0 1]@1ms)", "cut-oneway-flap([2]@2ms)", "gray([0]->[]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Plan.String() = %q, missing %q", s, want)
+		}
+	}
+}

@@ -19,6 +19,8 @@ var errSurfaceSuffixes = []string{
 	"/internal/vmmc",
 	"/internal/svm",
 	"/internal/app",
+	"/internal/retry",
+	"/internal/fault",
 }
 
 func isErrSurfacePackage(path string) bool {

@@ -18,6 +18,8 @@ var datapathSuffixes = []string{
 	"/internal/sunrpc",
 	"/internal/svm",
 	"/internal/app",
+	"/internal/retry",
+	"/internal/fault",
 }
 
 func isDatapathPackage(path string) bool {

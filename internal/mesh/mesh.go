@@ -320,7 +320,16 @@ func (n *Network) transmit(pkt *Packet) {
 	var act fault.Action
 	var extra time.Duration
 	if n.inj != nil {
-		act, extra = n.inj.LinkAction()
+		act, extra = n.inj.PathAction(int(pkt.Src), int(pkt.Dst), time.Duration(now))
+	}
+	if act == fault.Sever {
+		// An armed partition cuts this path: the flits die at the cut.
+		// Severing consumed no randomness, so arming a partition does
+		// not shift the fate of unrelated packets.
+		n.PacketsDropped++
+		n.Trace.Count(traceTrack, "fault.partitioned", 1)
+		n.reclaim(pkt)
+		return
 	}
 	if act == fault.Drop {
 		// Lost on a link: nothing arrives. With the reliability

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"shrimp/internal/fault"
 	"shrimp/internal/hw"
 	"shrimp/internal/sim"
 )
@@ -245,5 +246,44 @@ func TestDimensionOrderInvariant(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPartitionSeversMesh: an armed partition silently eats packets
+// crossing the cut — in both directions for a symmetric cut, outbound only
+// for a one-way cut — and delivery resumes after Heal.
+func TestPartitionSeversMesh(t *testing.T) {
+	e := sim.NewEngine()
+	n := New(e, 2, 2)
+	inj := fault.NewInjector(7, fault.Plan{})
+	n.SetInjector(inj)
+	at3 := collector(n, 3)
+	at0 := collector(n, 0)
+	send := func(src, dst NodeID) {
+		e.Spawn("send", func(p *sim.Proc) { n.Send(&Packet{Src: src, Dst: dst, Payload: []byte("x")}) })
+		e.RunAll()
+	}
+	inj.Sever([]int{0}, false)
+	send(0, 3)
+	send(3, 0)
+	if len(*at3) != 0 || len(*at0) != 0 {
+		t.Fatalf("packets crossed a symmetric cut: %d, %d", len(*at3), len(*at0))
+	}
+	if n.PacketsDropped != 2 || inj.Severed != 2 {
+		t.Fatalf("dropped=%d severed=%d, want 2/2", n.PacketsDropped, inj.Severed)
+	}
+	inj.Sever([]int{0}, true)
+	send(0, 3)
+	send(3, 0)
+	if len(*at3) != 0 {
+		t.Fatal("outbound packet crossed a one-way cut")
+	}
+	if len(*at0) != 1 {
+		t.Fatal("inbound packet severed under a one-way cut")
+	}
+	inj.Heal()
+	send(0, 3)
+	if len(*at3) != 1 {
+		t.Fatal("delivery did not resume after Heal")
 	}
 }

@@ -251,10 +251,11 @@ func (r *reliability) onAck(pkt *Packet) {
 
 // sendAck emits a cumulative ack control packet on the sideband: per-hop
 // latency plus header serialization, no data-channel occupancy, subject
-// to injected drops.
+// to injected drops and armed partitions (a cut link carries nothing,
+// sideband included — otherwise go-back-N would paper over partitions).
 func (r *reliability) sendAck(from, to NodeID, acked uint32) {
 	r.stats.AcksSent++
-	if r.n.inj != nil && r.n.inj.AckLost() {
+	if r.n.inj != nil && r.n.inj.AckLostPath(int(from), int(to), time.Duration(r.n.eng.Now())) {
 		return
 	}
 	ack := &Packet{Src: from, Dst: to, Seq: acked, Ack: true}

@@ -1,0 +1,114 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBudgetSpends: Next grants exactly Budget retries, then refuses.
+func TestBudgetSpends(t *testing.T) {
+	b := New(Policy{Budget: 3}, 1)
+	for i := 0; i < 3; i++ {
+		d, ok := b.Next()
+		if !ok || d <= 0 {
+			t.Fatalf("retry %d: d=%v ok=%v", i, d, ok)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("retry granted past the budget")
+	}
+	if b.Attempts() != 3 {
+		t.Fatalf("Attempts = %d, want 3", b.Attempts())
+	}
+}
+
+// TestZeroPolicyAllowsNoRetries: the zero Policy is the safe default.
+func TestZeroPolicyAllowsNoRetries(t *testing.T) {
+	b := New(Policy{}, 1)
+	if _, ok := b.Next(); ok {
+		t.Fatal("zero policy granted a retry")
+	}
+}
+
+// TestExponentialGrowth: with no jitter the schedule is Base, Base*Factor,
+// ..., capped at Max.
+func TestExponentialGrowth(t *testing.T) {
+	b := New(Policy{Base: time.Millisecond, Factor: 2, Max: 5 * time.Millisecond, Budget: 5}, 1)
+	want := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 4 * time.Millisecond,
+		5 * time.Millisecond, 5 * time.Millisecond,
+	}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok || d != w {
+			t.Fatalf("retry %d: d=%v ok=%v, want %v", i, d, ok, w)
+		}
+	}
+}
+
+// TestJitterBandsAndDeterminism: jittered sleeps stay inside
+// [nominal*(1-J), nominal), differ across seeds, and replay identically
+// for the same seed.
+func TestJitterBandsAndDeterminism(t *testing.T) {
+	pol := Policy{Base: time.Millisecond, Factor: 1, Jitter: 0.5, Budget: 100}
+	a, a2, c := New(pol, 7), New(pol, 7), New(pol, 8)
+	sawDiff := false
+	for i := 0; i < 100; i++ {
+		dA, _ := a.Next()
+		dA2, _ := a2.Next()
+		dC, _ := c.Next()
+		if dA != dA2 {
+			t.Fatalf("retry %d: same seed diverged: %v vs %v", i, dA, dA2)
+		}
+		if dA < 500*time.Microsecond || dA >= time.Millisecond {
+			t.Fatalf("retry %d: %v outside the jitter band", i, dA)
+		}
+		if dA != dC {
+			sawDiff = true
+		}
+	}
+	if !sawDiff {
+		t.Fatal("different seeds produced identical jitter")
+	}
+}
+
+// TestResetRewindsScheduleNotStream: Reset restores Base and the budget
+// but keeps consuming the jitter stream.
+func TestResetRewindsScheduleNotStream(t *testing.T) {
+	pol := Policy{Base: time.Millisecond, Factor: 4, Max: time.Second, Jitter: 0.9, Budget: 2}
+	b := New(pol, 3)
+	first, _ := b.Next()
+	b.Next()
+	if _, ok := b.Next(); ok {
+		t.Fatal("budget not enforced before Reset")
+	}
+	b.Reset()
+	if b.Attempts() != 0 {
+		t.Fatalf("Attempts after Reset = %d", b.Attempts())
+	}
+	again, ok := b.Next()
+	if !ok {
+		t.Fatal("no retry after Reset")
+	}
+	// Back at Base-scale (well under Base*Factor)...
+	if again >= 2*time.Millisecond {
+		t.Fatalf("post-Reset sleep %v did not rewind to Base", again)
+	}
+	// ...but a fresh stream position: with 90% jitter a replayed stream
+	// would reproduce first exactly, which is vanishingly unlikely here.
+	if again == first {
+		t.Fatalf("post-Reset sleep replayed the jitter stream (%v)", again)
+	}
+}
+
+// TestSeedFolds: Seed mixes its parts — permuting or changing any part
+// changes the seed.
+func TestSeedFolds(t *testing.T) {
+	a, b, c := Seed(1, 2), Seed(2, 1), Seed(1, 3)
+	if a == b || a == c || b == c {
+		t.Fatalf("seeds collide: %x %x %x", a, b, c)
+	}
+	if Seed(1, 2) != a {
+		t.Fatal("Seed not deterministic")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"shrimp/internal/ether"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/retry"
 	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
@@ -193,6 +194,29 @@ func BindTimeout(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int, d 
 		return nil, err
 	}
 	return wire(ep, out, in)
+}
+
+// BindBackoff is BindTimeout under a retry policy: each attempt gets the
+// same per-attempt deadline, and failed attempts sleep the policy's
+// seeded jittered backoff before trying again. Only rendezvous timeouts
+// retry — a server-side refusal (resp.Err) is definitive and returns
+// immediately. Warmup paths use it so one congested or gray rendezvous
+// does not permanently cost a client its binding; failure-detection paths
+// should keep calling BindTimeout directly, where slowness must stay
+// indistinguishable from death.
+func BindBackoff(ep *vmmc.Endpoint, eth *ether.Network, serverNode, port int, d time.Duration, pol retry.Policy, seed uint64) (*Binding, error) {
+	bo := retry.New(pol, seed)
+	for {
+		b, err := BindTimeout(ep, eth, serverNode, port, d)
+		if err != ErrTimeout {
+			return b, err
+		}
+		wait, ok := bo.Next()
+		if !ok {
+			return nil, ErrTimeout
+		}
+		ep.Proc.P.Sleep(wait)
+	}
 }
 
 func wire(ep *vmmc.Endpoint, out *vmmc.Import, in kernel.VA) (*Binding, error) {
