@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke svm app partition chaos bench bench-json check clean
+.PHONY: all build test race vet lint fuzz trace-smoke svm app partition chaos pool snap-smoke bench bench-json check clean
 
 all: build
 
@@ -61,6 +61,24 @@ app:
 partition:
 	$(GO) run ./cmd/shrimpbench -partition
 
+# pool runs the snapshot & warm-pool suite: wall-clock entries for world
+# capture, encode, and copy-on-write cloning, the boot-vs-pooled app-serve
+# world-setup comparison (must amortize at least 5x below a fresh boot),
+# and the elasticity scenarios (autoscale demand trace, rolling restarts
+# served from snapshot clones). Exits nonzero if a cell fails or the 5x
+# bar is missed.
+pool:
+	$(GO) run ./cmd/shrimpbench -pool
+
+# snap-smoke is the snapshot-determinism gate: a restored world must
+# produce a byte-identical replay digest to the live world it was cloned
+# from — the cheap capture/restore/replay cell plus the full
+# scenario-by-scenario equivalence matrix (figures, SVM, serving stack,
+# chaos, crash recovery, partition).
+snap-smoke:
+	$(GO) test ./internal/snap
+	$(GO) test -run 'TestSnapshotEquivalenceMatrix|TestElastic' ./internal/bench
+
 # chaos runs the fault-injection soak: every figure scenario under the
 # standard fault plans (lossy links with retransmission, NIC freeze
 # storms, a mid-transfer node crash, link partitions against the serving
@@ -77,16 +95,17 @@ bench:
 	$(GO) test -run NONE -bench . -benchmem ./internal/sim ./internal/mem ./internal/bench .
 
 # bench-json runs the reproducible wall-clock suite and refreshes the
-# committed BENCH_8.json baseline (ns/op, allocs/op, events/sec, wall-clock
-# per figure sweep, serving run, partition cell, and chaos cell). The
-# compare against the previous baseline is advisory: it warns, never fails.
+# committed BENCH_9.json baseline (ns/op, allocs/op, events/sec, wall-clock
+# per figure sweep, serving run, partition cell, chaos cell, and the
+# snapshot/pool entries). The compare against the previous baseline is
+# advisory: it warns, never fails.
 bench-json:
 	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_8.json
-	cp /tmp/BENCH_new.json BENCH_8.json
+	cp /tmp/BENCH_new.json BENCH_9.json
 
 # check is the full gate CI runs: build, vet, lint, race-enabled tests,
-# trace determinism, and the chaos soak.
-check: build vet lint race trace-smoke chaos
+# trace determinism, snapshot determinism, and the chaos soak.
+check: build vet lint race trace-smoke snap-smoke chaos
 
 clean:
 	$(GO) clean ./...

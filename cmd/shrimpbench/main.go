@@ -21,6 +21,7 @@
 //	shrimpbench -app [-trace out.json] [-stats]
 //	shrimpbench -partition [-faultseed N]
 //	shrimpbench -faults [-faultseed N] [-parallel N]
+//	shrimpbench -pool
 //	shrimpbench -benchjson BENCH_5.json [-benchbase old.json]
 //
 // -parallel N runs the independent figure sweeps (or chaos cells) on N
@@ -54,6 +55,13 @@
 // injector. The table reports failovers, epoch-fence rejections,
 // quorum-vetoed down-reports, re-verified acknowledged writes, and the
 // measured recovery time; every cell runs twice under the replay digest.
+//
+// -pool runs the snapshot & warm-pool suite: wall-clock entries for
+// capture, encode, and copy-on-write cloning, the boot-vs-pooled app-serve
+// world-setup comparison (the pool must amortize setup at least 5x below a
+// fresh boot), and the two elasticity scenarios — the autoscale demand
+// trace and rolling restarts served from snapshot clones. Exits non-zero
+// if an elasticity cell fails or the 5x bar is missed.
 //
 // -faults runs the chaos soak matrix instead: every figure scenario under a
 // set of seeded fault plans (lossy links with the retransmission sublayer
@@ -90,6 +98,7 @@ func main() {
 	svmFlag := flag.Bool("svm", false, "run the SVM-vs-NX Jacobi comparison (2/4/8 nodes)")
 	appFlag := flag.Bool("app", false, "run the sharded-KV serving workload (capacity ramp + 1M-session acceptance scenario)")
 	partFlag := flag.Bool("partition", false, "run the partition cells (minority group, isolated primary, asymmetric cut, flapping link) with fencing counters")
+	poolFlag := flag.Bool("pool", false, "run the snapshot & warm-pool suite (capture/clone wall-clock, boot-vs-pooled world setup, elasticity scenarios)")
 	parallel := flag.Int("parallel", 0, "run independent figure/chaos scenarios on N workers (0 = sequential; results are byte-identical either way)")
 	benchJSON := flag.String("benchjson", "", "run the wall-clock benchmark suite and write the JSON report to this file")
 	benchBase := flag.String("benchbase", "", "baseline JSON report to compare -benchjson results against (warn-only)")
@@ -110,6 +119,20 @@ func main() {
 		fmt.Printf("wrote %s\n", *benchJSON)
 		if *benchBase != "" {
 			warnBenchBaseline(*benchBase, rep)
+		}
+		return
+	}
+
+	if *poolFlag {
+		rep := bench.RunPoolSuite()
+		fmt.Print(bench.PoolTable(rep))
+		if !rep.Elastic.OK() || !rep.Rolling.OK() {
+			fmt.Fprintln(os.Stderr, "shrimpbench: elasticity scenarios FAILED")
+			os.Exit(1)
+		}
+		if rep.Speedup < 5 {
+			fmt.Fprintf(os.Stderr, "shrimpbench: pool amortization %.2fx below the 5x bar\n", rep.Speedup)
+			os.Exit(1)
 		}
 		return
 	}

@@ -87,21 +87,7 @@ type AppServeResult struct {
 // prototype, and the chaos harness must still be able to slip fault plans
 // underneath.
 func appCluster(tc *trace.Collector, mx, my int) *cluster.Cluster {
-	cfg := cluster.Config{MeshX: mx, MeshY: my, Trace: tc}
-	if env := currentEnv(); env != nil {
-		if env.mod != nil {
-			env.mod(&cfg)
-		}
-		c := cluster.New(cfg)
-		env.last = c
-		return c
-	}
-	if clusterMod != nil {
-		clusterMod(&cfg)
-	}
-	c := cluster.New(cfg)
-	lastCluster = c
-	return c
+	return buildCluster(cluster.Config{MeshX: mx, MeshY: my, Trace: tc})
 }
 
 // appServe runs one serving scenario to completion and fills stats. It

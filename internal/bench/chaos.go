@@ -30,28 +30,49 @@ import (
 var (
 	clusterMod  func(*cluster.Config)
 	lastCluster *cluster.Cluster
+	// clusterProvide, when non-nil, sources the cluster for a resolved
+	// config instead of booting fresh — the snapshot pool's hook. A
+	// provider may return nil to decline (config it has no image for),
+	// which falls back to a normal boot.
+	clusterProvide func(cluster.Config) *cluster.Cluster
 )
 
-// benchCluster is how every figure driver builds its system: the default
-// 4-node prototype, plus whatever the chaos harness injects.
-func benchCluster(tc *trace.Collector) *cluster.Cluster {
-	cfg := cluster.Config{Trace: tc}
-	// A worker registered by the parallel runner gets its own hook and
-	// cluster slot; only the sequential path touches the package globals.
+// buildCluster resolves a driver's cluster request: the config rewriter
+// runs first (fault plans, per-engine digests), then the provider gets a
+// chance to serve a pooled or cloned world, and a fresh boot is the
+// fallback. A worker registered by the parallel runner gets its own hooks
+// and cluster slot; only the sequential path touches the package globals.
+func buildCluster(cfg cluster.Config) *cluster.Cluster {
 	if env := currentEnv(); env != nil {
 		if env.mod != nil {
 			env.mod(&cfg)
 		}
-		c := cluster.New(cfg)
+		c := clusterFrom(cfg, env.provide)
 		env.last = c
 		return c
 	}
 	if clusterMod != nil {
 		clusterMod(&cfg)
 	}
-	c := cluster.New(cfg)
+	c := clusterFrom(cfg, clusterProvide)
 	lastCluster = c
 	return c
+}
+
+// clusterFrom consults a provider before falling back to a fresh boot.
+func clusterFrom(cfg cluster.Config, provide func(cluster.Config) *cluster.Cluster) *cluster.Cluster {
+	if provide != nil {
+		if c := provide(cfg); c != nil {
+			return c
+		}
+	}
+	return cluster.New(cfg)
+}
+
+// benchCluster is how every figure driver builds its system: the default
+// 4-node prototype, plus whatever the chaos harness injects.
+func benchCluster(tc *trace.Collector) *cluster.Cluster {
+	return buildCluster(cluster.Config{Trace: tc})
 }
 
 // StandardChaosPlans is the soak matrix: three lossy-link plans (which the

@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestElasticPool: the autoscale trace is fully deterministic — the
+// hit/miss split falls out of the demand shape (capacity sized for the
+// previous step's demand), every served world replays the same digest,
+// and two passes agree.
+func TestElasticPool(t *testing.T) {
+	res := RunElasticPool()
+	if !res.OK() {
+		t.Fatalf("autoscale cell failed: %+v", res)
+	}
+	if res.Served != 24 {
+		t.Fatalf("served %d worlds, trace demands 24", res.Served)
+	}
+	// demand [1 2 4 6 3 1 5 2] with capacity = previous demand:
+	// hits = sum(min(d[i], d[i-1])) = 0+1+2+4+3+1+1+2 = 14, misses = 10.
+	if res.Hits != 14 || res.Misses != 10 {
+		t.Fatalf("hit/miss split %d/%d, demand trace dictates 14/10", res.Hits, res.Misses)
+	}
+	// Built covers every construction (misses inline plus prefills);
+	// Discarded covers served worlds plus shrink-released stock. Both are
+	// pinned by the trace: a drift means pool accounting changed.
+	if res.Built != 28 || res.Discarded != 26 {
+		t.Fatalf("census drift: built %d discarded %d, trace dictates 28/26", res.Built, res.Discarded)
+	}
+}
+
+// TestElasticRolling: three rounds of crash → restart → rejoin on the
+// serving stack, every round's cluster a snapshot clone from the warm
+// pool, each round detecting failover and resyncing the rejoined node,
+// with a stable digest across two full passes.
+func TestElasticRolling(t *testing.T) {
+	res := RunElasticRolling()
+	if !res.OK() {
+		t.Fatalf("rolling-restart cell failed: %+v", res)
+	}
+	if res.Failovers < int64(res.Rounds) {
+		t.Fatalf("%d failovers over %d rounds; every round must fail over", res.Failovers, res.Rounds)
+	}
+	if res.PoolHits+res.PoolMisses != res.Rounds {
+		t.Fatalf("pool served %d worlds for %d rounds", res.PoolHits+res.PoolMisses, res.Rounds)
+	}
+	if res.PoolHits == 0 {
+		t.Fatalf("no pool hits: warm prebuild never served a round")
+	}
+}

@@ -31,8 +31,12 @@ import (
 // play for sequential runs. benchCluster/jacobiCluster consult the calling
 // goroutine's env first, so parallel workers never touch the globals.
 type scenarioEnv struct {
-	mod  func(*cluster.Config)
-	last *cluster.Cluster
+	mod func(*cluster.Config)
+	// provide, when non-nil, sources clusters for this worker's drivers —
+	// the worker-local twin of the clusterProvide global (snapshot pools,
+	// prebuilt clone feeds). May return nil to decline a config.
+	provide func(cluster.Config) *cluster.Cluster
+	last    *cluster.Cluster
 }
 
 var (
@@ -76,7 +80,14 @@ func currentEnv() *scenarioEnv {
 // withEnv runs fn with a scenario env registered for the calling goroutine
 // and returns the env for inspection (fault counters, watchdog state).
 func withEnv(mod func(*cluster.Config), fn func()) *scenarioEnv {
-	env := &scenarioEnv{mod: mod}
+	return withEnvProvide(mod, nil, fn)
+}
+
+// withEnvProvide is withEnv with a cluster provider attached: every
+// cluster the scenario's drivers build inside fn is sourced through
+// provide (snapshot clones, warm pools) instead of a fresh boot.
+func withEnvProvide(mod func(*cluster.Config), provide func(cluster.Config) *cluster.Cluster, fn func()) *scenarioEnv {
+	env := &scenarioEnv{mod: mod, provide: provide}
 	id := goid()
 	envMu.Lock()
 	if envs == nil {

@@ -244,6 +244,9 @@ func RunPerfSuite(figIters int) BenchReport {
 		return 0
 	}))
 
+	// --- snapshot & warm pool ---
+	snapPerfEntries(add)
+
 	// --- static analysis ---
 	// shrimplint runs on every `make check`, so its whole-repo wall-clock —
 	// load + type-check + call graph + all nine analyzers, tests included —

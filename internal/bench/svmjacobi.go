@@ -39,21 +39,7 @@ func meshFor(n int) (int, int) {
 // config hook like every other figure driver.
 func jacobiCluster(n int, tc *trace.Collector) *cluster.Cluster {
 	x, y := meshFor(n)
-	cfg := cluster.Config{MeshX: x, MeshY: y, Trace: tc}
-	if env := currentEnv(); env != nil {
-		if env.mod != nil {
-			env.mod(&cfg)
-		}
-		c := cluster.New(cfg)
-		env.last = c
-		return c
-	}
-	if clusterMod != nil {
-		clusterMod(&cfg)
-	}
-	c := cluster.New(cfg)
-	lastCluster = c
-	return c
+	return buildCluster(cluster.Config{MeshX: x, MeshY: y, Trace: tc})
 }
 
 // JacobiResult is one run of the stencil under either communication layer.

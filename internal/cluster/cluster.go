@@ -55,6 +55,12 @@ type Config struct {
 	// Timeouts tunes the failure-detection timing constants; zero fields
 	// take the documented defaults.
 	Timeouts Timeouts
+
+	// Detached builds the cluster on a detached engine: one that ignores the
+	// process-global sim.Digest hook. Background world builders (the snap
+	// pool's prebuilders) set it so a concurrently open digest window in the
+	// foreground never observes — or races on — their boot events.
+	Detached bool
 }
 
 // Timeouts gathers the cluster-wide failure-detection timing knobs that
@@ -128,10 +134,16 @@ func New(cfg Config) *Cluster {
 		if err := cfg.FaultPlan.Validate(cfg.MeshX * cfg.MeshY); err != nil {
 			// A malformed fault plan is a harness configuration bug,
 			// caught at construction.
+			//lint:allow transitive-panic harness configuration bug caught at boot, not a protocol error
 			panic("cluster: invalid fault plan: " + err.Error())
 		}
 	}
-	eng := sim.NewEngine()
+	var eng *sim.Engine
+	if cfg.Detached {
+		eng = sim.NewDetachedEngine()
+	} else {
+		eng = sim.NewEngine()
+	}
 	if cfg.Auto != nil {
 		eng.AttachDigest(cfg.Auto)
 	}
@@ -165,6 +177,15 @@ func New(cfg Config) *Cluster {
 
 // Timeouts returns the resolved failure-detection knobs for this cluster.
 func (c *Cluster) Timeouts() Timeouts { return c.cfg.Timeouts }
+
+// Config returns the resolved configuration the cluster was built with —
+// the boot recipe. The snapshot layer embeds it in world images so a
+// restore can re-run the identical recipe before installing state.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Settle drains every event at the current virtual instant without letting
+// the clock advance — the quiesce step before a snapshot capture.
+func (c *Cluster) Settle() { c.Eng.Settle() }
 
 // Reachable reports whether messages can currently flow between two live
 // nodes in both directions: false when either node is dead or an armed
@@ -271,6 +292,7 @@ func (c *Cluster) CrashNode(i int) {
 func (c *Cluster) RestartNode(i int) *Node {
 	old := c.Node(i)
 	if !old.Dead {
+		//lint:allow transitive-panic harness sequencing bug: only crashed nodes restart
 		panic(fmt.Sprintf("cluster: restart of live node %d", i))
 	}
 	m := kernel.NewMachine(i, c.Eng, c.cfg.MemBytes)

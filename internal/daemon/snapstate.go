@@ -1,0 +1,182 @@
+// Snapshot state surface for the daemon: the import/export tables, ID
+// counters, and GC counters, dumped in deterministic order (exports by ID,
+// imports in import order — the same order revocation walks). Owner
+// processes are recorded by PID and re-resolved on the restored machine;
+// exported pages' IPT tags are re-installed here, after the NIC's own
+// restore laid down the tagless entries.
+package daemon
+
+import (
+	"fmt"
+	"sort"
+
+	"shrimp/internal/kernel"
+	"shrimp/internal/mem"
+	"shrimp/internal/nic"
+)
+
+// ExportImage is one export record's data state.
+type ExportImage struct {
+	ID       uint32
+	Name     string
+	OwnerPID int
+	Base     kernel.VA
+	Frames   []mem.PFN
+	Allowed  []int
+	// Importers is the per-node import refcount, ascending node order.
+	Importers []ImporterCount
+	Revoked   bool
+	// Tagged records whether the export's IPT entries carried an opaque
+	// notification tag; Notify/FastNotify record the interrupt flags. A
+	// notification tag is a user-layer object (the VMMC export) that a
+	// restore cannot rebuild, so RestoreState refuses notify-enabled
+	// exports — the capture-safe worlds internal/snap clones never carry
+	// them, and anything richer must re-export through the library layer.
+	Tagged     bool
+	Notify     bool
+	FastNotify bool
+}
+
+// ImporterCount is one importing node's refcount on an export.
+type ImporterCount struct {
+	Node  int
+	Count int
+}
+
+// ImportImage is one import record's data state.
+type ImportImage struct {
+	Exporter int
+	ExportID uint32
+	Name     string
+	OPTBase  int
+	Pages    int
+	Released bool
+	Reaped   bool
+}
+
+// State is one daemon's complete restorable state.
+type State struct {
+	Exports   []ExportImage // ascending export ID
+	Imports   []ImportImage // import order
+	NextID    uint32
+	NextEphem int
+
+	ReapedImports    int
+	ReapedExportRefs int
+}
+
+// SnapState dumps the daemon's tables.
+func (d *Daemon) SnapState() State {
+	st := State{
+		NextID:           d.nextID,
+		NextEphem:        d.nextEphem,
+		ReapedImports:    d.ReapedImports,
+		ReapedExportRefs: d.ReapedExportRefs,
+	}
+	ids := make([]uint32, 0, len(d.exports))
+	for id := range d.exports {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rec := d.exports[id]
+		img := ExportImage{
+			ID:       rec.ID,
+			Name:     rec.Name,
+			OwnerPID: rec.Owner.PID,
+			Base:     rec.Base,
+			Revoked:  rec.revoked,
+		}
+		img.Frames = append(img.Frames, rec.Frames...)
+		img.Allowed = append(img.Allowed, rec.Allowed...)
+		for node, count := range rec.importers {
+			img.Importers = append(img.Importers, ImporterCount{Node: node, Count: count})
+		}
+		sort.Slice(img.Importers, func(i, j int) bool { return img.Importers[i].Node < img.Importers[j].Node })
+		if len(rec.Frames) > 0 {
+			e := d.NIC.GetIPT(rec.Frames[0])
+			img.Tagged = e.Tag != nil
+			img.Notify = e.Interrupt
+			img.FastNotify = e.FastNotify
+		}
+		st.Exports = append(st.Exports, img)
+	}
+	for _, rec := range d.imports {
+		st.Imports = append(st.Imports, ImportImage{
+			Exporter: rec.Exporter,
+			ExportID: rec.ExportID,
+			Name:     rec.Name,
+			OPTBase:  rec.OPTBase,
+			Pages:    rec.Pages,
+			Released: rec.released,
+			Reaped:   rec.reaped,
+		})
+	}
+	return st
+}
+
+// RestoreState installs captured tables onto a freshly booted daemon.
+// Owners resolve by PID against the restored machine's process list, and
+// every live export's pages are re-tagged in the NIC's IPT (the NIC restore
+// installed the flags; only the opaque tag reference is missing).
+func (d *Daemon) RestoreState(st State) error {
+	if len(d.exports) != 0 || len(d.imports) != 0 {
+		return fmt.Errorf("daemon %d: restore onto non-empty tables", d.NodeID)
+	}
+	byPID := make(map[int]*kernel.Process)
+	for _, p := range d.M.Procs() {
+		byPID[p.PID] = p
+	}
+	for i := range st.Exports {
+		img := &st.Exports[i]
+		if img.Notify || img.FastNotify {
+			return fmt.Errorf("daemon %d: export %q has notifications enabled; its tag is a user-layer object a restore cannot rebuild", d.NodeID, img.Name)
+		}
+		owner, ok := byPID[img.OwnerPID]
+		if !ok {
+			return fmt.Errorf("daemon %d: export %q owner pid %d not present on restored node", d.NodeID, img.Name, img.OwnerPID)
+		}
+		rec := &ExportRec{
+			ID:        img.ID,
+			Name:      img.Name,
+			Owner:     owner,
+			Base:      img.Base,
+			revoked:   img.Revoked,
+			importers: make(map[int]int, len(img.Importers)),
+		}
+		rec.Frames = append(rec.Frames, img.Frames...)
+		rec.Allowed = append(rec.Allowed, img.Allowed...)
+		for _, ic := range img.Importers {
+			rec.importers[ic.Node] = ic.Count
+		}
+		d.exports[rec.ID] = rec
+		if !rec.revoked {
+			if rec.Name != "" {
+				d.byName[rec.Name] = rec
+			}
+			for _, f := range rec.Frames {
+				e := nic.IPTEntry{Enable: true}
+				if img.Tagged {
+					e.Tag = rec
+				}
+				d.NIC.SetIPT(f, e)
+			}
+		}
+	}
+	for _, img := range st.Imports {
+		d.imports = append(d.imports, &ImportRec{
+			Exporter: img.Exporter,
+			ExportID: img.ExportID,
+			Name:     img.Name,
+			OPTBase:  img.OPTBase,
+			Pages:    img.Pages,
+			released: img.Released,
+			reaped:   img.Reaped,
+		})
+	}
+	d.nextID = st.NextID
+	d.nextEphem = st.NextEphem
+	d.ReapedImports = st.ReapedImports
+	d.ReapedExportRefs = st.ReapedExportRefs
+	return nil
+}

@@ -181,6 +181,7 @@ func (m *Machine) RaiseIRQ(vector int, data any) {
 	}
 	fn, ok := m.irq[vector]
 	if !ok {
+		//lint:allow transitive-panic wiring bug: every vector is registered at machine construction
 		panic(fmt.Sprintf("kernel: node %d spurious interrupt %d", m.ID, vector))
 	}
 	m.IRQRaised++

@@ -21,6 +21,7 @@ var errSurfaceSuffixes = []string{
 	"/internal/app",
 	"/internal/retry",
 	"/internal/fault",
+	"/internal/snap",
 }
 
 func isErrSurfacePackage(path string) bool {

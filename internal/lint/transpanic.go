@@ -20,6 +20,7 @@ var datapathSuffixes = []string{
 	"/internal/app",
 	"/internal/retry",
 	"/internal/fault",
+	"/internal/snap",
 }
 
 func isDatapathPackage(path string) bool {

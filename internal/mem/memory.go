@@ -61,7 +61,13 @@ type Memory struct {
 	// root is a few dozen pointers, so constructing a 40MB memory costs
 	// nearly nothing.
 	frames []*pageChunk
-	conds  map[PFN]*sim.Cond // page write watchers
+	// seals, when non-nil, carries per-frame copy-on-write bits: a sealed
+	// frame's backing slice is shared with a snapshot image or a cloned
+	// Memory and must be copied out before the first local write. Nil until
+	// Seal/Clone/InstallFrames, so ordinary worlds never pay for the check
+	// beyond one nil test. See cow.go.
+	seals []*sealChunk
+	conds map[PFN]*sim.Cond // page write watchers
 
 	// Snoop, when set, sees every CPU store (not DMA writes — the real
 	// snoop logic sits on the Xpress bus and watches processor writes;
@@ -112,6 +118,8 @@ func (m *Memory) page(f PFN) []byte {
 }
 
 // pageW returns the frame's backing bytes for writing, materializing it.
+// A sealed (copy-on-write shared) frame is copied out privately first, so
+// snapshot images and clones never observe local writes.
 func (m *Memory) pageW(f PFN) []byte {
 	c := m.frames[f>>pageChunkShift]
 	if c == nil {
@@ -122,6 +130,16 @@ func (m *Memory) pageW(f PFN) []byte {
 	if p == nil {
 		p = make([]byte, hw.Page)
 		c[f&(1<<pageChunkShift-1)] = p
+		return p
+	}
+	if m.seals != nil {
+		if sc := m.seals[f>>pageChunkShift]; sc != nil && sc[f&(1<<pageChunkShift-1)] {
+			np := make([]byte, hw.Page)
+			copy(np, p)
+			c[f&(1<<pageChunkShift-1)] = np
+			sc[f&(1<<pageChunkShift-1)] = false
+			return np
+		}
 	}
 	return p
 }

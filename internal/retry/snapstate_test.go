@@ -1,0 +1,71 @@
+package retry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSnapStateRestoreEquivalence: a Backoff restored mid-schedule must
+// produce exactly the draws the captured one would have — durations and
+// budget exhaustion both — which is what lets a cloned world replay retry
+// schedules bit-for-bit.
+func TestSnapStateRestoreEquivalence(t *testing.T) {
+	pol := Policy{Base: 200 * time.Microsecond, Max: 10 * time.Millisecond, Jitter: 0.5, Budget: 9}
+	orig := New(pol, Seed(4, 7))
+	for i := 0; i < 3; i++ {
+		if _, ok := orig.Next(); !ok {
+			t.Fatalf("budget spent after %d draws", i)
+		}
+	}
+
+	st := orig.SnapState()
+	clone := New(pol, 0xdeadbeef) // wrong seed on purpose; RestoreState must win
+	clone.RestoreState(st)
+	if clone.Attempts() != orig.Attempts() {
+		t.Fatalf("attempts diverge after restore: %d vs %d", clone.Attempts(), orig.Attempts())
+	}
+
+	for i := 0; ; i++ {
+		d1, ok1 := orig.Next()
+		d2, ok2 := clone.Next()
+		if d1 != d2 || ok1 != ok2 {
+			t.Fatalf("draw %d diverged: (%v,%v) vs (%v,%v)", i, d1, ok1, d2, ok2)
+		}
+		if !ok1 {
+			break
+		}
+	}
+}
+
+// TestSnapStateGolden pins the exact state a fixed (policy, seed) pair
+// reaches after three draws. Any change here means the jitter stream or
+// the exponential cursor moved — a replay-identity break, not a refactor.
+func TestSnapStateGolden(t *testing.T) {
+	pol := Policy{Base: 100 * time.Microsecond, Max: time.Millisecond, Jitter: 0.25, Budget: 5}
+	b := New(pol, 42)
+	for i := 0; i < 3; i++ {
+		b.Next()
+	}
+	got := fmt.Sprintf("%+v", b.SnapState())
+	// Nominal after three doublings from 100µs is 800µs; the RNG cursor is
+	// the seed xor the splitmix increment, advanced three times.
+	var want State
+	want.Nominal = 800 * time.Microsecond
+	want.Attempts = 3
+	const inc = uint64(0x9e3779b97f4a7c15)
+	want.RNG = uint64(42) ^ inc
+	for i := 0; i < 3; i++ {
+		want.RNG += inc
+	}
+	if got != fmt.Sprintf("%+v", want) {
+		t.Fatalf("golden mismatch:\n got %s\nwant %+v", got, want)
+	}
+
+	// Reset rewinds schedule and budget but not the jitter cursor.
+	b.Reset()
+	st := b.SnapState()
+	if st.Nominal != pol.Base || st.Attempts != 0 || st.RNG != want.RNG {
+		t.Fatalf("post-Reset state wrong: %+v", st)
+	}
+}

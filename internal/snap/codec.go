@@ -1,0 +1,201 @@
+// Package snap captures a quiesced SHRIMP cluster as a deterministic,
+// versioned image — every node's DRAM (deduplicated, zero-page aware),
+// kernel tables, NIC page tables, daemon import/export tables, and the
+// engine's pending-event frontier — and restores it by re-running the boot
+// recipe and installing the captured state on top. Clones share memory
+// pages copy-on-write with the image, so a world that took an expensive
+// data-load to build is cloned for the price of a boot. A Pool keeps
+// ready-to-run worlds warm so scenario suites pay for construction once.
+//
+// The invariant the whole package serves: a restored world, driven by the
+// same scenario, produces a replay digest byte-identical to the live world
+// it was cloned from. Everything that cannot honor that — in-flight NIC
+// transfers, pending signals, non-service processes — is refused at
+// capture time rather than approximated.
+package snap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Version is the image format version. Readers refuse anything else: the
+// format carries raw layer state, so cross-version leniency would install
+// silent garbage.
+const Version = 1
+
+// magic brands every image so a reader can reject arbitrary bytes with a
+// decent error instead of a varint panic deep in a section.
+var magic = []byte("SHRIMPSNAP")
+
+// Writer builds an image: magic, version, varint-coded sections, and an
+// FNV-1a integrity trailer over everything before it. All multi-byte
+// values are varints, so the encoding is platform-independent and
+// byte-identical for identical state — the property the golden tests pin.
+type Writer struct {
+	buf []byte
+	tmp [binary.MaxVarintLen64]byte
+}
+
+// NewWriter starts an image with the magic and version header.
+func NewWriter() *Writer {
+	w := &Writer{buf: make([]byte, 0, 1024)}
+	w.buf = append(w.buf, magic...)
+	w.U64(Version)
+	return w
+}
+
+// U64 appends an unsigned varint.
+func (w *Writer) U64(v uint64) {
+	n := binary.PutUvarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// I64 appends a signed varint (zigzag).
+func (w *Writer) I64(v int64) {
+	n := binary.PutVarint(w.tmp[:], v)
+	w.buf = append(w.buf, w.tmp[:n]...)
+}
+
+// Bool appends a flag.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// Bytes appends a length-prefixed blob.
+func (w *Writer) Bytes(b []byte) {
+	w.U64(uint64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// Str appends a length-prefixed string.
+func (w *Writer) Str(s string) {
+	w.U64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Finish appends the integrity trailer and returns the image. The Writer
+// must not be used afterwards.
+func (w *Writer) Finish() []byte {
+	h := fnv.New64a()
+	h.Write(w.buf)
+	var tr [8]byte
+	binary.BigEndian.PutUint64(tr[:], h.Sum64())
+	return append(w.buf, tr[:]...)
+}
+
+// Reader decodes an image. The constructor verifies magic, version, and
+// the integrity trailer up front; section readers then only have to worry
+// about structure. Errors are sticky: the first failure poisons the
+// Reader and every later read returns zero values, so decode loops can
+// check Err once at the end.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader validates the envelope and positions the reader after the
+// version field.
+func NewReader(b []byte) (*Reader, error) {
+	if len(b) < len(magic)+1+8 {
+		return nil, fmt.Errorf("snap: image truncated (%d bytes)", len(b))
+	}
+	body, tr := b[:len(b)-8], b[len(b)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if got, want := h.Sum64(), binary.BigEndian.Uint64(tr); got != want {
+		return nil, fmt.Errorf("snap: integrity trailer mismatch: computed %#x, stored %#x", got, want)
+	}
+	if string(body[:len(magic)]) != string(magic) {
+		return nil, fmt.Errorf("snap: bad magic")
+	}
+	r := &Reader{b: body, off: len(magic)}
+	if v := r.U64(); v != Version {
+		return nil, fmt.Errorf("snap: image version %d, reader speaks %d", v, Version)
+	}
+	return r, nil
+}
+
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Err returns the first decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// U64 reads an unsigned varint.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("snap: bad varint at offset %d", r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// I64 reads a signed varint.
+func (r *Reader) I64() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail(fmt.Errorf("snap: bad signed varint at offset %d", r.off))
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Bool reads a flag.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.b) {
+		r.fail(fmt.Errorf("snap: truncated flag at offset %d", r.off))
+		return false
+	}
+	v := r.b[r.off]
+	r.off++
+	if v > 1 {
+		r.fail(fmt.Errorf("snap: flag byte %#x at offset %d", v, r.off-1))
+		return false
+	}
+	return v == 1
+}
+
+// Bytes reads a length-prefixed blob. The returned slice aliases the
+// image buffer; callers that mutate must copy.
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if uint64(len(r.b)-r.off) < n {
+		r.fail(fmt.Errorf("snap: blob of %d bytes overruns image at offset %d", n, r.off))
+		return nil
+	}
+	b := r.b[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b
+}
+
+// Str reads a length-prefixed string.
+func (r *Reader) Str() string { return string(r.Bytes()) }
+
+// Done reports whether the whole body was consumed — the final structural
+// check after the last section.
+func (r *Reader) Done() bool { return r.err == nil && r.off == len(r.b) }

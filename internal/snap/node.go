@@ -1,0 +1,371 @@
+// Per-node images: everything one PC node contributes to a world image —
+// the kernel's allocator and process tables, the NIC's page tables, the
+// daemon's import/export tables, and the node's materialized DRAM frames
+// as references into the world's chunk store. Capture order and encode
+// order are both deterministic (ascending frames, spawn-order processes),
+// so identical worlds produce identical bytes.
+package snap
+
+import (
+	"fmt"
+
+	"shrimp/internal/cluster"
+	"shrimp/internal/daemon"
+	"shrimp/internal/kernel"
+	"shrimp/internal/mem"
+	"shrimp/internal/mesh"
+	"shrimp/internal/nic"
+)
+
+// FrameRef ties one materialized physical frame to a chunk-store index.
+type FrameRef struct {
+	F     mem.PFN
+	Chunk int
+}
+
+// NodeImage is one node's complete captured state.
+type NodeImage struct {
+	ID      int
+	Machine kernel.MachineState
+	Procs   []kernel.ProcessImage
+	NIC     nic.State
+	Daemon  daemon.State
+	Frames  []FrameRef // ascending PFN
+}
+
+// captureNode dumps one live node into an image, interning its frames in
+// the store. Refuses dead nodes and any process with undeliverable state.
+func captureNode(n *cluster.Node, store *ChunkStore) (NodeImage, error) {
+	if n.Dead {
+		return NodeImage{}, fmt.Errorf("snap: node %d is dead; a corpse has no restorable state", n.ID)
+	}
+	nst, err := n.NIC.SnapState()
+	if err != nil {
+		return NodeImage{}, err
+	}
+	img := NodeImage{
+		ID:      n.ID,
+		Machine: n.M.SnapState(),
+		NIC:     nst,
+		Daemon:  n.Daemon.SnapState(),
+	}
+	for _, p := range n.M.Procs() {
+		pi := p.SnapImage()
+		if pi.PendingSignals != 0 {
+			return NodeImage{}, fmt.Errorf("snap: node %d process %q has %d pending signals; signal payloads are not serializable", n.ID, pi.Name, pi.PendingSignals)
+		}
+		img.Procs = append(img.Procs, pi)
+	}
+	for _, fd := range n.M.Mem.SnapshotFrames() {
+		img.Frames = append(img.Frames, FrameRef{F: fd.F, Chunk: store.Put(fd.Data)})
+	}
+	return img, nil
+}
+
+// restoreNode installs a captured image onto a freshly booted node. Order
+// matters: processes are verified before anything is overwritten, the NIC
+// restores before the daemon (which re-tags IPT entries for its exports),
+// and memory installs last, copy-on-write against the store's chunks.
+func restoreNode(n *cluster.Node, img NodeImage, store *ChunkStore) error {
+	procs := n.M.Procs()
+	if len(procs) != len(img.Procs) {
+		return fmt.Errorf("snap: node %d has %d processes, image has %d — boot recipe drift", n.ID, len(procs), len(img.Procs))
+	}
+	for i, p := range procs {
+		if err := p.VerifyImage(img.Procs[i]); err != nil {
+			return fmt.Errorf("snap: node %d: %w", n.ID, err)
+		}
+	}
+	for i, p := range procs {
+		if err := p.InstallImage(img.Procs[i]); err != nil {
+			return fmt.Errorf("snap: node %d: %w", n.ID, err)
+		}
+	}
+	n.M.RestoreState(img.Machine)
+	if err := n.NIC.RestoreState(img.NIC); err != nil {
+		return fmt.Errorf("snap: node %d: %w", n.ID, err)
+	}
+	if err := n.Daemon.RestoreState(img.Daemon); err != nil {
+		return fmt.Errorf("snap: node %d: %w", n.ID, err)
+	}
+	fds := make([]mem.FrameData, len(img.Frames))
+	for i, fr := range img.Frames {
+		fds[i] = mem.FrameData{F: fr.F, Data: store.Get(fr.Chunk)}
+	}
+	if err := n.M.Mem.InstallFrames(fds); err != nil {
+		return fmt.Errorf("snap: node %d: %w", n.ID, err)
+	}
+	return nil
+}
+
+// encode writes the node section.
+func (img *NodeImage) encode(w *Writer) {
+	w.U64(uint64(img.ID))
+
+	w.U64(uint64(img.Machine.NextFrame))
+	w.U64(uint64(len(img.Machine.FreedFrames)))
+	for _, f := range img.Machine.FreedFrames {
+		w.U64(uint64(f))
+	}
+	w.U64(uint64(img.Machine.NextPID))
+	w.I64(img.Machine.IRQRaised)
+
+	w.U64(uint64(len(img.Procs)))
+	for i := range img.Procs {
+		encodeProc(w, &img.Procs[i])
+	}
+
+	encodeNIC(w, &img.NIC)
+	encodeDaemon(w, &img.Daemon)
+
+	w.U64(uint64(len(img.Frames)))
+	for _, fr := range img.Frames {
+		w.U64(uint64(fr.F))
+		w.U64(uint64(fr.Chunk))
+	}
+}
+
+// decodeNode reads the node section back.
+func decodeNode(r *Reader) NodeImage {
+	var img NodeImage
+	img.ID = int(r.U64())
+
+	img.Machine.NextFrame = mem.PFN(r.U64())
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		img.Machine.FreedFrames = append(img.Machine.FreedFrames, mem.PFN(r.U64()))
+	}
+	img.Machine.NextPID = int(r.U64())
+	img.Machine.IRQRaised = r.I64()
+
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		img.Procs = append(img.Procs, decodeProc(r))
+	}
+
+	img.NIC = decodeNIC(r)
+	img.Daemon = decodeDaemon(r)
+
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		f := mem.PFN(r.U64())
+		img.Frames = append(img.Frames, FrameRef{F: f, Chunk: int(r.U64())})
+	}
+	return img
+}
+
+func encodeProc(w *Writer, p *kernel.ProcessImage) {
+	w.U64(uint64(p.PID))
+	w.Str(p.Name)
+	w.U64(uint64(len(p.PT)))
+	for _, s := range p.PT {
+		w.U64(uint64(s.VPN))
+		w.U64(uint64(s.Frame))
+		w.U64(uint64(s.Flags))
+	}
+	w.U64(uint64(len(p.Prot)))
+	for _, s := range p.Prot {
+		w.U64(uint64(s.VPN))
+		w.U64(uint64(s.Prot))
+	}
+	w.U64(uint64(len(p.AUPages)))
+	for _, v := range p.AUPages {
+		w.U64(uint64(v))
+	}
+	w.U64(uint64(p.NextVA))
+	w.U64(uint64(p.HeapVA))
+	w.U64(uint64(p.HeapEnd))
+	w.Bool(p.HeapWT)
+	w.Bool(p.Blocked)
+	w.U64(uint64(p.PendingSignals))
+	w.I64(p.PageFaults)
+	w.Bool(p.Exited)
+}
+
+func decodeProc(r *Reader) kernel.ProcessImage {
+	var p kernel.ProcessImage
+	p.PID = int(r.U64())
+	p.Name = r.Str()
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		vpn := kernel.VPN(r.U64())
+		f := mem.PFN(r.U64())
+		p.PT = append(p.PT, kernel.PTSlot{VPN: vpn, Frame: f, Flags: kernel.PTEFlags(r.U64())})
+	}
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		vpn := kernel.VPN(r.U64())
+		p.Prot = append(p.Prot, kernel.ProtSlot{VPN: vpn, Prot: kernel.Prot(r.U64())})
+	}
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		p.AUPages = append(p.AUPages, kernel.VPN(r.U64()))
+	}
+	p.NextVA = kernel.VA(r.U64())
+	p.HeapVA = kernel.VA(r.U64())
+	p.HeapEnd = kernel.VA(r.U64())
+	p.HeapWT = r.Bool()
+	p.Blocked = r.Bool()
+	p.PendingSignals = int(r.U64())
+	p.PageFaults = r.I64()
+	p.Exited = r.Bool()
+	return p
+}
+
+func encodeNIC(w *Writer, st *nic.State) {
+	w.U64(uint64(st.OPTSize))
+	w.U64(uint64(len(st.OPT)))
+	for _, s := range st.OPT {
+		w.U64(uint64(s.Idx))
+		w.Bool(s.E.Valid)
+		w.U64(uint64(s.E.DstNode))
+		w.U64(uint64(s.E.DstPFN))
+		w.Bool(s.E.Combine)
+		w.Bool(s.E.CombineTimer)
+		w.Bool(s.E.NotifyOnArrival)
+	}
+	w.U64(uint64(len(st.Reserved)))
+	for _, i := range st.Reserved {
+		w.U64(uint64(i))
+	}
+	w.U64(uint64(len(st.IPT)))
+	for _, s := range st.IPT {
+		w.U64(uint64(s.F))
+		w.Bool(s.Enable)
+		w.Bool(s.Interrupt)
+		w.Bool(s.FastNote)
+		w.Bool(s.HasTag)
+	}
+	w.U64(uint64(len(st.AU)))
+	for _, s := range st.AU {
+		w.U64(uint64(s.F))
+		w.U64(uint64(s.Idx))
+	}
+	w.Bool(st.Frozen)
+	w.Bool(st.Dead)
+	w.I64(st.PacketsOut)
+	w.I64(st.PacketsIn)
+	w.I64(st.Faults)
+	w.I64(st.ForcedFaults)
+	w.U64(uint64(st.OutQPeak))
+}
+
+func decodeNIC(r *Reader) nic.State {
+	var st nic.State
+	st.OPTSize = int(r.U64())
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		var s nic.OPTSlot
+		s.Idx = int(r.U64())
+		s.E.Valid = r.Bool()
+		s.E.DstNode = mesh.NodeID(r.U64())
+		s.E.DstPFN = mem.PFN(r.U64())
+		s.E.Combine = r.Bool()
+		s.E.CombineTimer = r.Bool()
+		s.E.NotifyOnArrival = r.Bool()
+		st.OPT = append(st.OPT, s)
+	}
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		st.Reserved = append(st.Reserved, int(r.U64()))
+	}
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		var s nic.IPTSlot
+		s.F = mem.PFN(r.U64())
+		s.Enable = r.Bool()
+		s.Interrupt = r.Bool()
+		s.FastNote = r.Bool()
+		s.HasTag = r.Bool()
+		st.IPT = append(st.IPT, s)
+	}
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		var s nic.AUSlot
+		s.F = mem.PFN(r.U64())
+		s.Idx = int(r.U64())
+		st.AU = append(st.AU, s)
+	}
+	st.Frozen = r.Bool()
+	st.Dead = r.Bool()
+	st.PacketsOut = r.I64()
+	st.PacketsIn = r.I64()
+	st.Faults = r.I64()
+	st.ForcedFaults = r.I64()
+	st.OutQPeak = int(r.U64())
+	return st
+}
+
+func encodeDaemon(w *Writer, st *daemon.State) {
+	w.U64(uint64(len(st.Exports)))
+	for i := range st.Exports {
+		e := &st.Exports[i]
+		w.U64(uint64(e.ID))
+		w.Str(e.Name)
+		w.U64(uint64(e.OwnerPID))
+		w.U64(uint64(e.Base))
+		w.U64(uint64(len(e.Frames)))
+		for _, f := range e.Frames {
+			w.U64(uint64(f))
+		}
+		w.U64(uint64(len(e.Allowed)))
+		for _, n := range e.Allowed {
+			w.U64(uint64(n))
+		}
+		w.U64(uint64(len(e.Importers)))
+		for _, ic := range e.Importers {
+			w.U64(uint64(ic.Node))
+			w.U64(uint64(ic.Count))
+		}
+		w.Bool(e.Revoked)
+		w.Bool(e.Tagged)
+		w.Bool(e.Notify)
+		w.Bool(e.FastNotify)
+	}
+	w.U64(uint64(len(st.Imports)))
+	for _, im := range st.Imports {
+		w.U64(uint64(im.Exporter))
+		w.U64(uint64(im.ExportID))
+		w.Str(im.Name)
+		w.U64(uint64(im.OPTBase))
+		w.U64(uint64(im.Pages))
+		w.Bool(im.Released)
+		w.Bool(im.Reaped)
+	}
+	w.U64(uint64(st.NextID))
+	w.U64(uint64(st.NextEphem))
+	w.U64(uint64(st.ReapedImports))
+	w.U64(uint64(st.ReapedExportRefs))
+}
+
+func decodeDaemon(r *Reader) daemon.State {
+	var st daemon.State
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		var e daemon.ExportImage
+		e.ID = uint32(r.U64())
+		e.Name = r.Str()
+		e.OwnerPID = int(r.U64())
+		e.Base = kernel.VA(r.U64())
+		for k := r.U64(); k > 0 && r.Err() == nil; k-- {
+			e.Frames = append(e.Frames, mem.PFN(r.U64()))
+		}
+		for k := r.U64(); k > 0 && r.Err() == nil; k-- {
+			e.Allowed = append(e.Allowed, int(r.U64()))
+		}
+		for k := r.U64(); k > 0 && r.Err() == nil; k-- {
+			node := int(r.U64())
+			e.Importers = append(e.Importers, daemon.ImporterCount{Node: node, Count: int(r.U64())})
+		}
+		e.Revoked = r.Bool()
+		e.Tagged = r.Bool()
+		e.Notify = r.Bool()
+		e.FastNotify = r.Bool()
+		st.Exports = append(st.Exports, e)
+	}
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		var im daemon.ImportImage
+		im.Exporter = int(r.U64())
+		im.ExportID = uint32(r.U64())
+		im.Name = r.Str()
+		im.OPTBase = int(r.U64())
+		im.Pages = int(r.U64())
+		im.Released = r.Bool()
+		im.Reaped = r.Bool()
+		st.Imports = append(st.Imports, im)
+	}
+	st.NextID = uint32(r.U64())
+	st.NextEphem = int(r.U64())
+	st.ReapedImports = int(r.U64())
+	st.ReapedExportRefs = int(r.U64())
+	return st
+}
