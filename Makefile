@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build test race vet lint fuzz trace-smoke svm app partition chaos pool snap-smoke bench bench-json check clean
+.PHONY: all build test race vet lint fuzz trace-smoke svm app partition chaos pool snap-smoke meshscale meshscale-smoke bench bench-json check clean
 
 all: build
 
@@ -79,6 +79,19 @@ snap-smoke:
 	$(GO) test ./internal/snap
 	$(GO) test -run 'TestSnapshotEquivalenceMatrix|TestElastic' ./internal/bench
 
+# meshscale runs the big-mesh scaling study: 64, 256, and 1024 nodes on
+# k-ary n-cube geometries (square 2-D meshes, a 3-D cube at 1024), with
+# in-network combining off and on. Every cell runs twice and must replay
+# byte-identically; at 256+ nodes combining must beat the software
+# collectives. Exits nonzero otherwise. This is the EXPERIMENTS.md source.
+meshscale:
+	$(GO) run ./cmd/shrimpbench -meshscale
+
+# meshscale-smoke is the fast digest-stability gate over tiny geometries
+# (2x2 and 2x2x2, both combining modes); it rides in every `make check`.
+meshscale-smoke:
+	$(GO) run ./cmd/shrimpbench -meshsmoke
+
 # chaos runs the fault-injection soak: every figure scenario under the
 # standard fault plans (lossy links with retransmission, NIC freeze
 # storms, a mid-transfer node crash, link partitions against the serving
@@ -95,17 +108,18 @@ bench:
 	$(GO) test -run NONE -bench . -benchmem ./internal/sim ./internal/mem ./internal/bench .
 
 # bench-json runs the reproducible wall-clock suite and refreshes the
-# committed BENCH_9.json baseline (ns/op, allocs/op, events/sec, wall-clock
-# per figure sweep, serving run, partition cell, chaos cell, and the
-# snapshot/pool entries). The compare against the previous baseline is
-# advisory: it warns, never fails.
+# committed BENCH_10.json baseline (ns/op, allocs/op, events/sec, wall-clock
+# per figure sweep, serving run, partition cell, chaos cell, the
+# snapshot/pool entries, and the meshscale virtual-time cells). The compare
+# against the previous baseline is advisory: it warns, never fails.
 bench-json:
-	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_8.json
-	cp /tmp/BENCH_new.json BENCH_9.json
+	$(GO) run ./cmd/shrimpbench -benchjson /tmp/BENCH_new.json -benchbase BENCH_9.json
+	cp /tmp/BENCH_new.json BENCH_10.json
 
 # check is the full gate CI runs: build, vet, lint, race-enabled tests,
-# trace determinism, snapshot determinism, and the chaos soak.
-check: build vet lint race trace-smoke snap-smoke chaos
+# trace determinism, snapshot determinism, mesh-scaling digest stability,
+# and the chaos soak.
+check: build vet lint race trace-smoke snap-smoke meshscale-smoke chaos
 
 clean:
 	$(GO) clean ./...

@@ -22,6 +22,7 @@
 //	shrimpbench -partition [-faultseed N]
 //	shrimpbench -faults [-faultseed N] [-parallel N]
 //	shrimpbench -pool
+//	shrimpbench -meshscale | -meshsmoke
 //	shrimpbench -benchjson BENCH_5.json [-benchbase old.json]
 //
 // -parallel N runs the independent figure sweeps (or chaos cells) on N
@@ -33,6 +34,13 @@
 // microbenchmarks, memory bulk moves, end-to-end figure sweeps, chaos
 // cells) and writes a JSON report with ns/op, allocs/op, and events/sec.
 // -benchbase compares against a committed baseline report, warn-only.
+//
+// -meshscale runs the big-mesh scaling study: 64, 256, and 1024 nodes on
+// k-ary n-cube geometries, with in-network combining off and on, reporting
+// corner-to-corner latency/bandwidth, collective times, and link-contention
+// quantiles. Every cell runs twice and its replay digests must be
+// byte-identical; at 256+ nodes combining must beat the software
+// collectives. -meshsmoke is the tiny `make check` variant.
 //
 // -svm runs the shared-virtual-memory comparison: the same 1-D Jacobi
 // stencil over NX message passing and over internal/svm release-consistent
@@ -99,6 +107,8 @@ func main() {
 	appFlag := flag.Bool("app", false, "run the sharded-KV serving workload (capacity ramp + 1M-session acceptance scenario)")
 	partFlag := flag.Bool("partition", false, "run the partition cells (minority group, isolated primary, asymmetric cut, flapping link) with fencing counters")
 	poolFlag := flag.Bool("pool", false, "run the snapshot & warm-pool suite (capture/clone wall-clock, boot-vs-pooled world setup, elasticity scenarios)")
+	meshScale := flag.Bool("meshscale", false, "run the big-mesh scaling study (64/256/1024 nodes, combining off/on, digest-checked)")
+	meshSmoke := flag.Bool("meshsmoke", false, "run the tiny meshscale smoke cells (for make check)")
 	parallel := flag.Int("parallel", 0, "run independent figure/chaos scenarios on N workers (0 = sequential; results are byte-identical either way)")
 	benchJSON := flag.String("benchjson", "", "run the wall-clock benchmark suite and write the JSON report to this file")
 	benchBase := flag.String("benchbase", "", "baseline JSON report to compare -benchjson results against (warn-only)")
@@ -120,6 +130,24 @@ func main() {
 		if *benchBase != "" {
 			warnBenchBaseline(*benchBase, rep)
 		}
+		return
+	}
+
+	if *meshScale {
+		rows := bench.RunMeshScale(bench.DefaultMeshScaleGeometries())
+		fmt.Print(bench.MeshScaleTable(rows))
+		if err := bench.MeshScaleOK(rows); err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *meshSmoke {
+		if err := bench.RunMeshScaleSmoke(); err != nil {
+			fmt.Fprintf(os.Stderr, "shrimpbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("meshscale smoke: ok")
 		return
 	}
 

@@ -247,6 +247,37 @@ func RunPerfSuite(figIters int) BenchReport {
 	// --- snapshot & warm pool ---
 	snapPerfEntries(add)
 
+	// --- big-mesh scaling ---
+	// The smoke cells time the simulator itself (wall-clock, like every
+	// other entry); the 64-node cells then record the *virtual* collective
+	// times for both modes, so a regression in either the software
+	// recursive doubling or the combining tree shows up in the baseline
+	// diff even though both are deterministic.
+	add(measure("meshscale/smoke", 1, func() int64 {
+		if err := RunMeshScaleSmoke(); err != nil {
+			panic("meshscale smoke failed: " + err.Error())
+		}
+		return 0
+	}))
+	for _, comb := range []bool{false, true} {
+		comb := comb
+		mode := "sw"
+		if comb {
+			mode = "comb"
+		}
+		row, _ := runMeshScaleOnce([]int{8, 8}, comb)
+		add(BenchResult{
+			Name:    "meshscale/64-gsync-" + mode + "-virtual",
+			Iters:   1,
+			NsPerOp: float64(row.Gsync.Nanoseconds()),
+		})
+		add(BenchResult{
+			Name:    "meshscale/64-gdsum-" + mode + "-virtual",
+			Iters:   1,
+			NsPerOp: float64(row.Gdsum.Nanoseconds()),
+		})
+	}
+
 	// --- static analysis ---
 	// shrimplint runs on every `make check`, so its whole-repo wall-clock —
 	// load + type-check + call graph + all nine analyzers, tests included —

@@ -23,6 +23,18 @@ import (
 type Config struct {
 	// MeshX, MeshY are the backplane dimensions. Nodes = MeshX*MeshY.
 	MeshX, MeshY int
+	// MeshDims, when non-empty, selects a k-ary n-dimensional mesh
+	// backplane and overrides MeshX/MeshY: MeshDims[d] routers per
+	// dimension d, dimension 0 varying fastest in the node index.
+	// {x, y} is exactly MeshX: x, MeshY: y. New resolves the legacy 2-D
+	// fields into this slice, so a resolved Config always carries it.
+	MeshDims []int
+	// Combining enables router-level in-network combining of collective
+	// traffic on the backplane (mesh/combine.go): barriers and global
+	// sums merge at routers along a dimension-order reduction tree
+	// instead of running the software recursive-doubling rounds. Off by
+	// default; the nx library picks the fast path up automatically.
+	Combining bool
 	// MemBytes is DRAM per node (default 40 MB, as on the DEC 560ST
 	// prototype nodes).
 	MemBytes int
@@ -71,7 +83,10 @@ type Config struct {
 type Timeouts struct {
 	// DaemonRPC bounds every daemon-to-daemon Ethernet RPC
 	// (import/release/revoke rendezvous). Default
-	// daemon.DefaultRPCTimeout (5ms).
+	// daemon.DefaultRPCTimeout (5ms) up to 16 nodes, scaled linearly
+	// with world size above that: the control Ethernet is shared, so a
+	// 256-node boot storm legitimately queues RPCs for tens of
+	// milliseconds, and timing those out just feeds the congestion.
 	DaemonRPC time.Duration
 	// BindFloor is the minimum deadline for SRPC rendezvous binds in the
 	// serving subsystem (replication proxies and load-generator
@@ -81,10 +96,14 @@ type Timeouts struct {
 	BindFloor time.Duration
 }
 
-// withDefaults resolves zero fields to the documented defaults.
-func (t Timeouts) withDefaults() Timeouts {
+// withDefaults resolves zero fields to the documented defaults for a world
+// of the given node count.
+func (t Timeouts) withDefaults(nodes int) Timeouts {
 	if t.DaemonRPC <= 0 {
 		t.DaemonRPC = daemon.DefaultRPCTimeout
+		if nodes > 16 {
+			t.DaemonRPC = daemon.DefaultRPCTimeout * time.Duration(nodes) / 16
+		}
 	}
 	if t.BindFloor <= 0 {
 		t.BindFloor = 2 * time.Second
@@ -117,11 +136,27 @@ type Cluster struct {
 
 // New builds and boots a SHRIMP system.
 func New(cfg Config) *Cluster {
-	if cfg.MeshX == 0 {
-		cfg.MeshX = 2
+	if len(cfg.MeshDims) == 0 {
+		if cfg.MeshX == 0 {
+			cfg.MeshX = 2
+		}
+		if cfg.MeshY == 0 {
+			cfg.MeshY = 2
+		}
+		cfg.MeshDims = []int{cfg.MeshX, cfg.MeshY}
+	} else {
+		// Mirror the n-dim geometry into the legacy fields so code that
+		// only knows MeshX*MeshY (snap, reports) still sees the node
+		// count: dim 0 is "X", everything above folds into "Y".
+		cfg.MeshX = cfg.MeshDims[0]
+		cfg.MeshY = 1
+		for _, d := range cfg.MeshDims[1:] {
+			cfg.MeshY *= d
+		}
 	}
-	if cfg.MeshY == 0 {
-		cfg.MeshY = 2
+	nodes := 1
+	for _, d := range cfg.MeshDims {
+		nodes *= d
 	}
 	if cfg.MemBytes == 0 {
 		cfg.MemBytes = 40 << 20
@@ -129,9 +164,9 @@ func New(cfg Config) *Cluster {
 	if cfg.OPTEntries == 0 {
 		cfg.OPTEntries = 4096
 	}
-	cfg.Timeouts = cfg.Timeouts.withDefaults()
+	cfg.Timeouts = cfg.Timeouts.withDefaults(nodes)
 	if cfg.FaultPlan != nil {
-		if err := cfg.FaultPlan.Validate(cfg.MeshX * cfg.MeshY); err != nil {
+		if err := cfg.FaultPlan.Validate(nodes); err != nil {
 			// A malformed fault plan is a harness configuration bug,
 			// caught at construction.
 			//lint:allow transitive-panic harness configuration bug caught at boot, not a protocol error
@@ -148,9 +183,12 @@ func New(cfg Config) *Cluster {
 		eng.AttachDigest(cfg.Auto)
 	}
 	cfg.Trace.Bind(eng)
-	msh := mesh.New(eng, cfg.MeshX, cfg.MeshY)
+	msh := mesh.NewDims(eng, cfg.MeshDims)
 	msh.Trace = cfg.Trace
-	eth := ether.New(eng, cfg.MeshX*cfg.MeshY)
+	if cfg.Combining {
+		msh.EnableCombining()
+	}
+	eth := ether.New(eng, nodes)
 	if cfg.FaultSeed == 0 {
 		cfg.FaultSeed = 1
 	}
@@ -158,7 +196,7 @@ func New(cfg Config) *Cluster {
 	if cfg.Reliable {
 		msh.EnableReliability(mesh.RelConfig{})
 	}
-	for i := 0; i < cfg.MeshX*cfg.MeshY; i++ {
+	for i := 0; i < nodes; i++ {
 		m := kernel.NewMachine(i, eng, cfg.MemBytes)
 		m.Trace = cfg.Trace
 		n := nic.New(m, msh, mesh.NodeID(i), cfg.OPTEntries)

@@ -142,6 +142,13 @@ const (
 	// routing pipelines the body behind the header.
 	MeshHopLatency = 100 * time.Nanosecond
 
+	// MeshCombineCost is the router combine ALU's fold time: merging a
+	// waiting partial result with an arriving combine packet (barrier
+	// count, fetch-add, float sum) before the merged packet moves on.
+	// The Ultracomputer-style combining queue did this in a couple of
+	// switch cycles; 50 ns keeps it subordinate to the hop latency.
+	MeshCombineCost = 50 * time.Nanosecond
+
 	// --- Incoming path ---
 
 	// IPTCheckCost is the incoming page-table lookup that validates the

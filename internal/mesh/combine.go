@@ -1,0 +1,291 @@
+// Router-level combining of collective traffic — the NYU-Ultracomputer
+// lineage the ROADMAP names. With combining enabled, a collective operation
+// (barrier, integer fetch-add, float sum) is carried by small combine
+// packets that climb the mesh's dimension-order reduction tree: every
+// router's parent is its first hop toward node 0, so every tree edge is a
+// legal dimension-order link and combining traffic shares real channel
+// occupancy with data traffic (contention is visible). A router holds its
+// subtree's partial result until all children plus its own node have
+// contributed, then forwards one merged packet upward; the root broadcasts
+// the final value back down the same tree and ejects it at every node.
+//
+// The result: a barrier or global sum costs O(diameter) link traversals
+// instead of the O(log N) full software message rounds of recursive
+// doubling — and only 2(N-1) link packets total instead of N log N.
+//
+// Model notes:
+//
+//   - Combining packets are control traffic on the reliable-by-construction
+//     backplane: the fault injector does not perturb them (the software
+//     recursive-doubling path in nx remains the baseline for experiments
+//     that need collectives under fire).
+//   - All participants must be live; a crashed node would stall the wait —
+//     exactly as it stalls the software path.
+//   - Merge order at a router is delivery-event order, which is
+//     deterministic, so float sums are bit-for-bit reproducible run to run.
+//   - Per-operation state is allocated when the first contribution arrives
+//     and deleted when the last result is delivered, so steady-state memory
+//     is bounded by concurrent collectives, not by history.
+package mesh
+
+import (
+	"fmt"
+	"time"
+
+	"shrimp/internal/hw"
+	"shrimp/internal/sim"
+)
+
+// CombOp selects what a combining collective computes.
+type CombOp int
+
+const (
+	// CombBarrier carries no value: completion means every node arrived.
+	CombBarrier CombOp = iota
+	// CombISum folds int64 contributions with wrapping addition (the
+	// fetch-add of the Ultracomputer design, all-reduce flavored).
+	CombISum
+	// CombFSum folds float64 contributions in deterministic tree order.
+	CombFSum
+)
+
+// combPayloadBytes is the wire size of a combine packet's value (one
+// 64-bit operand); the header is the normal backplane packet header.
+const combPayloadBytes = 8
+
+// combining is the per-network combining engine state.
+type combining struct {
+	// parent[r] is the next router from r toward node 0 (-1 at the root);
+	// kids[r] lists r's tree children in ascending index order.
+	parent []int
+	kids   [][]int
+	// need[r] counts contributions router r merges before forwarding:
+	// one per child subtree plus the local node's own.
+	need []int
+
+	// ops holds in-flight collectives by caller-assigned id. Entries are
+	// deleted when the down-phase has delivered every result.
+	ops map[uint64]*combState
+
+	// cond is broadcast on every result delivery; CombWait parks on it.
+	cond *sim.Cond
+
+	// Merged counts router-level merges (contributions absorbed without
+	// consuming an extra upward link); Delivered counts results ejected.
+	Merged    int64
+	Delivered int64
+}
+
+// combState is one in-flight collective.
+type combState struct {
+	id   uint64
+	op   CombOp
+	got  []int // contributions seen per router
+	accI []int64
+	accF []float64
+	cbs  []func(ival int64, fval float64)
+	// resI/resF hold the root's final value during the down-phase.
+	resI    int64
+	resF    float64
+	pending int // results not yet delivered
+}
+
+// EnableCombining arms router-level combining on the backplane. Call it
+// before traffic flows (cluster.New does, when Config.Combining is set).
+func (n *Network) EnableCombining() {
+	if n.comb != nil {
+		return
+	}
+	c := &combining{
+		parent: make([]int, n.total),
+		kids:   make([][]int, n.total),
+		need:   make([]int, n.total),
+		ops:    make(map[uint64]*combState),
+		cond:   sim.NewCond(n.eng),
+	}
+	for r := 0; r < n.total; r++ {
+		c.need[r] = 1 // the local node's own contribution
+		if r == 0 {
+			c.parent[r] = -1
+			continue
+		}
+		// Parent = first hop of the dimension-order route toward node 0,
+		// so the reduction tree is embedded in legal routing links.
+		c.parent[r] = n.Route(NodeID(r), 0)[1]
+	}
+	for r := 1; r < n.total; r++ {
+		p := c.parent[r]
+		c.kids[p] = append(c.kids[p], r) // ascending r: deterministic order
+		c.need[p]++
+	}
+	n.comb = c
+}
+
+// CombiningEnabled reports whether the backplane merges collective traffic
+// in-network.
+func (n *Network) CombiningEnabled() bool { return n.comb != nil }
+
+// CombStats returns (merges absorbed at routers, results delivered) since
+// combining was enabled.
+func (n *Network) CombStats() (merged, delivered int64) {
+	if n.comb == nil {
+		return 0, 0
+	}
+	return n.comb.Merged, n.comb.Delivered
+}
+
+// Combine contributes node's operand to collective id and registers done to
+// receive the final value when the tree completes. All participants must
+// use the same id and op for one collective, and ids must not be reused
+// while in flight (nx derives them from its global collective sequence).
+// done runs in engine context at the virtual time the result packet is
+// ejected at node; callers typically set a flag and park on CombWait.
+func (n *Network) Combine(node NodeID, op CombOp, id uint64, ival int64, fval float64, done func(ival int64, fval float64)) {
+	if n.comb == nil {
+		//lint:allow transitive-panic harness wiring bug: callers check CombiningEnabled first
+		panic("mesh: Combine without EnableCombining")
+	}
+	if int(node) < 0 || int(node) >= n.total {
+		//lint:allow transitive-panic harness wiring bug caught at construction
+		panic(fmt.Sprintf("mesh: combine from invalid node %d", node))
+	}
+	c := n.comb
+	st := c.ops[id]
+	if st == nil {
+		st = &combState{
+			id:      id,
+			op:      op,
+			got:     make([]int, n.total),
+			cbs:     make([]func(int64, float64), n.total),
+			pending: n.total,
+		}
+		switch op {
+		case CombISum:
+			st.accI = make([]int64, n.total)
+		case CombFSum:
+			st.accF = make([]float64, n.total)
+		}
+		c.ops[id] = st
+	}
+	if st.op != op {
+		//lint:allow transitive-panic harness wiring bug: one collective, one op
+		panic(fmt.Sprintf("mesh: combine id %d used with ops %d and %d", id, st.op, op))
+	}
+	if st.cbs[node] != nil {
+		//lint:allow transitive-panic harness wiring bug: one contribution per node per collective
+		panic(fmt.Sprintf("mesh: node %d contributed twice to combine id %d", node, id))
+	}
+	st.cbs[node] = done
+	n.Trace.Count(traceTrack, "combine.contrib", 1)
+
+	// The contribution enters the network through the node's inject
+	// channel like any packet, then merges at its own router.
+	serialize := time.Duration(hw.PacketHeaderBytes+combPayloadBytes) * hw.MeshLinkPerByte
+	start, end := n.inject[node].srv.ReserveAt(n.eng.Now(), serialize)
+	if n.Trace != nil {
+		ch := n.inject[node]
+		n.Trace.Add(traceTrack, ch.span, start, end)
+		n.Trace.Count(traceTrack, ch.bytes, int64(hw.PacketHeaderBytes+combPayloadBytes))
+	}
+	n.eng.PostAt(end.Add(hw.MeshHopLatency), func() {
+		n.combContribute(st, int(node), ival, fval)
+	})
+}
+
+// CombWait parks p until any combining result is delivered; callers loop on
+// their own completion flag (standard condition-variable discipline).
+func (n *Network) CombWait(p *sim.Proc) {
+	if n.comb == nil {
+		//lint:allow transitive-panic harness wiring bug: callers check CombiningEnabled first
+		panic("mesh: CombWait without EnableCombining")
+	}
+	n.comb.cond.Wait(p)
+}
+
+// combContribute merges one contribution (a node's own, or a child
+// subtree's partial) into router r's slot. When the slot fills, the merged
+// value moves one hop up the tree — or, at the root, turns around into the
+// down-phase broadcast. Runs in engine context; merge order is event order,
+// which is deterministic.
+func (n *Network) combContribute(st *combState, r int, ival int64, fval float64) {
+	c := n.comb
+	switch st.op {
+	case CombISum:
+		st.accI[r] += ival
+	case CombFSum:
+		st.accF[r] += fval
+	}
+	st.got[r]++
+	if st.got[r] < c.need[r] {
+		c.Merged++
+		return
+	}
+	// Slot full: the router's combine ALU folds in constant time, then
+	// the merged packet takes the link toward the parent.
+	at := n.eng.Now().Add(hw.MeshCombineCost)
+	if c.parent[r] < 0 {
+		st.resI, st.resF = 0, 0
+		if st.accI != nil {
+			st.resI = st.accI[r]
+		}
+		if st.accF != nil {
+			st.resF = st.accF[r]
+		}
+		n.combDown(st, r, at)
+		return
+	}
+	parent := c.parent[r]
+	mi, mf := int64(0), 0.0
+	if st.accI != nil {
+		mi = st.accI[r]
+	}
+	if st.accF != nil {
+		mf = st.accF[r]
+	}
+	serialize := time.Duration(hw.PacketHeaderBytes+combPayloadBytes) * hw.MeshLinkPerByte
+	_, end := n.reserveComb(n.link(r, parent), at, serialize)
+	n.eng.PostAt(end.Add(hw.MeshHopLatency), func() {
+		n.combContribute(st, parent, mi, mf)
+	})
+}
+
+// combDown delivers the final value at router r's node and forwards it to
+// every tree child. The eject channel and the down links are reserved like
+// any packet's, so the broadcast contends with data traffic too.
+func (n *Network) combDown(st *combState, r int, at sim.Time) {
+	c := n.comb
+	serialize := time.Duration(hw.PacketHeaderBytes+combPayloadBytes) * hw.MeshLinkPerByte
+	_, eend := n.reserveComb(n.eject[r], at, serialize)
+	n.eng.PostAt(eend, func() {
+		c.Delivered++
+		n.Trace.Count(traceTrack, "combine.result", 1)
+		cb := st.cbs[r]
+		cb(st.resI, st.resF)
+		st.pending--
+		if st.pending == 0 {
+			// Last delivery: drop the whole collective's state.
+			delete(c.ops, st.id)
+		}
+		c.cond.Broadcast()
+	})
+	for _, kid := range c.kids[r] {
+		kid := kid
+		_, lend := n.reserveComb(n.link(r, kid), at, serialize)
+		n.eng.PostAt(lend.Add(hw.MeshHopLatency), func() {
+			n.combDown(st, kid, n.eng.Now())
+		})
+	}
+}
+
+// reserveComb reserves a channel for one combine packet and traces it.
+func (n *Network) reserveComb(ch *channel, at sim.Time, serialize time.Duration) (start, end sim.Time) {
+	start, end = ch.srv.ReserveAt(at, serialize)
+	if n.Trace != nil {
+		if wait := start.Sub(at); wait > 0 {
+			n.Trace.Observe(traceTrack, "link.wait", int64(wait))
+		}
+		n.Trace.Add(traceTrack, ch.span, start, end)
+		n.Trace.Count(traceTrack, ch.bytes, int64(hw.PacketHeaderBytes+combPayloadBytes))
+	}
+	return start, end
+}

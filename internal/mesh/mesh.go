@@ -1,10 +1,15 @@
-// Package mesh models the SHRIMP routing backplane: a two-dimensional mesh
-// of Intel Mesh Routing Chips (iMRCs), the same network used in the Paragon
-// multicomputer (paper Section 3.1). It implements:
+// Package mesh models the SHRIMP routing backplane: a k-ary n-dimensional
+// mesh of Intel Mesh Routing Chips (iMRCs), generalizing the 2-D Paragon
+// network used by the prototype (paper Section 3.1) so scaling studies can
+// run cube geometries the 1996 hardware never had. It implements:
 //
-//   - deadlock-free, oblivious dimension-order (X-then-Y) wormhole routing;
+//   - deadlock-free, oblivious dimension-order wormhole routing over any
+//     number of dimensions (the 2-D case is the paper's X-then-Y);
 //   - per-link bandwidth with FIFO occupancy, so contention between flows
-//     sharing a link is visible; and
+//     sharing a link is visible;
+//   - optional router-level combining of collective traffic (combine.go):
+//     barrier and fetch-add packets that meet at a router merge in-network,
+//     the NYU-Ultracomputer lineage; and
 //   - the property VMMC depends on: the backplane "preserves the order of
 //     messages from each sender to each receiver".
 //
@@ -73,10 +78,18 @@ type channel struct {
 	bytes string // e.g. "link.3>4.bytes"
 }
 
-// Network is an X×Y mesh with one attachment point per router.
+// Network is a k-ary n-dimensional mesh with one attachment point per
+// router. Node i's coordinate in dimension d is (i / stride[d]) % dims[d],
+// with dimension 0 varying fastest — the 2-D case reads (i % X, i / X),
+// exactly the prototype's layout.
 type Network struct {
-	eng  *sim.Engine
-	X, Y int
+	eng *sim.Engine
+
+	// dims are the per-dimension radices; strides[d] is the linear-index
+	// step of one hop in dimension d (strides[0] = 1).
+	dims    []int
+	strides []int
+	total   int
 
 	// Trace, when non-nil, receives per-channel occupancy spans, byte
 	// counters, and the packet-size histogram on the "mesh" track. Set it
@@ -104,13 +117,23 @@ type Network struct {
 	// (reliability.go). Off by default.
 	rel *reliability
 
+	// comb, when non-nil, is the router-level combining engine for
+	// collective traffic (combine.go). Off by default.
+	comb *combining
+
 	// lastArrival enforces exact per-(src,dst) FIFO delivery on top of
-	// the timing approximation.
+	// the timing approximation. Entries live only while the pair has
+	// packets in flight: once inFlight drains to zero the floor is
+	// provably redundant (any later send's arrival is computed at or
+	// after the last delivery) and both entries are deleted, so
+	// steady-state map size is bounded by concurrent flows, not by the
+	// N² pairs a 1024-node mesh could accumulate.
 	lastArrival map[[2]NodeID]sim.Time
 
 	// inFlight counts packets injected but not yet handed to the
 	// destination handler, per (src,dst); drained is broadcast on every
 	// delivery. Mapping teardown uses these to wait out the pipe.
+	// Entries are deleted on drain-to-zero (see lastArrival).
 	inFlight map[[2]NodeID]int
 	drained  *sim.Cond
 
@@ -129,21 +152,39 @@ type Network struct {
 	PacketsCorrupted int64
 }
 
-// New builds an x-by-y mesh backplane.
+// New builds an x-by-y mesh backplane — the prototype's 2-D geometry.
 func New(eng *sim.Engine, x, y int) *Network {
-	if x <= 0 || y <= 0 {
+	return NewDims(eng, []int{x, y})
+}
+
+// NewDims builds a k-ary n-dimensional mesh backplane: dims[d] routers per
+// dimension d, dimension 0 varying fastest in the linear node index.
+// NewDims(eng, []int{x, y}) is exactly New(eng, x, y).
+func NewDims(eng *sim.Engine, dims []int) *Network {
+	if len(dims) == 0 {
 		//lint:allow transitive-panic harness configuration bug caught at construction
-		panic("mesh: dimensions must be positive")
+		panic("mesh: at least one dimension required")
+	}
+	total := 1
+	strides := make([]int, len(dims))
+	for d, k := range dims {
+		if k <= 0 {
+			//lint:allow transitive-panic harness configuration bug caught at construction
+			panic("mesh: dimensions must be positive")
+		}
+		strides[d] = total
+		total *= k
 	}
 	n := &Network{
 		eng:         eng,
-		X:           x,
-		Y:           y,
+		dims:        append([]int(nil), dims...),
+		strides:     strides,
+		total:       total,
 		links:       make(map[[2]int]*channel),
-		inject:      make([]*channel, x*y),
-		eject:       make([]*channel, x*y),
-		handlers:    make([]Handler, x*y),
-		dead:        make([]bool, x*y),
+		inject:      make([]*channel, total),
+		eject:       make([]*channel, total),
+		handlers:    make([]Handler, total),
+		dead:        make([]bool, total),
 		lastArrival: make(map[[2]NodeID]sim.Time),
 		inFlight:    make(map[[2]NodeID]int),
 		drained:     sim.NewCond(eng),
@@ -160,7 +201,11 @@ func newChannel(eng *sim.Engine, span string) *channel {
 }
 
 // Nodes returns the number of attachment points.
-func (n *Network) Nodes() int { return n.X * n.Y }
+func (n *Network) Nodes() int { return n.total }
+
+// Dims returns the topology's per-dimension radices. The slice is shared;
+// callers must not mutate it.
+func (n *Network) Dims() []int { return n.dims }
 
 // GetBuf returns an empty payload buffer with room for a maximum-size
 // packet body, drawn from the free list when possible. Mark packets built
@@ -175,10 +220,18 @@ func (n *Network) GetBuf() []byte {
 	return make([]byte, 0, hw.MaxPacketPayload)
 }
 
+// maxFreeBufs caps the GetBuf/PutBuf free list. A fan-in burst (every node
+// sending to one receiver) can return thousands of buffers in one instant;
+// without a cap the list holds the burst's high-water mark forever. Excess
+// buffers are dropped to the garbage collector instead.
+const maxFreeBufs = 256
+
 // PutBuf returns a payload buffer to the free list. Only buffers that came
-// from GetBuf belong here; the caller must not touch b afterwards.
+// from GetBuf belong here; the caller must not touch b afterwards. Beyond
+// maxFreeBufs the buffer is dropped, keeping pool memory bounded under
+// bursty load.
 func (n *Network) PutBuf(b []byte) {
-	if cap(b) < hw.MaxPacketPayload {
+	if cap(b) < hw.MaxPacketPayload || len(n.bufs) >= maxFreeBufs {
 		return
 	}
 	n.bufs = append(n.bufs, b)
@@ -218,32 +271,50 @@ func (n *Network) Detach(id NodeID) {
 // SetInjector arms the fault injector for every subsequent data packet.
 func (n *Network) SetInjector(inj *fault.Injector) { n.inj = inj }
 
-func (n *Network) coord(id NodeID) (x, y int) { return int(id) % n.X, int(id) / n.X }
+// coordAt returns node id's coordinate in dimension d.
+func (n *Network) coordAt(id NodeID, d int) int {
+	return (int(id) / n.strides[d]) % n.dims[d]
+}
 
 // Route returns the sequence of router indices a packet visits from src to
-// dst under dimension-order (X then Y) routing, inclusive of both endpoints.
+// dst under dimension-order routing (dimension 0 first — the 2-D case is
+// the paper's X then Y), inclusive of both endpoints. Correcting each
+// dimension completely before touching the next makes the route oblivious
+// and deadlock-free (Dally/Seitz) in any number of dimensions.
 func (n *Network) Route(src, dst NodeID) []int {
-	sx, sy := n.coord(src)
-	dx, dy := n.coord(dst)
-	path := []int{sy*n.X + sx}
-	x, y := sx, sy
-	for x != dx {
-		if x < dx {
-			x++
-		} else {
-			x--
+	path := []int{int(src)}
+	cur := int(src)
+	for d := range n.dims {
+		c, want := n.coordAt(NodeID(cur), d), n.coordAt(dst, d)
+		for c != want {
+			if c < want {
+				c++
+				cur += n.strides[d]
+			} else {
+				c--
+				cur -= n.strides[d]
+			}
+			path = append(path, cur)
 		}
-		path = append(path, y*n.X+x)
-	}
-	for y != dy {
-		if y < dy {
-			y++
-		} else {
-			y--
-		}
-		path = append(path, y*n.X+x)
 	}
 	return path
+}
+
+// CutPlane returns the nodes on the low side of a partition hyperplane: all
+// nodes whose coordinate in dimension dim is < at. Severing this set cuts
+// the mesh into two connected halves along the plane — the topology-aware
+// way to build fault.Partition node sets on any geometry.
+func (n *Network) CutPlane(dim, at int) []int {
+	if dim < 0 || dim >= len(n.dims) || at <= 0 || at >= n.dims[dim] {
+		panic(fmt.Sprintf("mesh: cut plane dim %d at %d outside topology %v", dim, at, n.dims))
+	}
+	var nodes []int
+	for i := 0; i < n.total; i++ {
+		if n.coordAt(NodeID(i), dim) < at {
+			nodes = append(nodes, i)
+		}
+	}
+	return nodes
 }
 
 func (n *Network) link(from, to int) *channel {
@@ -302,12 +373,17 @@ func (n *Network) transmit(pkt *Packet) {
 
 	reserve := func(c *channel) {
 		start, end := c.srv.ReserveAt(headerAt, serialize)
-		headerAt = start.Add(hw.MeshHopLatency)
-		tailDone = end
 		if n.Trace != nil {
+			if wait := start.Sub(headerAt); wait > 0 {
+				// Channel-contention histogram: how long the header sat
+				// queued behind other flows at this hop (virtual ns).
+				n.Trace.Observe(traceTrack, "link.wait", int64(wait))
+			}
 			n.Trace.Add(traceTrack, c.span, start, end)
 			n.Trace.Count(traceTrack, c.bytes, int64(pkt.Size()))
 		}
+		headerAt = start.Add(hw.MeshHopLatency)
+		tailDone = end
 	}
 
 	n.Trace.Observe(traceTrack, "packet.bytes", int64(pkt.Size()))
@@ -382,6 +458,15 @@ func (n *Network) transmit(pkt *Packet) {
 	n.inFlight[key]++
 	n.eng.PostAt(arrival, func() {
 		n.inFlight[key]--
+		if n.inFlight[key] == 0 {
+			// Last packet for this pair: the FIFO floor is now redundant
+			// (every stored floor is <= this delivery's time, and any
+			// future send computes an arrival at or after its send time),
+			// so both per-pair entries can go. This keeps the maps sized
+			// by concurrent flows instead of growing toward N² pairs.
+			delete(n.inFlight, key)
+			delete(n.lastArrival, key)
+		}
 		switch {
 		case n.dead[pkt.Dst]:
 			// The node crashed while the packet was in flight.

@@ -1,0 +1,253 @@
+package mesh
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"shrimp/internal/fault"
+	"shrimp/internal/hw"
+	"shrimp/internal/sim"
+)
+
+// randomDims draws a 1-to-4-dimensional geometry with small radices, biased
+// so multi-node worlds dominate.
+func randomDims(rng *rand.Rand) []int {
+	nd := 1 + rng.Intn(4)
+	dims := make([]int, nd)
+	for d := range dims {
+		dims[d] = 1 + rng.Intn(5)
+	}
+	return dims
+}
+
+// Property: on any k-ary n-cube geometry, a dimension-order route moves in
+// exactly one dimension per hop, never returns to a lower dimension once a
+// higher one has moved (the Dally/Seitz deadlock-freedom invariant), and has
+// length equal to the sum of per-dimension coordinate distances.
+func TestNDimRouteProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := sim.NewEngine()
+		n := NewDims(e, randomDims(rng))
+		src := NodeID(rng.Intn(n.Nodes()))
+		dst := NodeID(rng.Intn(n.Nodes()))
+		path := n.Route(src, dst)
+		if path[0] != int(src) || path[len(path)-1] != int(dst) {
+			return false
+		}
+		wantLen := 1
+		for d := range n.dims {
+			diff := n.coordAt(src, d) - n.coordAt(dst, d)
+			if diff < 0 {
+				diff = -diff
+			}
+			wantLen += diff
+		}
+		if len(path) != wantLen {
+			return false
+		}
+		highest := -1 // highest dimension that has moved so far
+		for i := 0; i+1 < len(path); i++ {
+			moved := -1
+			for d := range n.dims {
+				c0 := n.coordAt(NodeID(path[i]), d)
+				c1 := n.coordAt(NodeID(path[i+1]), d)
+				if c0 == c1 {
+					continue
+				}
+				if moved >= 0 {
+					return false // two dimensions changed in one hop
+				}
+				if c1-c0 != 1 && c0-c1 != 1 {
+					return false // a hop must move exactly one step
+				}
+				moved = d
+			}
+			if moved < 0 {
+				return false // a hop must move
+			}
+			if moved < highest {
+				return false // returned to a lower dimension: illegal turn
+			}
+			highest = moved
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNDimLinearLayout pins the linear-index convention: dimension 0 varies
+// fastest, so {x, y} reproduces the prototype's (i%x, i/x) layout and a
+// 3-D route corrects dim 0, then 1, then 2.
+func TestNDimLinearLayout(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewDims(e, []int{4, 3, 2})
+	// node 0 = (0,0,0); node 23 = (3,2,1).
+	got := n.Route(0, 23)
+	want := []int{0, 1, 2, 3, 7, 11, 23}
+	if len(got) != len(want) {
+		t.Fatalf("route = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("route = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestNDimDelivery: packets actually traverse a 3-D world end to end, and
+// the uncontended latency matches hops*hopLatency + one serialization.
+func TestNDimDelivery(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewDims(e, []int{2, 2, 2})
+	var at sim.Time
+	n.Attach(7, func(p *Packet) { at = e.Now() })
+	pkt := &Packet{Src: 0, Dst: 7, Payload: make([]byte, 4)}
+	n.Send(pkt)
+	e.RunAll()
+	// Channels: inject, 0->1, 1->3, 3->7, eject = 5; header pays hop
+	// latency after each of the first 4.
+	ser := time.Duration(pkt.Size()) * hw.MeshLinkPerByte
+	want := sim.Time(0).Add(4*hw.MeshHopLatency + ser)
+	if at != want {
+		t.Fatalf("arrival = %v, want %v", at, want)
+	}
+}
+
+// TestCutPlaneSeversTopology: severing a CutPlane node set partitions any
+// geometry cleanly — packets crossing the plane die, packets on one side
+// flow.
+func TestCutPlaneSeversTopology(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewDims(e, []int{4, 3, 2})
+	low := n.CutPlane(1, 2) // dim-1 coordinate < 2: 4*2*2 = 16 nodes
+	if len(low) != 16 {
+		t.Fatalf("cut size = %d, want 16", len(low))
+	}
+	inSet := make(map[int]bool)
+	for _, id := range low {
+		if n.coordAt(NodeID(id), 1) >= 2 {
+			t.Fatalf("node %d is on the wrong side of the plane", id)
+		}
+		inSet[id] = true
+	}
+	for i := 0; i < n.Nodes(); i++ {
+		if !inSet[i] && n.coordAt(NodeID(i), 1) < 2 {
+			t.Fatalf("node %d missing from the cut", i)
+		}
+	}
+	inj := fault.NewInjector(7, fault.Plan{})
+	n.SetInjector(inj)
+	deliveries := 0
+	for i := 0; i < n.Nodes(); i++ {
+		n.Attach(NodeID(i), func(*Packet) { deliveries++ })
+	}
+	inj.Sever(low, false)
+	n.Send(&Packet{Src: 0, Dst: NodeID(n.Nodes() - 1), Payload: []byte("x")}) // crosses
+	n.Send(&Packet{Src: 0, Dst: 5, Payload: []byte("x")})                     // same side
+	e.RunAll()
+	if deliveries != 1 || n.PacketsDropped != 1 {
+		t.Fatalf("deliveries=%d dropped=%d, want 1/1", deliveries, n.PacketsDropped)
+	}
+}
+
+// TestStateMapsPruned is the regression test for the O(N²) state bug: after
+// an all-pairs workload drains, the per-(src,dst) FIFO and in-flight maps
+// must be empty — not hold an entry per pair ever used.
+func TestStateMapsPruned(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewDims(e, []int{4, 4})
+	for i := 0; i < n.Nodes(); i++ {
+		n.Attach(NodeID(i), func(*Packet) {})
+	}
+	sent := 0
+	for s := 0; s < n.Nodes(); s++ {
+		for d := 0; d < n.Nodes(); d++ {
+			if s == d {
+				continue
+			}
+			n.Send(&Packet{Src: NodeID(s), Dst: NodeID(d), Payload: make([]byte, 64)})
+			sent++
+		}
+	}
+	if len(n.inFlight) == 0 {
+		t.Fatal("expected in-flight state while packets are in the pipe")
+	}
+	e.RunAll()
+	if n.PacketsDelivered != int64(sent) {
+		t.Fatalf("delivered %d of %d", n.PacketsDelivered, sent)
+	}
+	if len(n.inFlight) != 0 || len(n.lastArrival) != 0 {
+		t.Fatalf("state maps not pruned after drain: inFlight=%d lastArrival=%d",
+			len(n.inFlight), len(n.lastArrival))
+	}
+}
+
+// TestStateMapsPrunedOrdering: pruning must not weaken per-pair FIFO — a
+// second wave on the same pairs after a full drain still arrives in order.
+func TestStateMapsPrunedOrdering(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewDims(e, []int{2, 2})
+	var got []uint32
+	n.Attach(3, func(p *Packet) { got = append(got, p.DstOff) })
+	wave := func(base uint32) {
+		for i := uint32(0); i < 10; i++ {
+			n.Send(&Packet{Src: 0, Dst: 3, DstOff: base + i, Payload: make([]byte, int(i%3)*128)})
+		}
+		e.RunAll()
+	}
+	wave(0)
+	if len(n.lastArrival) != 0 {
+		t.Fatal("pair state survived the drain")
+	}
+	wave(100)
+	if len(got) != 20 {
+		t.Fatalf("delivered %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order after prune: %v", got)
+		}
+	}
+}
+
+// TestPutBufCap: the regression test for the unbounded free list — a fan-in
+// burst that returns far more buffers than the cap must leave the pool at
+// the cap, not at the burst's high-water mark.
+func TestPutBufCap(t *testing.T) {
+	e := sim.NewEngine()
+	n := NewDims(e, []int{4, 4})
+	// Every node floods node 0 with pooled packets; the receiver recycles
+	// each payload, as the NIC does.
+	n.Attach(0, func(p *Packet) {
+		if p.Pooled {
+			n.PutBuf(p.Payload)
+		}
+	})
+	for i := 1; i < n.Nodes(); i++ {
+		n.Attach(NodeID(i), func(*Packet) {})
+	}
+	const perSender = 64 // 15 senders * 64 = 960 returned buffers
+	for s := 1; s < n.Nodes(); s++ {
+		for k := 0; k < perSender; k++ {
+			b := append(n.GetBuf(), make([]byte, 32)...)
+			n.Send(&Packet{Src: NodeID(s), Dst: 0, Payload: b, Pooled: true})
+		}
+	}
+	e.RunAll()
+	if len(n.bufs) > maxFreeBufs {
+		t.Fatalf("free list grew to %d, cap is %d", len(n.bufs), maxFreeBufs)
+	}
+	// Direct overflow: returning more than the cap in one instant drops
+	// the excess too.
+	for i := 0; i < 2*maxFreeBufs; i++ {
+		n.PutBuf(make([]byte, 0, hw.MaxPacketPayload))
+	}
+	if len(n.bufs) != maxFreeBufs {
+		t.Fatalf("free list = %d after overflow, want exactly %d", len(n.bufs), maxFreeBufs)
+	}
+}

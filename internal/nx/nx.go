@@ -31,6 +31,7 @@ import (
 	"shrimp/internal/cluster"
 	"shrimp/internal/hw"
 	"shrimp/internal/kernel"
+	"shrimp/internal/mesh"
 	"shrimp/internal/trace"
 	"shrimp/internal/vmmc"
 )
@@ -101,6 +102,16 @@ type Config struct {
 	// parked process. NX's Intel-compatible API has no error returns, so
 	// a panic is the only honest way out.
 	CreditDeadline time.Duration
+	// Lazy defers per-peer connection setup until first use. The eager
+	// default mirrors real NX initialization but costs O(N) region pages
+	// per process — O(N²) machine-wide — which is what blocks 1024-node
+	// worlds. With Lazy set, a connection is built on the first Csend or
+	// explicit Connect; both sides export their own half before importing
+	// the peer's, so symmetric lazy connects always converge. Receives
+	// only match peers a connection already exists for, so a process that
+	// receives first from a new peer must Connect (the collective layer
+	// does this at its known receive-before-send points).
+	Lazy bool
 }
 
 // NX is one process's attachment to the NX library.
@@ -146,6 +157,13 @@ type NX struct {
 	// collSeq numbers collective operations (all processes perform
 	// collectives in the same global order).
 	collSeq uint32
+
+	// comb, when non-nil, is the backplane with router-level combining
+	// enabled: Gsync/Gisum/Gdsum ride the in-network reduction tree
+	// instead of software recursive doubling. Only set when this NX world
+	// spans the whole mesh (the combining tree needs every router's
+	// contribution).
+	comb *mesh.Network
 
 	// Stats for the paper's Section 6 claims: data transfers are far more
 	// common than control transfers, and interrupts are rare.
@@ -215,8 +233,8 @@ type selfMsg struct {
 }
 
 // New attaches a process to NX on a cluster. node is this process's logical
-// node number; nnodes the machine size. Connections to every peer are
-// established eagerly, as NX does at initialization.
+// node number; nnodes the machine size. Unless cfg.Lazy is set, connections
+// to every peer are established eagerly, as NX does at initialization.
 func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *NX {
 	if cfg.SmallMax == 0 {
 		cfg.SmallMax = PayloadMax
@@ -235,57 +253,139 @@ func New(c *cluster.Cluster, p *kernel.Process, node, nnodes int, cfg Config) *N
 		track:     p.M.TraceNode + "/nx",
 	}
 	nx.scratch = p.Alloc(64, hw.WordSize)
+	if c.Mesh.CombiningEnabled() && nnodes == c.Mesh.Nodes() {
+		nx.comb = c.Mesh
+	}
+	if cfg.Lazy {
+		return nx
+	}
 
 	// Export incoming regions first so peers can import them.
 	for peer := 0; peer < nnodes; peer++ {
-		if peer == node {
-			continue
+		if peer != node {
+			nx.exportHalf(peer)
 		}
-		cn := &conn{peer: peer}
-		cn.in = p.MapPages(regionPages, 0)
-		exp, err := nx.ep.Export(cn.in, regionPages, vmmc.ExportOpts{
-			Name:    regionName(peer, node),
-			Handler: func(vmmc.Notification) { nx.onDoorbell(cn) },
-		})
-		if err != nil {
-			//lint:allow transitive-panic init-time resource exhaustion; NX initialization aborts the process, as on the real machine
-			panic(fmt.Sprintf("nx init: %v", err))
-		}
-		cn.inExp = exp
-		for i := 0; i < NumPkt; i++ {
-			cn.freeBufs = append(cn.freeBufs, i)
-		}
-		cn.staging = p.Alloc(hdrSize+PayloadMax+8, hw.WordSize)
-		nx.conns[peer] = cn
-		nx.connList = append(nx.connList, cn)
 	}
 	// Import each peer's matching region, retrying until its export
 	// appears (peers initialize concurrently).
 	for peer := 0; peer < nnodes; peer++ {
-		if peer == node {
-			continue
-		}
-		cn := nx.conns[peer]
-		for try := 0; ; try++ {
-			imp, err := nx.ep.Import(peer, regionName(node, peer))
-			if err == nil {
-				cn.out = imp
-				break
-			}
-			if try > 10000 {
-				//lint:allow transitive-panic init-time rendezvous timeout; a peer that never boots is fatal, as on the real machine
-				panic(fmt.Sprintf("nx init: peer %d never exported: %v", peer, err))
-			}
-			p.P.Sleep(200 * time.Microsecond)
-		}
-		cn.outShadow = p.MapPages(regionPages, 0)
-		if _, err := nx.ep.BindAU(cn.outShadow, cn.out, 0, regionPages,
-			vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
-			//lint:allow transitive-panic init-time resource exhaustion; NX initialization aborts the process, as on the real machine
-			panic(fmt.Sprintf("nx init: bind: %v", err))
+		if peer != node {
+			nx.importHalf(nx.conns[peer])
 		}
 	}
 	return nx
+}
+
+// exportHalf builds this side's half of the connection to peer: the locally
+// exported incoming region (peer writes it), packet-buffer credits, and the
+// DU staging area. The connection enters conns/connList immediately so
+// receive matching sees it, but is not sendable until importHalf runs.
+func (nx *NX) exportHalf(peer int) *conn {
+	p := nx.proc()
+	cn := &conn{peer: peer}
+	cn.in = p.MapPages(regionPages, 0)
+	exp, err := nx.ep.Export(cn.in, regionPages, vmmc.ExportOpts{
+		Name:    regionName(peer, nx.node),
+		Handler: func(vmmc.Notification) { nx.onDoorbell(cn) },
+	})
+	if err != nil {
+		//lint:allow transitive-panic init-time resource exhaustion; NX initialization aborts the process, as on the real machine
+		panic(fmt.Sprintf("nx init: %v", err))
+	}
+	cn.inExp = exp
+	for i := 0; i < NumPkt; i++ {
+		cn.freeBufs = append(cn.freeBufs, i)
+	}
+	cn.staging = p.Alloc(hdrSize+PayloadMax+8, hw.WordSize)
+	nx.conns[peer] = cn
+	// Keep connList in ascending peer order: all-connection scans walk it
+	// in list order, so insertion order must not leak into costs.
+	at := len(nx.connList)
+	for i, other := range nx.connList {
+		if other.peer > peer {
+			at = i
+			break
+		}
+	}
+	nx.connList = append(nx.connList, nil)
+	copy(nx.connList[at+1:], nx.connList[at:])
+	nx.connList[at] = cn
+	return cn
+}
+
+// importHalf completes the connection: import the peer's matching export
+// (retrying while the peer initializes) and bind the AU shadow over it.
+// The rendezvous retry backs off exponentially with deterministic per-pair
+// jitter: a big world's boot storm has hundreds of these loops sharing one
+// 10 Mb/s control Ethernet, and a fixed hot retry period congests it into
+// collapse.
+func (nx *NX) importHalf(cn *conn) {
+	p := nx.proc()
+	// The backoff ceiling scales with the world: N-1 importers may be
+	// waiting on one exporter that serves them sequentially (a Gather
+	// root), so the steady-state retry load on the shared Ethernet — and
+	// the total patience — must both grow with N. At 64 nodes the cap is
+	// the classic 51.2ms; at 1024 it is 16x that, and the 200-try budget
+	// stretches from ~10s to ~2.5min of virtual time.
+	ceil := 200 * time.Microsecond << 8
+	if nx.n > 64 {
+		ceil *= time.Duration(nx.n / 64)
+	}
+	for try := 0; ; try++ {
+		imp, err := nx.ep.Import(cn.peer, regionName(nx.node, cn.peer))
+		if err == nil {
+			cn.out = imp
+			break
+		}
+		if try > 200 {
+			//lint:allow transitive-panic init-time rendezvous timeout; a peer that never boots is fatal, as on the real machine
+			panic(fmt.Sprintf("nx init: peer %d never exported: %v", cn.peer, err))
+		}
+		wait := 200 * time.Microsecond
+		if try < 8 {
+			wait <<= uint(try)
+		} else {
+			wait <<= 8
+		}
+		if wait > ceil {
+			wait = ceil
+		} else if try >= 8 && ceil > wait {
+			// Past the doubling ramp, climb linearly toward the ceiling so
+			// a big world's importers thin out their retry traffic further
+			// the longer they have waited.
+			wait += (ceil - wait) * time.Duration(min(try-8, 64)) / 64
+		}
+		// Decorrelate concurrent importers without randomness.
+		wait += time.Duration((nx.node*131+cn.peer*31+try*17)%251) * time.Microsecond
+		p.P.Sleep(wait)
+	}
+	cn.outShadow = p.MapPages(regionPages, 0)
+	if _, err := nx.ep.BindAU(cn.outShadow, cn.out, 0, regionPages,
+		vmmc.AUOpts{Combine: true, Timer: true}); err != nil {
+		//lint:allow transitive-panic init-time resource exhaustion; NX initialization aborts the process, as on the real machine
+		panic(fmt.Sprintf("nx init: bind: %v", err))
+	}
+}
+
+// Connect ensures the connection to peer exists, building it on demand in
+// lazy mode. Own half is exported before the peer's is imported, so two
+// processes lazily connecting to each other always converge. Blocks (in
+// virtual time) until the peer has exported its half.
+func (nx *NX) Connect(peer int) {
+	if peer == nx.node || nx.conns[peer] != nil {
+		return
+	}
+	nx.importHalf(nx.exportHalf(peer))
+}
+
+// conn returns the connection to node, building it on demand in lazy mode.
+func (nx *NX) conn(node int) *conn {
+	cn := nx.conns[node]
+	if cn == nil && nx.cfg.Lazy {
+		nx.Connect(node)
+		cn = nx.conns[node]
+	}
+	return cn
 }
 
 // Mynode returns this process's node number.

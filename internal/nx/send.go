@@ -87,7 +87,7 @@ func (nx *NX) Csend(typ int, buf kernel.VA, count, node, pid int) {
 		nx.sendSelf(typ, buf, count, pid)
 		return
 	}
-	cn := nx.conns[node]
+	cn := nx.conn(node)
 	proto := nx.cfg.Force
 	if proto == ProtoDefault {
 		if count > nx.cfg.SmallMax {
@@ -115,7 +115,7 @@ func (nx *NX) Isend(typ int, buf kernel.VA, count, node, pid int) ID {
 		nx.sends[id] = &zcSend{complete: true}
 		return id
 	}
-	cn := nx.conns[node]
+	cn := nx.conn(node)
 	proto := nx.cfg.Force
 	if proto == ProtoDefault {
 		if count > nx.cfg.SmallMax {

@@ -169,6 +169,11 @@ func (w *World) Encode() []byte {
 	wr := NewWriter()
 	wr.U64(uint64(w.Cfg.MeshX))
 	wr.U64(uint64(w.Cfg.MeshY))
+	wr.U64(uint64(len(w.Cfg.MeshDims)))
+	for _, d := range w.Cfg.MeshDims {
+		wr.U64(uint64(d))
+	}
+	wr.Bool(w.Cfg.Combining)
 	wr.U64(uint64(w.Cfg.MemBytes))
 	wr.U64(uint64(w.Cfg.OPTEntries))
 	wr.I64(w.Cfg.FaultSeed)
@@ -210,6 +215,10 @@ func Decode(b []byte) (*World, error) {
 	w := &World{}
 	w.Cfg.MeshX = int(r.U64())
 	w.Cfg.MeshY = int(r.U64())
+	for n := r.U64(); n > 0 && r.Err() == nil; n-- {
+		w.Cfg.MeshDims = append(w.Cfg.MeshDims, int(r.U64()))
+	}
+	w.Cfg.Combining = r.Bool()
 	w.Cfg.MemBytes = int(r.U64())
 	w.Cfg.OPTEntries = int(r.U64())
 	w.Cfg.FaultSeed = r.I64()
